@@ -1,0 +1,129 @@
+// E4 — the Section 3.2 claim: expressing ancestor size maintenance as
+// commutative delta/claim operations avoids write-locking the ancestor
+// chain, so the document root stops being a lock bottleneck and update
+// transactions on disjoint subtrees scale with the writer count.
+//
+// Two configurations over the same workload (each thread appends small
+// subtrees under its own section, all sections sharing the root):
+//   pxq        — the paper's scheme: page locks only on the pages a
+//                transaction structurally modifies; ancestor sizes are
+//                resolved commutatively at commit.
+//   root-lock  — strawman emulating "every update locks all ancestors":
+//                each transaction additionally makes a structural write
+//                to the root's page, so every commit serializes on it.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "storage/paged_store.h"
+#include "storage/shredder.h"
+#include "txn/txn_manager.h"
+#include "xupdate/apply.h"
+
+namespace pxq {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double RunConfig(int threads, bool root_lock, int seconds_budget_ms) {
+  // One roomy section per thread, each on its own logical page.
+  std::string doc = "<db>";
+  for (int i = 0; i < threads; ++i) {
+    doc += StrFormat("<sec%d>", i);
+    for (int j = 0; j < 40; ++j) doc += "<x/>";
+    doc += StrFormat("</sec%d>", i);
+  }
+  doc += "</db>";
+  auto dense = storage::ShredXml(doc);
+  storage::PagedStore::Config cfg;
+  cfg.page_tuples = 64;
+  cfg.shred_fill = 0.7;
+  std::shared_ptr<storage::PagedStore> base =
+      std::move(storage::PagedStore::Build(std::move(dense).value(), cfg)
+                    .value());
+  txn::TxnOptions topts;
+  topts.lock_timeout = std::chrono::milliseconds(100);
+  auto mgr = std::move(
+      txn::TransactionManager::Create(base, topts).value());
+
+  std::atomic<int64_t> committed{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int i = 0; i < threads; ++i) {
+    workers.emplace_back([&, i] {
+      std::string up = StrFormat(
+          "<xupdate:modifications version=\"1.0\" "
+          "xmlns:xupdate=\"http://www.xmldb.org/xupdate\">"
+          "<xupdate:append select=\"/db/sec%d\" child=\"1\"><y/>"
+          "</xupdate:append>"
+          "<xupdate:remove select=\"/db/sec%d/y[1]\"/>"
+          "</xupdate:modifications>",
+          i, i);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto t = mgr->Begin();
+        if (!t.ok()) continue;
+        if (root_lock) {
+          // Ancestor-locking strawman: structurally touch the root's
+          // page (a value self-update) before the real work.
+          auto s = t.value()->store()->SetRef(
+              t.value()->store()->Root(),
+              t.value()->store()->RefAt(t.value()->store()->Root()));
+          if (!s.ok()) {
+            t.value()->Abort().ok();
+            continue;
+          }
+        }
+        auto s = xupdate::ApplyXUpdate(t.value()->store(), up);
+        if (!s.ok()) {
+          t.value()->Abort().ok();
+          continue;
+        }
+        if (t.value()->Commit().ok()) {
+          committed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  double t0 = Now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(seconds_budget_ms));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  double dt = Now() - t0;
+  Status inv = base->CheckInvariants();
+  if (!inv.ok()) {
+    std::fprintf(stderr, "store corrupt: %s\n", inv.ToString().c_str());
+    std::exit(1);
+  }
+  return static_cast<double>(committed.load()) / dt;
+}
+
+}  // namespace
+}  // namespace pxq
+
+int main(int argc, char** argv) {
+  int budget_ms = argc > 1 ? std::atoi(argv[1]) : 1000;
+  std::printf(
+      "E4: update transaction throughput, disjoint subtrees per writer\n"
+      "(commutative ancestor maintenance vs root-page-locking strawman)\n\n");
+  std::printf("%8s %16s %16s %10s\n", "threads", "pxq [txn/s]",
+              "root-lock [txn/s]", "ratio");
+  for (int threads : {1, 2, 4, 8}) {
+    double pxq_tps = pxq::RunConfig(threads, /*root_lock=*/false, budget_ms);
+    double root_tps = pxq::RunConfig(threads, /*root_lock=*/true, budget_ms);
+    std::printf("%8d %16.0f %16.0f %9.2fx\n", threads, pxq_tps, root_tps,
+                pxq_tps / root_tps);
+  }
+  std::printf(
+      "\nExpected shape (paper §3.2): with root locking every transaction\n"
+      "serializes on the root's page; with delta/claim maintenance only\n"
+      "the touched pages are locked and disjoint writers overlap.\n");
+  return 0;
+}

@@ -1,0 +1,252 @@
+// Google-benchmark micro harness covering:
+//   E3 — the three Fig. 7 insert paths (hole fill / within-page shift /
+//        page overflow) and the fill-factor sweep;
+//   E5 — staircase-join positional skipping vs a naive full scan, and
+//        the hole-skipping overhead as pages empty out;
+//   E6 — the node -> pre swizzle (node/pos lookup + pageOffset
+//        arithmetic) vs the read-only schema's identity;
+//   E7 — shredding throughput into both schemas.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "storage/paged_store.h"
+#include "storage/read_only_store.h"
+#include "storage/shredder.h"
+#include "xmark/generator.h"
+#include "xpath/evaluator.h"
+#include "xpath/staircase.h"
+
+namespace pxq {
+namespace {
+
+std::string XmarkXml(double factor = 0.01) {
+  xmark::GeneratorOptions opt;
+  opt.factor = factor;
+  return xmark::Generate(opt);
+}
+
+std::unique_ptr<storage::ReadOnlyStore> BuildRo(const std::string& xml) {
+  return storage::ReadOnlyStore::Build(
+      std::move(storage::ShredXml(xml).value()));
+}
+
+std::unique_ptr<storage::PagedStore> BuildUp(const std::string& xml,
+                                             double fill = 0.8,
+                                             int32_t page = 1 << 12) {
+  storage::PagedStore::Config cfg;
+  cfg.page_tuples = page;
+  cfg.shred_fill = fill;
+  return std::move(
+      storage::PagedStore::Build(std::move(storage::ShredXml(xml).value()),
+                                 cfg)
+          .value());
+}
+
+// --------------------------------------------------------------------------
+// E5: staircase descendant step vs naive scan
+// --------------------------------------------------------------------------
+
+void BM_DescendantStaircaseRo(benchmark::State& state) {
+  static const std::string xml = XmarkXml();
+  static const auto store = BuildRo(xml);
+  auto people = xpath::EvaluatePath(*store, "/site/people").value();
+  for (auto _ : state) {
+    auto d = xpath::StaircaseDescendant(*store, people);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_DescendantStaircaseRo);
+
+void BM_DescendantStaircaseUp(benchmark::State& state) {
+  static const std::string xml = XmarkXml();
+  static const auto store = BuildUp(xml);
+  auto people = xpath::EvaluatePath(*store, "/site/people").value();
+  for (auto _ : state) {
+    auto d = xpath::StaircaseDescendant(*store, people);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_DescendantStaircaseUp);
+
+void BM_DescendantNaiveScan(benchmark::State& state) {
+  // Baseline without skipping: test every used tuple against the region.
+  static const std::string xml = XmarkXml();
+  static const auto store = BuildUp(xml);
+  auto people = xpath::EvaluatePath(*store, "/site/people").value();
+  PreId c = people[0];
+  for (auto _ : state) {
+    std::vector<PreId> out;
+    int64_t sz = store->SizeAt(c);
+    for (PreId p = 0; p < store->view_size(); ++p) {
+      if (store->IsUsed(p) && p > c && p <= c + sz) out.push_back(p);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_DescendantNaiveScan);
+
+/// Child iteration with sibling size-skips — the paper's "skipping to a
+/// particular node ... at the cost of a single CPU instruction".
+void BM_ChildStepUp(benchmark::State& state) {
+  static const std::string xml = XmarkXml();
+  static const auto store = BuildUp(xml);
+  auto auctions =
+      xpath::EvaluatePath(*store, "/site/open_auctions").value();
+  for (auto _ : state) {
+    int64_t n = 0;
+    xpath::ForEachChild(*store, auctions[0], [&](PreId) { ++n; });
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_ChildStepUp);
+
+/// Hole-skip overhead: a full-document descendant scan at various fill
+/// factors. Lower fill => more holes to hop over.
+void BM_HoleSkipSweep(benchmark::State& state) {
+  double fill = static_cast<double>(state.range(0)) / 100.0;
+  std::string xml = XmarkXml();
+  auto store = BuildUp(xml, fill, 1 << 10);
+  for (auto _ : state) {
+    int64_t n = 0;
+    for (PreId p = store->SkipHoles(0); p < store->view_size();
+         p = store->SkipHoles(p + 1)) {
+      ++n;
+    }
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["fill%"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_HoleSkipSweep)->Arg(100)->Arg(80)->Arg(50)->Arg(25);
+
+// --------------------------------------------------------------------------
+// E6: node -> pre swizzle
+// --------------------------------------------------------------------------
+
+void BM_SwizzleNodeToPre(benchmark::State& state) {
+  static const std::string xml = XmarkXml();
+  static const auto store = BuildUp(xml);
+  // Sample live node ids.
+  std::vector<NodeId> nodes;
+  for (PreId p = store->SkipHoles(0); p < store->view_size();
+       p = store->SkipHoles(p + 1)) {
+    nodes.push_back(store->NodeAt(p));
+  }
+  Random rng(5);
+  for (auto _ : state) {
+    NodeId n = nodes[rng.Uniform(nodes.size())];
+    auto pre = store->PreOfNode(n);
+    benchmark::DoNotOptimize(pre);
+  }
+}
+BENCHMARK(BM_SwizzleNodeToPre);
+
+void BM_AttrLookupRo(benchmark::State& state) {
+  static const std::string xml = XmarkXml();
+  static const auto store = BuildRo(xml);
+  auto items = xpath::EvaluatePath(*store, "/site/regions//item").value();
+  Random rng(5);
+  std::vector<int32_t> rows;
+  for (auto _ : state) {
+    PreId p = items[rng.Uniform(items.size())];
+    store->attrs().Lookup(store->AttrOwnerOf(p), &rows);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_AttrLookupRo);
+
+void BM_AttrLookupUp(benchmark::State& state) {
+  static const std::string xml = XmarkXml();
+  static const auto store = BuildUp(xml);
+  auto items = xpath::EvaluatePath(*store, "/site/regions//item").value();
+  Random rng(5);
+  std::vector<int32_t> rows;
+  for (auto _ : state) {
+    PreId p = items[rng.Uniform(items.size())];
+    store->attrs().Lookup(store->AttrOwnerOf(p), &rows);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_AttrLookupUp);
+
+// --------------------------------------------------------------------------
+// E3: the three insert paths (Fig. 7)
+// --------------------------------------------------------------------------
+
+void InsertPathBench(benchmark::State& state, double fill) {
+  // Re-built per iteration batch so the free space doesn't run out.
+  std::string xml = XmarkXml(0.002);
+  std::vector<storage::NewTuple> one;
+  int64_t done = 0;
+  std::unique_ptr<storage::PagedStore> store;
+  PreId target = 0;
+  auto rebuild = [&] {
+    store = BuildUp(xml, fill, 256);
+    one = {{0, NodeKind::kElement, store->pools().InternQname("b")}};
+    target = xpath::EvaluatePath(*store, "/site/open_auctions").value()[0];
+  };
+  rebuild();
+  for (auto _ : state) {
+    if (done++ % 64 == 0) {
+      state.PauseTiming();
+      rebuild();
+      state.ResumeTiming();
+    }
+    auto ids = store->InsertTuples(target + 1, target, one);
+    benchmark::DoNotOptimize(ids);
+  }
+  const auto& st = store->stats();
+  state.counters["holefill"] = static_cast<double>(st.hole_fill_inserts);
+  state.counters["within"] = static_cast<double>(st.within_page_inserts);
+  state.counters["overflow"] = static_cast<double>(st.overflow_inserts);
+}
+
+void BM_InsertRoomyPages(benchmark::State& state) {
+  InsertPathBench(state, 0.5);  // plenty of holes: hole-fill/within-page
+}
+BENCHMARK(BM_InsertRoomyPages);
+
+void BM_InsertFullPages(benchmark::State& state) {
+  InsertPathBench(state, 1.0);  // no holes: every insert overflows
+}
+BENCHMARK(BM_InsertFullPages);
+
+// --------------------------------------------------------------------------
+// E7: shredding throughput + storage footprint
+// --------------------------------------------------------------------------
+
+void BM_ShredReadOnly(benchmark::State& state) {
+  std::string xml = XmarkXml();
+  for (auto _ : state) {
+    auto store = BuildRo(xml);
+    benchmark::DoNotOptimize(store);
+  }
+  auto store = BuildRo(xml);
+  state.counters["bytes/node"] =
+      static_cast<double>(store->NodeTableBytes()) /
+      static_cast<double>(store->used_count());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xml.size()));
+}
+BENCHMARK(BM_ShredReadOnly);
+
+void BM_ShredPaged(benchmark::State& state) {
+  std::string xml = XmarkXml();
+  for (auto _ : state) {
+    auto store = BuildUp(xml);
+    benchmark::DoNotOptimize(store);
+  }
+  auto store = BuildUp(xml);
+  state.counters["bytes/node"] =
+      static_cast<double>(store->NodeTableBytes()) /
+      static_cast<double>(store->used_count());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xml.size()));
+}
+BENCHMARK(BM_ShredPaged);
+
+}  // namespace
+}  // namespace pxq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Quickstart: load an XML document, query it with XPath, change it with
+// XUpdate, and serialize the result — the minimal pxq workflow.
+#include <cstdio>
+
+#include "database.h"
+
+int main() {
+  const char* library_xml = R"(<library>
+    <book year="2005"><title>Updating the Pre/Post Plane</title>
+      <author>Boncz</author><author>Manegold</author><author>Rittinger</author>
+    </book>
+    <book year="2003"><title>Staircase Join</title>
+      <author>Grust</author><author>van Keulen</author><author>Teubner</author>
+    </book>
+  </library>)";
+
+  auto db_or = pxq::Database::CreateFromXml(library_xml);
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 db_or.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(db_or).value();
+
+  // --- query -----------------------------------------------------------
+  auto titles = db->QueryStrings("/library/book/title");
+  printf("titles in the library:\n");
+  for (const auto& t : titles.value()) printf("  - %s\n", t.c_str());
+
+  auto authors_2005 =
+      db->QueryStrings("/library/book[@year='2005']/author");
+  printf("authors of the 2005 book: ");
+  for (const auto& a : authors_2005.value()) printf("%s ", a.c_str());
+  printf("\n");
+
+  // --- update ------------------------------------------------------------
+  auto stats = db->Update(R"(
+    <xupdate:modifications version="1.0"
+        xmlns:xupdate="http://www.xmldb.org/xupdate">
+      <xupdate:append select="/library">
+        <book year="2002"><title>Accelerating XPath Location Steps</title>
+          <author>Grust</author></book>
+      </xupdate:append>
+      <xupdate:update select="/library/book[@year='2003']/@year">2003-09</xupdate:update>
+    </xupdate:modifications>)");
+  if (!stats.ok()) {
+    std::fprintf(stderr, "update failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  printf("update inserted %lld nodes, %lld value updates\n",
+         static_cast<long long>(stats->nodes_inserted),
+         static_cast<long long>(stats->value_updates));
+
+  // --- serialize back -------------------------------------------------------
+  auto xml = db->Serialize(pxq::kNullPre, /*pretty=*/true);
+  printf("document now:\n%s\n", xml.value().c_str());
+
+  auto count = db->Query("/library/book");
+  printf("book count: %zu\n", count.value().size());
+  return 0;
+}

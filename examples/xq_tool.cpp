@@ -1,0 +1,121 @@
+// xq — a small command-line front end over the pxq public API, in the
+// spirit of file-based XML tooling the paper's introduction contrasts
+// against (here the file is a real database: updates are transactional,
+// not full rewrites).
+//
+//   xq query  <file.xml> <xpath>            print matching subtrees
+//   xq values <file.xml> <xpath>            print string/attribute values
+//   xq count  <file.xml> <xpath>            print match count
+//   xq update <file.xml> <xupdate.xml>      apply updates, print document
+//   xq stats  <file.xml>                    storage statistics
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "database.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: xq query|values|count <file.xml> <xpath>\n"
+               "       xq update <file.xml> <xupdate.xml>\n"
+               "       xq stats <file.xml>\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string cmd = argv[1];
+  std::string xml;
+  if (!ReadFile(argv[2], &xml)) {
+    std::fprintf(stderr, "cannot read %s\n", argv[2]);
+    return 1;
+  }
+  auto db_or = pxq::Database::CreateFromXml(xml);
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 db_or.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(db_or).value();
+
+  if (cmd == "query" || cmd == "count") {
+    if (argc != 4) return Usage();
+    auto nodes = db->Query(argv[3]);
+    if (!nodes.ok()) {
+      std::fprintf(stderr, "%s\n", nodes.status().ToString().c_str());
+      return 1;
+    }
+    if (cmd == "count") {
+      std::printf("%zu\n", nodes->size());
+      return 0;
+    }
+    for (pxq::PreId p : nodes.value()) {
+      auto s = db->Serialize(p);
+      if (s.ok()) std::printf("%s\n", s.value().c_str());
+    }
+    return 0;
+  }
+  if (cmd == "values") {
+    if (argc != 4) return Usage();
+    auto vals = db->QueryStrings(argv[3]);
+    if (!vals.ok()) {
+      std::fprintf(stderr, "%s\n", vals.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& v : vals.value()) std::printf("%s\n", v.c_str());
+    return 0;
+  }
+  if (cmd == "update") {
+    if (argc != 4) return Usage();
+    std::string up;
+    if (!ReadFile(argv[3], &up)) {
+      std::fprintf(stderr, "cannot read %s\n", argv[3]);
+      return 1;
+    }
+    auto stats = db->Update(up);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "targets=%lld inserted=%lld deleted=%lld value-updates=%lld\n",
+                 static_cast<long long>(stats->targets),
+                 static_cast<long long>(stats->nodes_inserted),
+                 static_cast<long long>(stats->nodes_deleted),
+                 static_cast<long long>(stats->value_updates));
+    std::printf("%s\n", db->Serialize(pxq::kNullPre, true).value().c_str());
+    return 0;
+  }
+  if (cmd == "stats") {
+    auto& s = db->store();
+    std::printf("nodes:          %lld\n",
+                static_cast<long long>(s.used_count()));
+    std::printf("view slots:     %lld\n",
+                static_cast<long long>(s.view_size()));
+    std::printf("logical pages:  %lld (x %d tuples)\n",
+                static_cast<long long>(s.logical_page_count()),
+                s.page_tuples());
+    std::printf("attributes:     %lld\n",
+                static_cast<long long>(s.attrs().live_count()));
+    std::printf("node table:     %lld bytes\n",
+                static_cast<long long>(s.NodeTableBytes()));
+    std::printf("string pools:   %lld bytes\n",
+                static_cast<long long>(s.pools().ByteSize()));
+    return 0;
+  }
+  return Usage();
+}

@@ -1,0 +1,5 @@
+#include "bat/column.h"
+
+// Header-only templates; this TU exists so the target has a stable object
+// for the module and a place for future non-template helpers.
+namespace pxq::bat {}

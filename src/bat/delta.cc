@@ -1,0 +1,3 @@
+#include "bat/delta.h"
+
+namespace pxq::bat {}

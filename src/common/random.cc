@@ -1,0 +1,71 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace pxq {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64, used to expand the user seed into the xoshiro state.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  // Debiased via rejection; n is tiny relative to 2^64 in practice so the
+  // loop almost never iterates.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Random::Range(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+uint64_t Random::Skewed(uint64_t n) {
+  if (n <= 1) return 0;
+  // Inverse-CDF of the 1/(r+1) weights approximated by exp-spacing; exact
+  // harmonic inversion is not needed, only stable skew.
+  double u = NextDouble();
+  double hn = std::log(static_cast<double>(n) + 1.0);
+  auto r = static_cast<uint64_t>(std::exp(u * hn)) - 1;
+  return r >= n ? n - 1 : r;
+}
+
+}  // namespace pxq

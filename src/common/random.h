@@ -1,0 +1,51 @@
+// Deterministic PRNG used by the XMark generator, property tests and
+// workload drivers. xoshiro256** — fast, seedable, stable across
+// platforms (unlike std::default_random_engine distributions).
+#ifndef PXQ_COMMON_RANDOM_H_
+#define PXQ_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pxq {
+
+/// Seeded pseudo-random generator with convenience samplers. All pxq
+/// randomness flows through this class so runs are reproducible from a
+/// single seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Zipf-ish skewed pick in [0, n): rank r with weight 1/(r+1).
+  /// Used for attribute-value and text-vocabulary skew in the generator.
+  uint64_t Skewed(uint64_t n);
+
+  /// Pick an element of a non-empty vector uniformly.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Uniform(v.size())];
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace pxq
+
+#endif  // PXQ_COMMON_RANDOM_H_

@@ -1,0 +1,31 @@
+#include "common/status.h"
+
+namespace pxq {
+namespace {
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kConflict: return "Conflict";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kUnsupported: return "Unsupported";
+    case StatusCode::kIOError: return "IOError";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+}  // namespace pxq

@@ -1,0 +1,141 @@
+// Status / StatusOr error handling for pxq (RocksDB/Arrow style: no
+// exceptions on library paths; every fallible operation returns a Status
+// or StatusOr<T> that the caller must consume).
+#ifndef PXQ_COMMON_STATUS_H_
+#define PXQ_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pxq {
+
+/// Error taxonomy for the library. Kept deliberately small; the message
+/// string carries the detail.
+enum class StatusCode : unsigned char {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // lookup missed (node id, qname, path target)
+  kCorruption,        // on-disk / in-memory structure violated an invariant
+  kParseError,        // XML / XPath / XUpdate text could not be parsed
+  kConflict,          // lock conflict / write-write conflict
+  kAborted,           // transaction aborted (deadlock timeout, validation)
+  kUnsupported,       // feature outside the implemented subset
+  kIOError,           // WAL / snapshot file system failure
+};
+
+/// Result of a fallible operation. Cheap to move; ok() is the hot path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+
+  /// Human-readable "code: message" string for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value or an error Status. Value access asserts ok().
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : rep_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  StatusOr(Status status) : rep_(std::move(status)) {    // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(rep_).ok() &&
+           "StatusOr constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+// Propagate a non-OK Status to the caller.
+#define PXQ_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::pxq::Status _s = (expr);               \
+    if (!_s.ok()) return _s;                 \
+  } while (0)
+
+// Evaluate a StatusOr expression; on error return its Status, else bind
+// the value to `lhs`. `lhs` may be a declaration ("auto x") or lvalue.
+#define PXQ_ASSIGN_OR_RETURN(lhs, expr)                  \
+  PXQ_ASSIGN_OR_RETURN_IMPL_(                            \
+      PXQ_STATUS_CONCAT_(_statusor_, __LINE__), lhs, expr)
+
+#define PXQ_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                               \
+  if (!var.ok()) return var.status();              \
+  lhs = std::move(var).value()
+
+#define PXQ_STATUS_CONCAT_(a, b) PXQ_STATUS_CONCAT_IMPL_(a, b)
+#define PXQ_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace pxq
+
+#endif  // PXQ_COMMON_STATUS_H_

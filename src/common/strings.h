@@ -1,0 +1,34 @@
+// Small string helpers shared across modules (no dependency on absl).
+#ifndef PXQ_COMMON_STRINGS_H_
+#define PXQ_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pxq {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string_view> StrSplit(std::string_view s, char sep);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view StrTrim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parse a non-negative decimal integer; returns false on any non-digit
+/// or overflow. Used by XPath positional predicates and XUpdate child=.
+bool ParseUint(std::string_view s, uint64_t* out);
+
+/// XML-escape text content (& < >) or attribute values (also " ').
+std::string XmlEscape(std::string_view s, bool attribute);
+
+}  // namespace pxq
+
+#endif  // PXQ_COMMON_STRINGS_H_

@@ -1,0 +1,45 @@
+// Core scalar types of the pre/post plane encoding, shared by every
+// module. Terminology follows the paper:
+//   pre  - rank of a tuple in the *logical* (document-order) view,
+//          including unused tuples. Virtual: never stored.
+//   pos  - rank of a tuple in the *physical* pos/size/level table.
+//          Also virtual (a MonetDB void column); equals the array index.
+//   size - extent of a node's region in the view: the region
+//          [pre+1, pre+size] holds exactly the node's descendants plus
+//          holes interior to the subtree span (see DESIGN.md).
+//   level- depth of the node (root = 0); kNullLevel marks unused tuples.
+//   node - immutable node identifier (never changes over a node's life).
+#ifndef PXQ_COMMON_TYPES_H_
+#define PXQ_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace pxq {
+
+using PreId = int64_t;    // logical view position
+using PosId = int64_t;    // physical table position
+using NodeId = int64_t;   // immutable node identity
+using QnameId = int32_t;  // index into the qname pool
+using ValueId = int32_t;  // index into a value pool (text/comment/pi/prop)
+using PageId = int64_t;   // physical page number
+using TxnId = uint64_t;
+
+inline constexpr int16_t kNullLevel = -1;   // marks an unused (hole) tuple
+inline constexpr PosId kNullPos = -1;       // node/pos entry of a deleted node
+inline constexpr ValueId kNullValue = -1;
+inline constexpr NodeId kNullNode = -1;
+inline constexpr PreId kNullPre = -1;
+
+/// Node kind stored per tuple; determines what `ref` points at (Fig. 5/6):
+/// elements reference the qname pool, value kinds reference their pool.
+enum class NodeKind : uint8_t {
+  kElement = 0,
+  kText = 1,
+  kComment = 2,
+  kPi = 3,       // processing instruction; ref = value pool ("target data")
+  kUnused = 4,   // hole tuple (level is kNullLevel as well)
+};
+
+}  // namespace pxq
+
+#endif  // PXQ_COMMON_TYPES_H_

@@ -1,0 +1,136 @@
+#include "database.h"
+
+#include "storage/shredder.h"
+#include "storage/store_serializer.h"
+#include "xpath/evaluator.h"
+
+namespace pxq {
+
+std::string Database::SnapshotPath() const {
+  return options_.data_dir + "/" + options_.name + ".snapshot";
+}
+std::string Database::WalPath() const {
+  return options_.data_dir + "/" + options_.name + ".wal";
+}
+
+StatusOr<std::unique_ptr<Database>> Database::CreateFromXml(
+    std::string_view xml, Options options) {
+  auto db = std::unique_ptr<Database>(new Database());
+  db->options_ = std::move(options);
+  PXQ_ASSIGN_OR_RETURN(storage::DenseDocument dense, storage::ShredXml(xml));
+  PXQ_ASSIGN_OR_RETURN(
+      std::unique_ptr<storage::PagedStore> store,
+      storage::PagedStore::Build(std::move(dense), db->options_.store));
+  db->store_ = std::move(store);
+  txn::TxnOptions topts = db->options_.txn;
+  if (!db->options_.data_dir.empty()) {
+    PXQ_RETURN_IF_ERROR(db->store_->SaveSnapshot(db->SnapshotPath()));
+    topts.wal_path = db->WalPath();
+  }
+  PXQ_ASSIGN_OR_RETURN(db->txns_,
+                       txn::TransactionManager::Create(db->store_, topts));
+  return db;
+}
+
+StatusOr<std::unique_ptr<Database>> Database::Open(Options options) {
+  if (options.data_dir.empty()) {
+    return Status::InvalidArgument("Open requires a data_dir");
+  }
+  auto db = std::unique_ptr<Database>(new Database());
+  db->options_ = std::move(options);
+  PXQ_ASSIGN_OR_RETURN(
+      db->store_,
+      txn::TransactionManager::Recover(db->SnapshotPath(), db->WalPath()));
+  // Fold the recovered WAL into a fresh checkpoint so the log restarts
+  // empty (recovered work must not be replayed twice).
+  PXQ_RETURN_IF_ERROR(db->store_->SaveSnapshot(db->SnapshotPath()));
+  {
+    PXQ_ASSIGN_OR_RETURN(std::unique_ptr<txn::Wal> wal,
+                         txn::Wal::Open(db->WalPath()));
+    PXQ_RETURN_IF_ERROR(wal->Reset());
+  }
+  txn::TxnOptions topts = db->options_.txn;
+  topts.wal_path = db->WalPath();
+  PXQ_ASSIGN_OR_RETURN(db->txns_,
+                       txn::TransactionManager::Create(db->store_, topts));
+  return db;
+}
+
+StatusOr<std::vector<PreId>> Database::Query(std::string_view xpath) {
+  return txns_->Read([&](const storage::PagedStore& s) {
+    return xpath::EvaluatePath(s, xpath);
+  });
+}
+
+StatusOr<std::vector<std::string>> Database::QueryStrings(
+    std::string_view xpath) {
+  return txns_->Read(
+      [&](const storage::PagedStore& s)
+          -> StatusOr<std::vector<std::string>> {
+        PXQ_ASSIGN_OR_RETURN(xpath::Path path, xpath::ParsePath(xpath));
+        xpath::Evaluator<storage::PagedStore> ev(s);
+        return ev.EvalStrings(path);
+      });
+}
+
+StatusOr<std::string> Database::Serialize(PreId root, bool pretty) {
+  return txns_->Read(
+      [&](const storage::PagedStore& s) -> StatusOr<std::string> {
+        return storage::SerializeSubtree(s, root == kNullPre ? s.Root()
+                                                             : root,
+                                         pretty);
+      });
+}
+
+StatusOr<xupdate::ApplyStats> Database::Update(std::string_view xupdate_doc,
+                                               int retries) {
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= retries; ++attempt) {
+    PXQ_ASSIGN_OR_RETURN(std::unique_ptr<txn::Transaction> t,
+                         txns_->Begin());
+    auto stats = xupdate::ApplyXUpdate(t->store(), xupdate_doc);
+    if (!stats.ok()) {
+      t->Abort().ok();
+      if (stats.status().IsConflict()) {
+        last = stats.status();
+        continue;  // retry
+      }
+      return stats.status();
+    }
+    Status c = t->Commit();
+    if (c.ok()) return stats.value();
+    last = c;
+    if (!c.IsAborted() && !c.IsConflict()) return c;
+  }
+  return Status::Aborted("update failed after retries: " + last.ToString());
+}
+
+StatusOr<std::unique_ptr<DbTransaction>> Database::Begin() {
+  PXQ_ASSIGN_OR_RETURN(std::unique_ptr<txn::Transaction> t, txns_->Begin());
+  return std::unique_ptr<DbTransaction>(new DbTransaction(std::move(t)));
+}
+
+Status Database::Checkpoint() {
+  if (options_.data_dir.empty()) {
+    return Status::InvalidArgument("not a durable database");
+  }
+  return txns_->Checkpoint(SnapshotPath());
+}
+
+StatusOr<std::vector<PreId>> DbTransaction::Query(std::string_view xpath) {
+  return xpath::EvaluatePath(*txn_->store(), xpath);
+}
+
+StatusOr<std::vector<std::string>> DbTransaction::QueryStrings(
+    std::string_view xpath) {
+  PXQ_ASSIGN_OR_RETURN(xpath::Path path, xpath::ParsePath(xpath));
+  xpath::Evaluator<storage::PagedStore> ev(*txn_->store());
+  return ev.EvalStrings(path);
+}
+
+StatusOr<xupdate::ApplyStats> DbTransaction::Update(
+    std::string_view xupdate_doc) {
+  return xupdate::ApplyXUpdate(txn_->store(), xupdate_doc);
+}
+
+}  // namespace pxq

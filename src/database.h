@@ -1,0 +1,104 @@
+// pxq::Database — the top-level public API: an updatable XML database on
+// the pre/post (pre/size/level) plane, as in MonetDB/XQuery.
+//
+//   auto db = pxq::Database::CreateFromXml(xml, options).value();
+//   auto nodes = db->Query("/site/people/person[@id='person0']/name");
+//   auto text  = db->QueryStrings("//item/name");
+//   db->Update(xupdate_document);              // auto-commit transaction
+//   auto txn = db->Begin().value();            // explicit transaction
+//   txn->Update(...); txn->Query(...); txn->Commit();
+//
+// With Options::durable set, every commit is WAL-logged and
+// Database::Open() recovers snapshot + WAL after a crash.
+#ifndef PXQ_DATABASE_H_
+#define PXQ_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/paged_store.h"
+#include "txn/txn_manager.h"
+#include "xupdate/apply.h"
+
+namespace pxq {
+
+class DbTransaction;
+
+class Database {
+ public:
+  struct Options {
+    storage::PagedStore::Config store;
+    /// Durability: directory for <name>.snapshot / <name>.wal. Empty =>
+    /// in-memory only.
+    std::string data_dir;
+    std::string name = "pxq";
+    txn::TxnOptions txn;
+  };
+
+  /// Shred an XML document into a fresh database. With durability
+  /// enabled an initial checkpoint snapshot is written.
+  static StatusOr<std::unique_ptr<Database>> CreateFromXml(
+      std::string_view xml, Options options);
+  static StatusOr<std::unique_ptr<Database>> CreateFromXml(
+      std::string_view xml) {
+    return CreateFromXml(xml, Options());
+  }
+
+  /// Re-open a durable database: load the snapshot, redo the WAL.
+  static StatusOr<std::unique_ptr<Database>> Open(Options options);
+
+  // --- queries (run under the global read lock) -----------------------
+  StatusOr<std::vector<PreId>> Query(std::string_view xpath);
+  StatusOr<std::vector<std::string>> QueryStrings(std::string_view xpath);
+  /// Serialize the whole document (or a subtree rooted at `root`).
+  StatusOr<std::string> Serialize(PreId root = kNullPre,
+                                  bool pretty = false);
+
+  // --- updates ----------------------------------------------------------
+  /// Parse and apply an XUpdate document in one transaction; retries
+  /// `retries` times on conflict.
+  StatusOr<xupdate::ApplyStats> Update(std::string_view xupdate_doc,
+                                       int retries = 5);
+
+  /// Explicit transaction control.
+  StatusOr<std::unique_ptr<DbTransaction>> Begin();
+
+  /// Checkpoint: write a snapshot, truncate the WAL (durable mode only).
+  Status Checkpoint();
+
+  storage::PagedStore& store() { return txns_->base(); }
+  txn::TransactionManager& txn_manager() { return *txns_; }
+
+ private:
+  Database() = default;
+  std::string SnapshotPath() const;
+  std::string WalPath() const;
+
+  Options options_;
+  std::shared_ptr<storage::PagedStore> store_;
+  std::unique_ptr<txn::TransactionManager> txns_;
+};
+
+/// Explicit transaction wrapper: queries and updates against the
+/// transaction's private snapshot, then Commit()/Abort().
+class DbTransaction {
+ public:
+  StatusOr<std::vector<PreId>> Query(std::string_view xpath);
+  StatusOr<std::vector<std::string>> QueryStrings(std::string_view xpath);
+  StatusOr<xupdate::ApplyStats> Update(std::string_view xupdate_doc);
+  Status Commit() { return txn_->Commit(); }
+  Status Abort() { return txn_->Abort(); }
+
+ private:
+  friend class Database;
+  explicit DbTransaction(std::unique_ptr<txn::Transaction> txn)
+      : txn_(std::move(txn)) {}
+  std::unique_ptr<txn::Transaction> txn_;
+};
+
+}  // namespace pxq
+
+#endif  // PXQ_DATABASE_H_

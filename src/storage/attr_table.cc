@@ -1,0 +1,106 @@
+#include "storage/attr_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pxq::storage {
+
+namespace {
+// Tail inserts are merged into the sorted run once the tail exceeds this
+// (or a fraction of the run, keeping merges amortized O(log) per add).
+constexpr size_t kTailLimit = 1024;
+}  // namespace
+
+void AttrTable::Add(int64_t owner, QnameId qname, ValueId prop) {
+  assert(owner >= 0);
+  if (mode_ == OwnerMode::kSortedByOwner && !rows_.empty()) {
+    assert(rows_.back().owner <= owner &&
+           "sorted attr table requires document-order appends");
+  }
+  int32_t row = static_cast<int32_t>(rows_.size());
+  rows_.push_back({owner, qname, prop});
+  ++live_;
+  if (mode_ == OwnerMode::kHashedOwner) {
+    if (sorted_.empty() || sorted_.back().owner <= owner) {
+      // Bulk-load fast path: shred-time owners ascend.
+      if (tail_.empty()) {
+        sorted_.push_back({owner, row});
+        return;
+      }
+    }
+    tail_.push_back({owner, row});
+    if (tail_.size() > kTailLimit &&
+        tail_.size() * 4 > sorted_.size()) {
+      MergeTail();
+    }
+  }
+}
+
+void AttrTable::MergeTail() {
+  std::sort(tail_.begin(), tail_.end());
+  size_t mid = sorted_.size();
+  sorted_.insert(sorted_.end(), tail_.begin(), tail_.end());
+  std::inplace_merge(sorted_.begin(),
+                     sorted_.begin() + static_cast<int64_t>(mid),
+                     sorted_.end());
+  tail_.clear();
+}
+
+void AttrTable::Lookup(int64_t owner, std::vector<int32_t>* rows) const {
+  rows->clear();
+  if (mode_ == OwnerMode::kSortedByOwner) {
+    auto lo = std::lower_bound(
+        rows_.begin(), rows_.end(), owner,
+        [](const AttrRow& r, int64_t o) { return r.owner < o; });
+    for (auto it = lo; it != rows_.end() && it->owner == owner; ++it) {
+      rows->push_back(static_cast<int32_t>(it - rows_.begin()));
+    }
+    return;
+  }
+  auto lo = std::lower_bound(
+      sorted_.begin(), sorted_.end(), owner,
+      [](const IndexEntry& e, int64_t o) { return e.owner < o; });
+  for (auto it = lo; it != sorted_.end() && it->owner == owner; ++it) {
+    if (rows_[static_cast<size_t>(it->row)].owner == owner) {
+      rows->push_back(it->row);  // skip stale entries of removed rows
+    }
+  }
+  for (const IndexEntry& e : tail_) {
+    if (e.owner == owner &&
+        rows_[static_cast<size_t>(e.row)].owner == owner) {
+      rows->push_back(e.row);
+    }
+  }
+  // Sorted-run hits are already ascending; a tail hit may interleave.
+  if (!tail_.empty()) std::sort(rows->begin(), rows->end());
+}
+
+int32_t AttrTable::FindByName(int64_t owner, QnameId qn) const {
+  std::vector<int32_t> rows;
+  Lookup(owner, &rows);
+  for (int32_t r : rows) {
+    if (rows_[static_cast<size_t>(r)].qname == qn) return r;
+  }
+  return -1;
+}
+
+void AttrTable::RemoveOwner(int64_t owner) {
+  std::vector<int32_t> rows;
+  Lookup(owner, &rows);
+  for (int32_t r : rows) RemoveRow(r);
+}
+
+void AttrTable::RemoveRow(int32_t row) {
+  assert(row >= 0 && row < static_cast<int32_t>(rows_.size()));
+  if (rows_[static_cast<size_t>(row)].owner < 0) return;
+  // Index entries go stale and are filtered during Lookup.
+  rows_[static_cast<size_t>(row)].owner = -1;
+  --live_;
+}
+
+void AttrTable::SetProp(int32_t row, ValueId prop) {
+  assert(row >= 0 && row < static_cast<int32_t>(rows_.size()));
+  rows_[static_cast<size_t>(row)].prop = prop;
+}
+
+}  // namespace pxq::storage

@@ -1,0 +1,134 @@
+#include "storage/naive_store.h"
+
+namespace pxq::storage {
+
+StatusOr<std::unique_ptr<NaiveStore>> NaiveStore::Build(DenseDocument doc) {
+  if (doc.node_count() == 0) {
+    return Status::InvalidArgument("cannot build a store from zero nodes");
+  }
+  auto store = std::unique_ptr<NaiveStore>(new NaiveStore());
+  int64_t n = doc.node_count();
+  store->pre_.resize(static_cast<size_t>(n));
+  store->size_ = doc.size;
+  store->level_ = doc.level;
+  store->kind_ = doc.kind;
+  store->ref_ = doc.ref;
+  for (int64_t i = 0; i < n; ++i) store->pre_[static_cast<size_t>(i)] = i;
+  return store;
+}
+
+StatusOr<int64_t> NaiveStore::InsertTuples(
+    int64_t at, int64_t parent, const std::vector<NewTuple>& tuples) {
+  if (parent < 0 || parent >= node_count() || at <= parent ||
+      at > parent + size_[static_cast<size_t>(parent)] + 1 ||
+      at > node_count()) {
+    return Status::InvalidArgument("bad naive insert position");
+  }
+  const auto k = static_cast<int64_t>(tuples.size());
+  int64_t writes = 0;
+
+  // Make room: every tuple from `at` on moves k slots — and because pre
+  // is materialized, every moved tuple's pre must be rewritten too.
+  auto n = node_count();
+  pre_.resize(static_cast<size_t>(n + k));
+  size_.resize(static_cast<size_t>(n + k));
+  level_.resize(static_cast<size_t>(n + k));
+  kind_.resize(static_cast<size_t>(n + k));
+  ref_.resize(static_cast<size_t>(n + k));
+  for (int64_t i = n - 1; i >= at; --i) {
+    auto src = static_cast<size_t>(i);
+    auto dst = static_cast<size_t>(i + k);
+    pre_[dst] = pre_[src] + k;  // the O(N) pre shift
+    size_[dst] = size_[src];
+    level_[dst] = level_[src];
+    kind_[dst] = kind_[src];
+    ref_[dst] = ref_[src];
+    ++writes;
+  }
+  int32_t parent_level = level_[static_cast<size_t>(parent)];
+  for (int64_t i = 0; i < k; ++i) {
+    auto dst = static_cast<size_t>(at + i);
+    const NewTuple& t = tuples[static_cast<size_t>(i)];
+    // Size of new node = number of deeper tuples following it.
+    int64_t sz = 0;
+    for (int64_t j = i + 1;
+         j < k && tuples[static_cast<size_t>(j)].level_rel > t.level_rel;
+         ++j) {
+      ++sz;
+    }
+    pre_[dst] = at + i;
+    size_[dst] = sz;
+    level_[dst] = parent_level + 1 + t.level_rel;
+    kind_[dst] = static_cast<uint8_t>(t.kind);
+    ref_[dst] = t.ref;
+    ++writes;
+  }
+  // Ancestor sizes (O(depth), cheap; the shifts above dominate).
+  for (int64_t a = parent; a >= 0;) {
+    size_[static_cast<size_t>(a)] += k;
+    ++writes;
+    // find the parent of a: nearest preceding tuple with smaller level
+    int32_t al = level_[static_cast<size_t>(a)];
+    int64_t p = a - 1;
+    while (p >= 0 && level_[static_cast<size_t>(p)] >= al) --p;
+    a = p;
+  }
+  return writes;
+}
+
+StatusOr<int64_t> NaiveStore::DeleteSubtree(int64_t i) {
+  if (i <= 0 || i >= node_count()) {
+    return Status::InvalidArgument("bad naive delete position");
+  }
+  int64_t k = size_[static_cast<size_t>(i)] + 1;
+  int64_t n = node_count();
+  int64_t writes = 0;
+  // Ancestors shrink.
+  int32_t il = level_[static_cast<size_t>(i)];
+  for (int64_t a = i - 1; a >= 0; --a) {
+    if (level_[static_cast<size_t>(a)] < il) {
+      size_[static_cast<size_t>(a)] -= k;
+      il = level_[static_cast<size_t>(a)];
+      ++writes;
+      if (il == 0) break;
+    }
+  }
+  // Shift everything after the subtree left, rewriting pre.
+  for (int64_t j = i + k; j < n; ++j) {
+    auto src = static_cast<size_t>(j);
+    auto dst = static_cast<size_t>(j - k);
+    pre_[dst] = pre_[src] - k;
+    size_[dst] = size_[src];
+    level_[dst] = level_[src];
+    kind_[dst] = kind_[src];
+    ref_[dst] = ref_[src];
+    ++writes;
+  }
+  pre_.resize(static_cast<size_t>(n - k));
+  size_.resize(static_cast<size_t>(n - k));
+  level_.resize(static_cast<size_t>(n - k));
+  kind_.resize(static_cast<size_t>(n - k));
+  ref_.resize(static_cast<size_t>(n - k));
+  return writes;
+}
+
+Status NaiveStore::CheckInvariants() const {
+  for (int64_t i = 0; i < node_count(); ++i) {
+    if (pre_[static_cast<size_t>(i)] != i) {
+      return Status::Corruption("naive pre column out of sync");
+    }
+    int64_t sz = size_[static_cast<size_t>(i)];
+    if (i + sz >= node_count()) {
+      return Status::Corruption("naive size exceeds table");
+    }
+    for (int64_t j = i + 1; j <= i + sz; ++j) {
+      if (level_[static_cast<size_t>(j)] <=
+          level_[static_cast<size_t>(i)]) {
+        return Status::Corruption("naive region contains non-descendant");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pxq::storage

@@ -1,0 +1,55 @@
+// The strawman of Section 2.2 / Figure 3: an updatable pre/size/level
+// table with *materialized* pre numbers and no logical pages. Structural
+// inserts shift every following tuple and rewrite its pre value —
+// physical cost O(document), the behaviour the paper calls prohibitive.
+// Exists purely as the baseline of the E2 update-cost experiment.
+#ifndef PXQ_STORAGE_NAIVE_STORE_H_
+#define PXQ_STORAGE_NAIVE_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/store_common.h"
+
+namespace pxq::storage {
+
+class NaiveStore {
+ public:
+  static StatusOr<std::unique_ptr<NaiveStore>> Build(DenseDocument doc);
+
+  int64_t node_count() const { return static_cast<int64_t>(pre_.size()); }
+
+  int64_t PreAt(int64_t i) const { return pre_[static_cast<size_t>(i)]; }
+  int64_t SizeAt(int64_t i) const { return size_[static_cast<size_t>(i)]; }
+  int32_t LevelAt(int64_t i) const { return level_[static_cast<size_t>(i)]; }
+
+  /// Insert a subtree as content of the element at index `parent`, with
+  /// the first new tuple landing at index `at`. Every following tuple is
+  /// moved and its materialized pre rewritten; every ancestor size is
+  /// rewritten. Returns the number of tuples physically written (the
+  /// O(N) cost the experiment measures).
+  StatusOr<int64_t> InsertTuples(int64_t at, int64_t parent,
+                                 const std::vector<NewTuple>& tuples);
+
+  /// Delete the subtree at index `i`; all following tuples shift left.
+  StatusOr<int64_t> DeleteSubtree(int64_t i);
+
+  Status CheckInvariants() const;
+
+ private:
+  NaiveStore() = default;
+
+  // Materialized pre column: the whole point of the strawman — after a
+  // structural update, half the column must be rewritten on average.
+  std::vector<int64_t> pre_;
+  std::vector<int64_t> size_;
+  std::vector<int32_t> level_;
+  std::vector<uint8_t> kind_;
+  std::vector<int32_t> ref_;
+};
+
+}  // namespace pxq::storage
+
+#endif  // PXQ_STORAGE_NAIVE_STORE_H_

@@ -1,0 +1,33 @@
+#include "storage/qname_pool.h"
+
+namespace pxq::storage {
+
+QnameId QnamePool::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  QnameId id = static_cast<QnameId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+void QnamePool::SetAt(QnameId id, std::string_view name) {
+  if (id >= static_cast<QnameId>(names_.size())) {
+    names_.resize(static_cast<size_t>(id) + 1);
+  }
+  names_[static_cast<size_t>(id)] = std::string(name);
+  index_.emplace(names_[static_cast<size_t>(id)], id);
+}
+
+QnameId QnamePool::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? -1 : it->second;
+}
+
+int64_t QnamePool::ByteSize() const {
+  int64_t bytes = 0;
+  for (const auto& n : names_) bytes += static_cast<int64_t>(n.size()) + 8;
+  return bytes;
+}
+
+}  // namespace pxq::storage

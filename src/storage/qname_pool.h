@@ -1,0 +1,40 @@
+// Qualified-name pool: the paper's `qn` table (Fig. 5/6). One tuple per
+// distinct element/attribute name; nodes reference names by dense
+// QnameId, so name tests in XPath are integer comparisons.
+#ifndef PXQ_STORAGE_QNAME_POOL_H_
+#define PXQ_STORAGE_QNAME_POOL_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pxq::storage {
+
+class QnamePool {
+ public:
+  /// Intern a name, returning its stable id (existing or new).
+  QnameId Intern(std::string_view name);
+
+  /// Id of an existing name, or -1 if never interned. Lets query
+  /// compilation conclude "no such element anywhere" without scanning.
+  QnameId Find(std::string_view name) const;
+
+  const std::string& Name(QnameId id) const { return names_[id]; }
+  int64_t size() const { return static_cast<int64_t>(names_.size()); }
+
+  /// Idempotent positional write for WAL replay / snapshot load.
+  void SetAt(QnameId id, std::string_view name);
+
+  int64_t ByteSize() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, QnameId> index_;
+};
+
+}  // namespace pxq::storage
+
+#endif  // PXQ_STORAGE_QNAME_POOL_H_

@@ -1,0 +1,25 @@
+#include "storage/read_only_store.h"
+
+namespace pxq::storage {
+
+std::unique_ptr<ReadOnlyStore> ReadOnlyStore::Build(DenseDocument doc) {
+  auto store = std::unique_ptr<ReadOnlyStore>(new ReadOnlyStore());
+  int64_t n = doc.node_count();
+  store->size_.Resize(n);
+  store->level_.Resize(n);
+  store->kind_.Resize(n);
+  store->ref_.Resize(n);
+  for (int64_t i = 0; i < n; ++i) {
+    store->size_.Set(i, doc.size[i]);
+    store->level_.Set(i, doc.level[i]);
+    store->kind_.Set(i, doc.kind[i]);
+    store->ref_.Set(i, doc.ref[i]);
+  }
+  for (const auto& a : doc.attrs) {
+    store->attrs_.Add(a.owner_pre, a.qname, a.prop);
+  }
+  store->pools_ = std::move(doc.pools);
+  return store;
+}
+
+}  // namespace pxq::storage

@@ -1,0 +1,105 @@
+#include "storage/shredder.h"
+
+#include <vector>
+
+namespace pxq::storage {
+namespace {
+
+/// Builds the dense pre/size/level image while the parser walks the
+/// document: a stack of open element ranks yields size (descendant
+/// count) at end-element time.
+class DenseBuilder : public xml::EventHandler {
+ public:
+  explicit DenseBuilder(DenseDocument* doc) : doc_(doc) {}
+
+  Status OnStartElement(std::string_view name,
+                        const std::vector<xml::Attribute>& attrs) override {
+    int64_t rank = Append(NodeKind::kElement,
+                          doc_->pools->InternQname(name));
+    for (const auto& a : attrs) {
+      doc_->attrs.push_back({rank, doc_->pools->InternQname(a.name),
+                             doc_->pools->AddProp(a.value)});
+    }
+    open_.push_back(rank);
+    return Status::OK();
+  }
+
+  Status OnEndElement(std::string_view) override {
+    int64_t rank = open_.back();
+    open_.pop_back();
+    doc_->size[rank] = doc_->node_count() - rank - 1;
+    return Status::OK();
+  }
+
+  Status OnText(std::string_view text) override {
+    Append(NodeKind::kText, doc_->pools->AddText(text));
+    return Status::OK();
+  }
+  Status OnComment(std::string_view text) override {
+    Append(NodeKind::kComment, doc_->pools->AddComment(text));
+    return Status::OK();
+  }
+  Status OnPi(std::string_view target, std::string_view data) override {
+    std::string v(target);
+    if (!data.empty()) {
+      v += ' ';
+      v += data;
+    }
+    Append(NodeKind::kPi, doc_->pools->AddPi(v));
+    return Status::OK();
+  }
+
+ private:
+  int64_t Append(NodeKind kind, int32_t ref) {
+    int64_t rank = doc_->node_count();
+    doc_->size.push_back(0);
+    doc_->level.push_back(static_cast<int32_t>(open_.size()));
+    doc_->kind.push_back(static_cast<uint8_t>(kind));
+    doc_->ref.push_back(ref);
+    return rank;
+  }
+
+  DenseDocument* doc_;
+  std::vector<int64_t> open_;
+};
+
+}  // namespace
+
+StatusOr<DenseDocument> ShredXml(std::string_view xml,
+                                 std::shared_ptr<ContentPools> pools,
+                                 const xml::ParseOptions& options) {
+  DenseDocument doc;
+  doc.pools = pools ? std::move(pools) : std::make_shared<ContentPools>();
+  DenseBuilder builder(&doc);
+  PXQ_RETURN_IF_ERROR(xml::Parse(xml, &builder, options));
+  if (doc.node_count() == 0) {
+    return Status::ParseError("document has no content");
+  }
+  return doc;
+}
+
+StatusOr<ShreddedFragment> ShredFragment(std::string_view xml,
+                                         ContentPools* pools) {
+  // Reuse the document shredder on the fragment; the fragment root is the
+  // subtree root (level_rel 0).
+  DenseDocument doc;
+  doc.pools = std::shared_ptr<ContentPools>(pools, [](ContentPools*) {});
+  DenseBuilder builder(&doc);
+  PXQ_RETURN_IF_ERROR(xml::Parse(xml, &builder, {}));
+  if (doc.node_count() == 0) {
+    return Status::ParseError("empty update fragment");
+  }
+  ShreddedFragment frag;
+  frag.tuples.reserve(static_cast<size_t>(doc.node_count()));
+  for (int64_t i = 0; i < doc.node_count(); ++i) {
+    frag.tuples.push_back({doc.level[i],
+                           static_cast<NodeKind>(doc.kind[i]), doc.ref[i]});
+  }
+  for (const auto& a : doc.attrs) {
+    frag.attrs.push_back({static_cast<int32_t>(a.owner_pre), a.qname,
+                          a.prop});
+  }
+  return frag;
+}
+
+}  // namespace pxq::storage

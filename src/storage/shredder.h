@@ -1,0 +1,35 @@
+// Document shredder: consumes XML parse events and produces the dense
+// pre/size/level image (DenseDocument) that the storage schemas adopt.
+// This is the "XML Schema Import / shredding" box of Figure 1.
+#ifndef PXQ_STORAGE_SHREDDER_H_
+#define PXQ_STORAGE_SHREDDER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/store_common.h"
+#include "xml/parser.h"
+
+namespace pxq::storage {
+
+/// Parse an XML document string into its dense relational image. A fresh
+/// ContentPools is created unless `pools` is supplied (sharing pools lets
+/// tests build the ro and up schemas over identical value ids).
+StatusOr<DenseDocument> ShredXml(
+    std::string_view xml, std::shared_ptr<ContentPools> pools = nullptr,
+    const xml::ParseOptions& options = {});
+
+/// Shred an XUpdate content fragment (possibly a forest wrapped by the
+/// caller in a synthetic root) into NewTuple/NewAttr sequences relative
+/// to the fragment root. Used by the structural-update translator.
+struct ShreddedFragment {
+  std::vector<NewTuple> tuples;
+  std::vector<NewAttr> attrs;
+};
+StatusOr<ShreddedFragment> ShredFragment(std::string_view xml,
+                                         ContentPools* pools);
+
+}  // namespace pxq::storage
+
+#endif  // PXQ_STORAGE_SHREDDER_H_

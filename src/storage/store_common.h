@@ -1,0 +1,169 @@
+// Types shared by the storage schemas: the string pools of Fig. 5/6, the
+// dense node-record form produced by the shredder, and size-delta lists
+// (the commutative update currency of Section 3.2).
+#ifndef PXQ_STORAGE_STORE_COMMON_H_
+#define PXQ_STORAGE_STORE_COMMON_H_
+
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/qname_pool.h"
+#include "storage/value_pool.h"
+
+namespace pxq::storage {
+
+/// The auxiliary string tables of the schema: qn (qualified names),
+/// text/com/ins (node values) and prop (deduplicated attribute values).
+/// Pools are append-only; Intern/Add are serialized by a mutex so
+/// concurrent transactions can intern values without coordination
+/// (uncommitted appends are unreachable garbage, never incorrect).
+class ContentPools {
+ public:
+  ContentPools()
+      : texts_(/*dedup=*/false),
+        comments_(/*dedup=*/false),
+        pis_(/*dedup=*/false),
+        props_(/*dedup=*/true) {}
+
+  QnameId InternQname(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return qnames_.Intern(name);
+  }
+  QnameId FindQname(std::string_view name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return qnames_.Find(name);
+  }
+  const std::string& QnameOf(QnameId id) const { return qnames_.Name(id); }
+
+  ValueId AddText(std::string_view v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return texts_.Add(v);
+  }
+  ValueId AddComment(std::string_view v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return comments_.Add(v);
+  }
+  ValueId AddPi(std::string_view v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pis_.Add(v);
+  }
+  ValueId AddProp(std::string_view v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return props_.Add(v);
+  }
+
+  const std::string& Text(ValueId id) const { return texts_.Get(id); }
+  const std::string& Comment(ValueId id) const { return comments_.Get(id); }
+  const std::string& Pi(ValueId id) const { return pis_.Get(id); }
+  const std::string& Prop(ValueId id) const { return props_.Get(id); }
+
+  /// Value of a node given its kind and ref (elements have no value here).
+  const std::string& ValueOf(NodeKind kind, ValueId ref) const {
+    switch (kind) {
+      case NodeKind::kText: return texts_.Get(ref);
+      case NodeKind::kComment: return comments_.Get(ref);
+      default: return pis_.Get(ref);
+    }
+  }
+
+  int64_t ByteSize() const {
+    return qnames_.ByteSize() + texts_.ByteSize() + comments_.ByteSize() +
+           pis_.ByteSize() + props_.ByteSize();
+  }
+  int64_t qname_count() const { return qnames_.size(); }
+
+  // --- WAL / snapshot support ------------------------------------------
+  enum class PoolKind : uint8_t { kQname, kText, kComment, kPi, kProp };
+  struct PoolSizes {
+    int64_t sizes[5];
+  };
+  /// Current entry counts per pool (captured at transaction begin; the
+  /// WAL logs entries appended after that point).
+  PoolSizes Sizes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return {{qnames_.size(), texts_.size(), comments_.size(), pis_.size(),
+             props_.size()}};
+  }
+  std::string Entry(PoolKind kind, int32_t id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (kind) {
+      case PoolKind::kQname: return qnames_.Name(id);
+      case PoolKind::kText: return texts_.Get(id);
+      case PoolKind::kComment: return comments_.Get(id);
+      case PoolKind::kPi: return pis_.Get(id);
+      case PoolKind::kProp: return props_.Get(id);
+    }
+    return {};
+  }
+  /// Idempotent positional install (WAL replay / snapshot load).
+  void SetEntry(PoolKind kind, int32_t id, std::string_view value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (kind) {
+      case PoolKind::kQname: qnames_.SetAt(id, value); break;
+      case PoolKind::kText: texts_.SetAt(id, value); break;
+      case PoolKind::kComment: comments_.SetAt(id, value); break;
+      case PoolKind::kPi: pis_.SetAt(id, value); break;
+      case PoolKind::kProp: props_.SetAt(id, value); break;
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  QnamePool qnames_;
+  ValuePool texts_;
+  ValuePool comments_;
+  ValuePool pis_;
+  ValuePool props_;
+};
+
+/// One node of a subtree being inserted, in document order. `level_rel`
+/// is the depth relative to the subtree root (root itself = 0); the store
+/// rebases it onto the insertion parent's level. For elements `ref` is a
+/// QnameId; for value kinds it indexes the matching pool.
+struct NewTuple {
+  int32_t level_rel;
+  NodeKind kind;
+  int32_t ref;
+};
+
+/// Attribute attached to the i-th tuple of a NewTuple sequence.
+struct NewAttr {
+  int32_t tuple_index;  // index into the NewTuple vector (must be element)
+  QnameId qname;
+  ValueId prop;
+};
+
+/// Dense (hole-free) image of a document as emitted by the shredder:
+/// read-only stores adopt it directly; the paged store repacks it into
+/// logical pages. `size` here counts real descendants (classic
+/// pre/size/level); the paged store converts to view extents.
+struct DenseDocument {
+  std::vector<int64_t> size;
+  std::vector<int32_t> level;
+  std::vector<uint8_t> kind;
+  std::vector<int32_t> ref;
+  /// Attributes in document order; owner = dense pre rank of the element.
+  struct DenseAttr {
+    int64_t owner_pre;
+    QnameId qname;
+    ValueId prop;
+  };
+  std::vector<DenseAttr> attrs;
+  std::shared_ptr<ContentPools> pools;
+
+  int64_t node_count() const { return static_cast<int64_t>(size.size()); }
+};
+
+/// Commutative size increment for one node: the delta currency that lets
+/// concurrent transactions update shared ancestors without locking them.
+struct SizeDelta {
+  NodeId node;
+  int64_t delta;
+};
+
+}  // namespace pxq::storage
+
+#endif  // PXQ_STORAGE_STORE_COMMON_H_

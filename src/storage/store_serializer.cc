@@ -1,0 +1,3 @@
+#include "storage/store_serializer.h"
+
+namespace pxq::storage {}

@@ -1,0 +1,81 @@
+// Store -> XML text (the "XML Serialization" kernel box of Figure 1).
+// Works on any store exposing the shared accessor surface (ReadOnlyStore
+// and PagedStore), walking the view in document order and skipping holes.
+#ifndef PXQ_STORAGE_STORE_SERIALIZER_H_
+#define PXQ_STORAGE_STORE_SERIALIZER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/paged_store.h"
+#include "storage/read_only_store.h"
+#include "xml/serializer.h"
+
+namespace pxq::storage {
+
+/// Serialize the subtree rooted at `root_pre` (pass the store's root for
+/// the whole document).
+template <typename Store>
+StatusOr<std::string> SerializeSubtree(const Store& store, PreId root_pre,
+                                       bool pretty = false) {
+  if (root_pre < 0 || root_pre >= store.view_size() ||
+      !store.IsUsed(root_pre)) {
+    return Status::InvalidArgument("serialization root is not a used tuple");
+  }
+  xml::Serializer out({pretty});
+  std::vector<int32_t> open_levels;
+  std::vector<int32_t> attr_rows;
+  const PreId end = root_pre + store.SizeAt(root_pre);
+
+  for (PreId pre = root_pre; pre <= end; ++pre) {
+    pre = store.SkipHoles(pre);
+    if (pre > end) break;
+    int32_t level = store.LevelAt(pre);
+    while (!open_levels.empty() && open_levels.back() >= level) {
+      out.EndElement();
+      open_levels.pop_back();
+    }
+    switch (store.KindAt(pre)) {
+      case NodeKind::kElement: {
+        std::vector<xml::Attribute> attrs;
+        store.attrs().Lookup(store.AttrOwnerOf(pre), &attr_rows);
+        for (int32_t r : attr_rows) {
+          const AttrRow& row = store.attrs().row(r);
+          attrs.push_back({store.pools().QnameOf(row.qname),
+                           store.pools().Prop(row.prop)});
+        }
+        out.StartElement(store.pools().QnameOf(store.RefAt(pre)), attrs);
+        open_levels.push_back(level);
+        break;
+      }
+      case NodeKind::kText:
+        out.Text(store.pools().Text(store.RefAt(pre)));
+        break;
+      case NodeKind::kComment:
+        out.Comment(store.pools().Comment(store.RefAt(pre)));
+        break;
+      case NodeKind::kPi: {
+        const std::string& v = store.pools().Pi(store.RefAt(pre));
+        size_t sp = v.find(' ');
+        if (sp == std::string::npos) {
+          out.Pi(v, "");
+        } else {
+          out.Pi(v.substr(0, sp), v.substr(sp + 1));
+        }
+        break;
+      }
+      case NodeKind::kUnused:
+        return Status::Corruption("hole survived SkipHoles");
+    }
+  }
+  while (!open_levels.empty()) {
+    out.EndElement();
+    open_levels.pop_back();
+  }
+  return out.Finish();
+}
+
+}  // namespace pxq::storage
+
+#endif  // PXQ_STORAGE_STORE_SERIALIZER_H_

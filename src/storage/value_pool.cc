@@ -1,0 +1,35 @@
+#include "storage/value_pool.h"
+
+namespace pxq::storage {
+
+ValueId ValuePool::Add(std::string_view value) {
+  if (dedup_) {
+    auto it = index_.find(std::string(value));
+    if (it != index_.end()) return it->second;
+  }
+  ValueId id = static_cast<ValueId>(values_.size());
+  values_.emplace_back(value);
+  if (dedup_) index_.emplace(values_.back(), id);
+  return id;
+}
+
+void ValuePool::SetAt(ValueId id, std::string_view value) {
+  if (id >= static_cast<ValueId>(values_.size())) {
+    values_.resize(static_cast<size_t>(id) + 1);
+  }
+  values_[static_cast<size_t>(id)] = std::string(value);
+  if (dedup_) index_.emplace(values_[static_cast<size_t>(id)], id);
+}
+
+ValueId ValuePool::Find(std::string_view value) const {
+  auto it = index_.find(std::string(value));
+  return it == index_.end() ? kNullValue : it->second;
+}
+
+int64_t ValuePool::ByteSize() const {
+  int64_t bytes = 0;
+  for (const auto& v : values_) bytes += static_cast<int64_t>(v.size()) + 8;
+  return bytes;
+}
+
+}  // namespace pxq::storage

@@ -1,0 +1,47 @@
+// Value pools: the paper's `text`, `com`, `ins` node-value tables and the
+// deduplicated `prop` table of attribute values (Fig. 5/6). Nodes and
+// attributes reference values by dense ValueId.
+#ifndef PXQ_STORAGE_VALUE_POOL_H_
+#define PXQ_STORAGE_VALUE_POOL_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pxq::storage {
+
+/// Append-only string pool. With `dedup` (the `prop` table), identical
+/// strings share one id — MonetDB's double-elimination for attribute
+/// values; without it (text/com/ins) every value is a fresh tuple.
+class ValuePool {
+ public:
+  explicit ValuePool(bool dedup = false) : dedup_(dedup) {}
+
+  ValueId Add(std::string_view value);
+  const std::string& Get(ValueId id) const { return values_[id]; }
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+
+  /// Id of an existing value (dedup pools only; -1 when absent or when
+  /// the pool does not deduplicate). Used for value-equality predicates.
+  ValueId Find(std::string_view value) const;
+
+  /// Idempotent positional write used by WAL replay and snapshot load:
+  /// grows the pool with empty strings as needed and installs `value` at
+  /// exactly `id`. Safe to apply twice (append-only semantics: an id is
+  /// only ever written with one value).
+  void SetAt(ValueId id, std::string_view value);
+
+  int64_t ByteSize() const;
+
+ private:
+  bool dedup_;
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, ValueId> index_;
+};
+
+}  // namespace pxq::storage
+
+#endif  // PXQ_STORAGE_VALUE_POOL_H_

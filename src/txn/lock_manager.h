@@ -1,0 +1,81 @@
+// Locking per Figure 8:
+//  * a global reader/writer lock — read-only queries hold it shared for
+//    their duration; a committing transaction holds it exclusive only
+//    for the (short) commit window;
+//  * per-logical-page write locks, acquired incrementally when a
+//    transaction first structurally modifies a page, held until
+//    commit/abort (strict two-phase). Acquisition uses a timeout;
+//    expiry aborts the younger request (simple deadlock resolution).
+//
+// The paper's headline concurrency property is preserved structurally:
+// ancestor `size` maintenance travels as commutative deltas applied in
+// the commit window, so a transaction never takes page locks on the
+// ancestor chain — in particular the root's page is not a bottleneck.
+#ifndef PXQ_TXN_LOCK_MANAGER_H_
+#define PXQ_TXN_LOCK_MANAGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace pxq::txn {
+
+class PageLockManager {
+ public:
+  explicit PageLockManager(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(200))
+      : timeout_(timeout) {}
+
+  /// Acquire the write lock on `page` for `owner`. Re-entrant for the
+  /// same owner. Returns Conflict after the deadlock timeout.
+  Status Acquire(TxnId owner, PageId page);
+
+  /// Release every page lock held by `owner` (commit/abort).
+  void ReleaseAll(TxnId owner);
+
+  /// Pages currently locked by `owner` (tests).
+  std::unordered_set<PageId> HeldBy(TxnId owner) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<PageId, TxnId> owner_of_;
+  std::unordered_map<TxnId, std::unordered_set<PageId>> held_;
+  std::chrono::milliseconds timeout_;
+};
+
+/// The global lock: shared for readers, exclusive for the commit window.
+class GlobalLock {
+ public:
+  void LockShared() { mu_.lock_shared(); }
+  void UnlockShared() { mu_.unlock_shared(); }
+  void LockExclusive() { mu_.lock(); }
+  void UnlockExclusive() { mu_.unlock(); }
+
+  /// RAII reader guard for query execution.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(GlobalLock* lock) : lock_(lock) {
+      lock_->LockShared();
+    }
+    ~ReadGuard() { lock_->UnlockShared(); }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+   private:
+    GlobalLock* lock_;
+  };
+
+ private:
+  std::shared_mutex mu_;
+};
+
+}  // namespace pxq::txn
+
+#endif  // PXQ_TXN_LOCK_MANAGER_H_

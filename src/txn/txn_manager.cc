@@ -1,0 +1,271 @@
+#include "txn/txn_manager.h"
+
+#include <algorithm>
+#include <set>
+
+namespace pxq::txn {
+
+using storage::ContentPools;
+using storage::OpLog;
+using storage::PagedStore;
+
+// ---------------------------------------------------------------------------
+// TransactionManager
+// ---------------------------------------------------------------------------
+
+TransactionManager::TransactionManager(std::shared_ptr<PagedStore> base,
+                                       TxnOptions options)
+    : base_(std::move(base)),
+      options_(options),
+      page_locks_(options.lock_timeout) {}
+
+StatusOr<std::unique_ptr<TransactionManager>> TransactionManager::Create(
+    std::shared_ptr<PagedStore> base, TxnOptions options) {
+  auto mgr = std::unique_ptr<TransactionManager>(
+      new TransactionManager(std::move(base), options));
+  if (!options.wal_path.empty()) {
+    PXQ_ASSIGN_OR_RETURN(mgr->wal_, Wal::Open(options.wal_path));
+  }
+  return mgr;
+}
+
+StatusOr<std::unique_ptr<Transaction>> TransactionManager::Begin() {
+  TxnId id = next_txn_id_.fetch_add(1);
+  uint64_t snapshot;
+  std::unique_ptr<PagedStore> clone;
+  {
+    // Clone under the shared lock: the base must not be mid-commit. The
+    // snapshot must also be registered before the guard drops, or a
+    // concurrent commit could trim committed deltas this transaction
+    // still needs for its commit-time fixup.
+    GlobalLock::ReadGuard guard(&global_);
+    snapshot = commit_lsn_.load();
+    clone = base_->Clone();
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    active_snapshots_[id] = snapshot;
+  }
+  auto txn = std::unique_ptr<Transaction>(new Transaction(
+      this, id, snapshot, std::move(clone), base_->pools().Sizes()));
+  Transaction* raw = txn.get();
+  txn->clone_->AttachOpLog(&txn->oplog_, [this, raw](PageId page) {
+    return OnFirstPageWrite(raw, page);
+  });
+  return txn;
+}
+
+Status TransactionManager::OnFirstPageWrite(Transaction* txn, PageId page) {
+  // Incremental strict-2PL acquisition (Fig. 8: "write-lock all pages
+  // that need to be updated ... incrementally").
+  Status s = page_locks_.Acquire(txn->id(), page);
+  if (!s.ok()) {
+    txn->poisoned_ = s;
+    return s;
+  }
+  // First-updater-wins: a page structurally committed after our snapshot
+  // means our copy-on-write image would clobber that commit.
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = page_version_.find(page);
+  if (it != page_version_.end() && it->second > txn->snapshot_lsn()) {
+    txn->poisoned_ = Status::Conflict(
+        "page was structurally modified by a newer commit");
+    return txn->poisoned_;
+  }
+  return Status::OK();
+}
+
+Status TransactionManager::CommitInternal(Transaction* txn) {
+  if (!txn->poisoned_.ok()) {
+    Status reason = txn->poisoned_;
+    EndTransaction(txn);
+    return Status::Aborted("transaction poisoned: " + reason.ToString());
+  }
+  if (txn->oplog_.empty()) {
+    EndTransaction(txn);  // read-only transaction
+    return Status::OK();
+  }
+  // Consistency stage (Fig. 8: document validation before commit).
+  if (options_.validate_on_commit) {
+    Status valid = txn->clone_->CheckInvariants();
+    if (!valid.ok()) {
+      EndTransaction(txn);
+      return Status::Aborted("validation failed: " + valid.ToString());
+    }
+  }
+
+  // Capture exactly the pool entries the oplog references (page tuples
+  // and attribute ops) so recovery can resolve every id. A range capture
+  // would miss entries first interned by a concurrent transaction that
+  // aborted (deduplicating pools hand out such ids); logging referenced
+  // entries is complete and idempotent across records.
+  std::vector<PoolDelta> pool_delta;
+  {
+    std::set<std::pair<int, int32_t>> refs;
+    auto add_page = [&](const storage::Page& pg) {
+      for (size_t i = 0; i < pg.level.size(); ++i) {
+        if (pg.level[i] == kNullLevel || pg.ref[i] < 0) continue;
+        switch (static_cast<NodeKind>(pg.kind[i])) {
+          case NodeKind::kElement:
+            refs.emplace(0 /*kQname*/, pg.ref[i]);
+            break;
+          case NodeKind::kText:
+            refs.emplace(1 /*kText*/, pg.ref[i]);
+            break;
+          case NodeKind::kComment:
+            refs.emplace(2 /*kComment*/, pg.ref[i]);
+            break;
+          case NodeKind::kPi:
+            refs.emplace(3 /*kPi*/, pg.ref[i]);
+            break;
+          default:
+            break;
+        }
+      }
+    };
+    for (const auto& pi : txn->oplog_.page_images) add_page(*pi.image);
+    for (const auto& pa : txn->oplog_.page_appends) add_page(*pa.image);
+    for (const auto& op : txn->oplog_.attr_ops) {
+      if (op.qname >= 0) refs.emplace(0 /*kQname*/, op.qname);
+      if (op.prop >= 0) refs.emplace(4 /*kProp*/, op.prop);
+    }
+    for (const auto& [kind, id] : refs) {
+      auto pk = static_cast<ContentPools::PoolKind>(kind);
+      pool_delta.push_back({pk, id, base_->pools().Entry(pk, id)});
+    }
+  }
+
+  global_.LockExclusive();
+  uint64_t lsn = commit_lsn_.load() + 1;
+
+  // Atomicity: the WAL append is the commit point (single fsynced I/O).
+  if (wal_ != nullptr) {
+    Status s = wal_->AppendCommit(txn->id(), txn->snapshot_lsn(), lsn,
+                                  txn->oplog_, pool_delta);
+    if (!s.ok()) {
+      global_.UnlockExclusive();
+      EndTransaction(txn);
+      return Status::Aborted("WAL append failed: " + s.ToString());
+    }
+  }
+
+  std::vector<PageId> installed;
+  Status s = base_->ReplayOpLog(txn->oplog_, &installed);
+  if (!s.ok()) {
+    // Base replay can only fail on corruption; surface loudly.
+    global_.UnlockExclusive();
+    EndTransaction(txn);
+    return Status::Corruption("oplog replay failed: " + s.ToString());
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    // Size resolution: every region extent this transaction claimed to
+    // change, plus every extent claimed by commits since our snapshot
+    // (our page images may have clobbered their stored values), is
+    // recomputed exactly against the merged structure. Resolution is a
+    // pure function of the current structure, so commit order cannot
+    // matter — the property the paper obtains from delta commutativity.
+    std::vector<NodeId> claims = txn->oplog_.size_claims;
+    for (const CommittedClaim& cc : committed_claims_) {
+      if (cc.lsn > txn->snapshot_lsn()) claims.push_back(cc.node);
+    }
+    s = base_->ResolveSizes(claims);
+    if (!s.ok()) {
+      global_.UnlockExclusive();
+      EndTransaction(txn);
+      return Status::Corruption("size resolution failed: " + s.ToString());
+    }
+    for (PageId p : installed) page_version_[p] = lsn;
+    for (NodeId n : txn->oplog_.size_claims) {
+      committed_claims_.push_back({lsn, n});
+    }
+    // Trim claims no active transaction can still need.
+    uint64_t min_snapshot = lsn;
+    for (const auto& [tid, snap] : active_snapshots_) {
+      if (tid != txn->id()) min_snapshot = std::min(min_snapshot, snap);
+    }
+    while (!committed_claims_.empty() &&
+           committed_claims_.front().lsn <= min_snapshot) {
+      committed_claims_.pop_front();
+    }
+  }
+
+  commit_lsn_.store(lsn);
+  global_.UnlockExclusive();
+  EndTransaction(txn);
+  return Status::OK();
+}
+
+void TransactionManager::EndTransaction(Transaction* txn) {
+  page_locks_.ReleaseAll(txn->id());
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  active_snapshots_.erase(txn->id());
+}
+
+Status TransactionManager::Checkpoint(const std::string& snapshot_path) {
+  global_.LockExclusive();
+  Status s = base_->SaveSnapshot(snapshot_path);
+  if (s.ok() && wal_ != nullptr) s = wal_->Reset();
+  global_.UnlockExclusive();
+  return s;
+}
+
+StatusOr<std::shared_ptr<storage::PagedStore>> TransactionManager::Recover(
+    const std::string& snapshot_path, const std::string& wal_path) {
+  PXQ_ASSIGN_OR_RETURN(std::unique_ptr<PagedStore> loaded,
+                       PagedStore::LoadSnapshot(snapshot_path));
+  std::shared_ptr<PagedStore> store = std::move(loaded);
+  PXQ_ASSIGN_OR_RETURN(
+      std::vector<Wal::Recovered> records,
+      Wal::ReadAll(wal_path, store->page_tuples()));
+  // Redo committed transactions in commit order, replicating the live
+  // commit's size-claim resolution using the recorded LSNs.
+  std::vector<std::pair<uint64_t, NodeId>> claims_seen;
+  for (const Wal::Recovered& rec : records) {
+    for (const PoolDelta& d : rec.pool_delta) {
+      store->pools().SetEntry(d.kind, d.id, d.value);
+    }
+    PXQ_RETURN_IF_ERROR(store->ReplayOpLog(rec.log));
+    std::vector<NodeId> claims = rec.log.size_claims;
+    for (const auto& [lsn, node] : claims_seen) {
+      if (lsn > rec.snapshot_lsn) claims.push_back(node);
+    }
+    PXQ_RETURN_IF_ERROR(store->ResolveSizes(claims));
+    for (NodeId n : rec.log.size_claims) {
+      claims_seen.emplace_back(rec.commit_lsn, n);
+    }
+  }
+  return store;
+}
+
+// ---------------------------------------------------------------------------
+// Transaction
+// ---------------------------------------------------------------------------
+
+Transaction::Transaction(TransactionManager* mgr, TxnId id,
+                         uint64_t snapshot_lsn,
+                         std::unique_ptr<PagedStore> clone,
+                         ContentPools::PoolSizes pool_begin)
+    : mgr_(mgr),
+      id_(id),
+      snapshot_lsn_(snapshot_lsn),
+      clone_(std::move(clone)),
+      pool_begin_(pool_begin) {}
+
+Transaction::~Transaction() {
+  if (!finished_) Abort().ok();
+}
+
+Status Transaction::Commit() {
+  if (finished_) return Status::InvalidArgument("transaction finished");
+  finished_ = true;
+  return mgr_->CommitInternal(this);
+}
+
+Status Transaction::Abort() {
+  if (finished_) return Status::InvalidArgument("transaction finished");
+  finished_ = true;
+  mgr_->EndTransaction(this);
+  return Status::OK();
+}
+
+}  // namespace pxq::txn

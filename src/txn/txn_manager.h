@@ -1,0 +1,149 @@
+// Transaction manager implementing the Figure 8 protocol:
+//
+//   write-transaction:
+//     - work on a copy-on-write clone of the base store (isolation);
+//     - page write locks are acquired incrementally, the first time a
+//       page is structurally modified (the store's PageWriteHook);
+//       bulk inserts go to newly appended pages referenced only by the
+//       clone's private page table;
+//     - ancestor size updates are captured as commutative deltas, never
+//       locking the ancestors' pages (no root bottleneck);
+//     - commit: take the global write lock, append ONE fsynced WAL
+//       record, replay the oplog onto the base, fix up foreign size
+//       deltas committed since this transaction's snapshot, bump page
+//       versions, release locks.
+//
+// Concurrency control is page-level snapshot isolation with
+// first-updater-wins: structurally touching a page whose version is
+// newer than the transaction's snapshot aborts it; waiting on a page
+// lock past the timeout aborts it (deadlock resolution). Readers run
+// against the base under the global shared lock; their reads are
+// consistent because base mutation happens only inside the exclusive
+// commit window.
+#ifndef PXQ_TXN_TXN_MANAGER_H_
+#define PXQ_TXN_TXN_MANAGER_H_
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/paged_store.h"
+#include "txn/lock_manager.h"
+#include "txn/wal.h"
+
+namespace pxq::txn {
+
+struct TxnOptions {
+  /// Page lock wait budget before declaring deadlock and aborting.
+  std::chrono::milliseconds lock_timeout{200};
+  /// Run the full structural invariant check on the transaction's view
+  /// before commit (the paper's "document validation" stage; we validate
+  /// well-formedness instead of a schema).
+  bool validate_on_commit = false;
+  /// WAL file; empty disables durability (in-memory ACI only).
+  std::string wal_path;
+};
+
+class Transaction;
+
+class TransactionManager {
+ public:
+  /// The manager takes shared ownership of the base store.
+  static StatusOr<std::unique_ptr<TransactionManager>> Create(
+      std::shared_ptr<storage::PagedStore> base, TxnOptions options = {});
+
+  /// Start a write transaction.
+  StatusOr<std::unique_ptr<Transaction>> Begin();
+
+  /// Run a read-only function under the global shared lock:
+  /// fn(const storage::PagedStore&).
+  template <typename F>
+  auto Read(F&& fn) {
+    GlobalLock::ReadGuard guard(&global_);
+    return fn(static_cast<const storage::PagedStore&>(*base_));
+  }
+
+  /// Write a checkpoint snapshot and truncate the WAL (quiesces writers
+  /// via the global exclusive lock).
+  Status Checkpoint(const std::string& snapshot_path);
+
+  /// Rebuild a store from a snapshot + WAL (crash recovery). Returns the
+  /// recovered store; construct a new manager over it to resume.
+  static StatusOr<std::shared_ptr<storage::PagedStore>> Recover(
+      const std::string& snapshot_path, const std::string& wal_path);
+
+  storage::PagedStore& base() { return *base_; }
+  uint64_t commit_lsn() const { return commit_lsn_.load(); }
+
+ private:
+  friend class Transaction;
+  TransactionManager(std::shared_ptr<storage::PagedStore> base,
+                     TxnOptions options);
+
+  Status OnFirstPageWrite(Transaction* txn, PageId page);
+  Status CommitInternal(Transaction* txn);
+  void EndTransaction(Transaction* txn);
+
+  std::shared_ptr<storage::PagedStore> base_;
+  TxnOptions options_;
+  GlobalLock global_;
+  PageLockManager page_locks_;
+  std::unique_ptr<Wal> wal_;
+
+  std::atomic<TxnId> next_txn_id_{1};
+  std::atomic<uint64_t> commit_lsn_{0};
+
+  std::mutex meta_mu_;  // guards the three maps below
+  std::unordered_map<PageId, uint64_t> page_version_;
+  struct CommittedClaim {
+    uint64_t lsn;
+    NodeId node;
+  };
+  std::deque<CommittedClaim> committed_claims_;
+  std::unordered_map<TxnId, uint64_t> active_snapshots_;
+};
+
+/// A single write transaction. Work against store() (read-your-writes);
+/// finish with Commit() or Abort(). Destroying an unfinished
+/// transaction aborts it.
+class Transaction {
+ public:
+  ~Transaction();
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// The transaction's private view of the database.
+  storage::PagedStore* store() { return clone_.get(); }
+
+  TxnId id() const { return id_; }
+  uint64_t snapshot_lsn() const { return snapshot_lsn_; }
+  bool finished() const { return finished_; }
+
+  /// Figure 8's commit sequence. On Conflict/Aborted the transaction is
+  /// rolled back and may be retried from a fresh Begin().
+  Status Commit();
+  Status Abort();
+
+ private:
+  friend class TransactionManager;
+  Transaction(TransactionManager* mgr, TxnId id, uint64_t snapshot_lsn,
+              std::unique_ptr<storage::PagedStore> clone,
+              storage::ContentPools::PoolSizes pool_begin);
+
+  TransactionManager* mgr_;
+  TxnId id_;
+  uint64_t snapshot_lsn_;
+  std::unique_ptr<storage::PagedStore> clone_;
+  storage::OpLog oplog_;
+  storage::ContentPools::PoolSizes pool_begin_;
+  bool finished_ = false;
+  Status poisoned_ = Status::OK();  // set when a page hook failed
+};
+
+}  // namespace pxq::txn
+
+#endif  // PXQ_TXN_TXN_MANAGER_H_

@@ -1,0 +1,77 @@
+// Write-ahead log (Fig. 8: "writing the WAL is the crucial stage in
+// transaction commit, it consists of a single I/O").
+//
+// Each commit appends ONE record carrying everything needed to redo the
+// transaction against the checkpoint snapshot: the new string-pool
+// entries, the page images/appends, the pageOffset (logical order)
+// inserts, node/pos updates, the commutative size deltas, attribute ops
+// and freed node ids. The record is length-prefixed and checksummed;
+// recovery replays complete records in order and stops at the first
+// torn/corrupt tail (that transaction never committed).
+#ifndef PXQ_TXN_WAL_H_
+#define PXQ_TXN_WAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/paged_store.h"
+
+namespace pxq::txn {
+
+/// Pool entries appended by a transaction, (pool, id, value) triples.
+/// Installation is idempotent, so overlap between concurrent
+/// transactions' captures is harmless.
+struct PoolDelta {
+  storage::ContentPools::PoolKind kind;
+  int32_t id;
+  std::string value;
+};
+
+class Wal {
+ public:
+  ~Wal();
+
+  /// Open (creating if absent) a WAL file for appending.
+  static StatusOr<std::unique_ptr<Wal>> Open(const std::string& path);
+
+  /// Append one commit record and fsync it (the commit point).
+  /// `snapshot_lsn`/`commit_lsn` let recovery replay the same
+  /// concurrent-delta fixup the live commit performed (see txn_manager).
+  Status AppendCommit(TxnId txn_id, uint64_t snapshot_lsn,
+                      uint64_t commit_lsn, const storage::OpLog& log,
+                      const std::vector<PoolDelta>& pool_delta);
+
+  /// Truncate the log (after a checkpoint snapshot was written).
+  Status Reset();
+
+  int64_t commit_count() const { return commit_count_; }
+
+  /// One recovered commit record.
+  struct Recovered {
+    TxnId txn_id;
+    uint64_t snapshot_lsn;
+    uint64_t commit_lsn;
+    storage::OpLog log;
+    std::vector<PoolDelta> pool_delta;
+  };
+
+  /// Read all complete commit records of a WAL file (static: used before
+  /// the Wal is opened for appending). A missing file yields zero
+  /// records. `page_tuples` must match the store config.
+  static StatusOr<std::vector<Recovered>> ReadAll(const std::string& path,
+                                                  int32_t page_tuples);
+
+ private:
+  Wal() = default;
+
+  std::string path_;
+  FILE* file_ = nullptr;
+  int64_t commit_count_ = 0;
+};
+
+}  // namespace pxq::txn
+
+#endif  // PXQ_TXN_WAL_H_

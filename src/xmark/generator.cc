@@ -1,0 +1,430 @@
+#include "xmark/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace pxq::xmark {
+namespace {
+
+// A compact vocabulary; Skewed() sampling gives the Zipf-ish word
+// frequencies text predicates (Q14's "gold") rely on.
+constexpr const char* kWords[] = {
+    "gold",     "silver",   "preserve", "rusty",    "vintage",  "mighty",
+    "quiet",    "garden",   "shadow",   "harbor",   "lantern",  "meadow",
+    "journey",  "whisper",  "cobalt",   "amber",    "ivory",    "scarlet",
+    "beacon",   "drift",    "ember",    "frost",    "grove",    "hollow",
+    "ironwood", "jasper",   "keystone", "ledger",   "marble",   "nectar",
+    "onyx",     "paragon",  "quartz",   "ripple",   "sable",    "timber",
+    "umber",    "velvet",   "willow",   "zephyr",   "anchor",   "bramble",
+    "cinder",   "dapple",   "elm",      "fable",    "gossamer", "heather",
+    "ingot",    "juniper",  "kindle",   "lattice",  "mosaic",   "north",
+    "orchard",  "pebble",   "quill",    "raven",    "saffron",  "thistle",
+    "harvest",  "violet",   "wander",   "yonder",   "zenith",   "bronze",
+    "copper",   "dusk",     "evergreen", "flint",   "glacier",  "horizon",
+};
+constexpr size_t kWordCount = sizeof(kWords) / sizeof(kWords[0]);
+
+constexpr const char* kFirstNames[] = {
+    "Ada", "Bruno", "Chen", "Dara", "Edo", "Farah", "Goran", "Hana",
+    "Ivan", "Jana", "Kofi", "Lena", "Milo", "Nadia", "Omar", "Pia",
+    "Quinn", "Rosa", "Sven", "Tara", "Umut", "Vera", "Wim", "Xena",
+    "Yuri", "Zoe"};
+constexpr const char* kLastNames[] = {
+    "Abel", "Boncz", "Cruz", "Duarte", "Engel", "Fuchs", "Grust", "Haas",
+    "Ito", "Jansen", "Keulen", "Lopez", "Manegold", "Nagy", "Okafor",
+    "Prins", "Quist", "Rittinger", "Smit", "Teubner", "Ueda", "Vries",
+    "Weber", "Xu", "Yilmaz", "Zhou"};
+constexpr const char* kCities[] = {
+    "Amsterdam", "Berlin", "Cairo", "Denver", "Edinburgh", "Florence",
+    "Geneva", "Helsinki", "Istanbul", "Jakarta", "Kyoto", "Lima",
+    "Montreal", "Nairobi", "Oslo", "Prague", "Quito", "Rome", "Sydney",
+    "Tunis", "Utrecht", "Vienna", "Warsaw", "Xiamen", "Yerevan", "Zagreb"};
+constexpr const char* kCountries[] = {
+    "United States", "Netherlands", "Germany", "Japan", "Brazil",
+    "Kenya", "Australia", "Canada", "France", "Italy", "Turkey", "Peru"};
+constexpr const char* kRegions[] = {"africa",   "asia",     "australia",
+                                    "europe",   "namerica", "samerica"};
+// xmlgen's region distribution is heavily skewed towards namerica/europe.
+constexpr int kRegionWeights[] = {1, 2, 1, 6, 8, 2};
+
+class Generator {
+ public:
+  explicit Generator(const GeneratorOptions& options)
+      : rng_(options.seed), counts_(CountsForFactor(options.factor)) {}
+
+  std::string Run() {
+    out_.reserve(1 << 20);
+    out_ += "<site>";
+    Regions();
+    Categories();
+    Catgraph();
+    People();
+    OpenAuctions();
+    ClosedAuctions();
+    out_ += "</site>";
+    return std::move(out_);
+  }
+
+ private:
+  // ----- text helpers ------------------------------------------------
+  const char* Word() { return kWords[rng_.Skewed(kWordCount)]; }
+
+  std::string Sentence(int lo, int hi) {
+    auto n = static_cast<int>(rng_.Range(lo, hi));
+    std::string s;
+    for (int i = 0; i < n; ++i) {
+      if (i) s += ' ';
+      s += Word();
+    }
+    return s;
+  }
+
+  void Text(int lo, int hi) { out_ += Sentence(lo, hi); }
+
+  void Elem(const char* tag, const std::string& content) {
+    out_ += '<';
+    out_ += tag;
+    out_ += '>';
+    out_ += content;
+    out_ += "</";
+    out_ += tag;
+    out_ += '>';
+  }
+
+  /// <text>words <keyword>w</keyword> words <bold>w</bold> ...</text>
+  void RichText() {
+    out_ += "<text>";
+    Text(22, 58);
+    int marks = static_cast<int>(rng_.Range(1, 3));
+    for (int i = 0; i < marks; ++i) {
+      const char* tag =
+          rng_.Bernoulli(0.5) ? "keyword" : (rng_.Bernoulli(0.5) ? "bold"
+                                                                 : "emph");
+      out_ += ' ';
+      Elem(tag, Sentence(1, 3));
+      out_ += ' ';
+      Text(12, 32);
+    }
+    out_ += "</text>";
+  }
+
+  /// <description><parlist><listitem>...</listitem>...</parlist>
+  /// </description> — optionally nested (Q15's long path needs
+  /// parlist/listitem/parlist/listitem/text/emph/keyword).
+  void Description(int depth = 0) {
+    out_ += "<description>";
+    if (depth == 0 && rng_.Bernoulli(0.3)) {
+      RichText();  // flat description
+    } else {
+      out_ += "<parlist>";
+      int items = static_cast<int>(rng_.Range(2, 4));
+      for (int i = 0; i < items; ++i) {
+        out_ += "<listitem>";
+        if (depth < 2 && rng_.Bernoulli(0.35)) {
+          out_ += "<parlist><listitem>";
+          if (rng_.Bernoulli(0.6)) {
+            out_ += "<text>";
+            Text(2, 6);
+            out_ += "<emph><keyword>";
+            Text(1, 2);
+            out_ += "</keyword></emph>";
+            Text(1, 4);
+            out_ += "</text>";
+          } else {
+            RichText();
+          }
+          out_ += "</listitem></parlist>";
+        } else {
+          RichText();
+        }
+        out_ += "</listitem>";
+      }
+      out_ += "</parlist>";
+    }
+    out_ += "</description>";
+  }
+
+  std::string Date() {
+    return StrFormat("%02d/%02d/%04d", static_cast<int>(rng_.Range(1, 12)),
+                     static_cast<int>(rng_.Range(1, 28)),
+                     static_cast<int>(rng_.Range(1998, 2001)));
+  }
+
+  // ----- sections ------------------------------------------------------
+  void Regions() {
+    // Partition items over regions by weight, deterministically.
+    int total_w = 0;
+    for (int w : kRegionWeights) total_w += w;
+    out_ += "<regions>";
+    int64_t next_item = 0;
+    for (size_t r = 0; r < 6; ++r) {
+      int64_t share = counts_.items * kRegionWeights[r] / total_w;
+      if (r == 5) share = counts_.items - next_item;  // remainder
+      out_ += '<';
+      out_ += kRegions[r];
+      out_ += '>';
+      for (int64_t i = 0; i < share; ++i) Item(next_item++);
+      out_ += "</";
+      out_ += kRegions[r];
+      out_ += '>';
+    }
+    out_ += "</regions>";
+  }
+
+  void Item(int64_t id) {
+    out_ += StrFormat("<item id=\"item%lld\">", static_cast<long long>(id));
+    Elem("location", rng_.Bernoulli(0.75)
+                         ? "United States"
+                         : kCountries[rng_.Uniform(12)]);
+    Elem("quantity", StrFormat("%d", static_cast<int>(rng_.Range(1, 5))));
+    Elem("name", Sentence(1, 3));
+    Elem("payment", rng_.Bernoulli(0.5) ? "Creditcard" : "Cash");
+    Description();
+    Elem("shipping", rng_.Bernoulli(0.5) ? "Will ship internationally"
+                                         : "Buyer pays fixed shipping");
+    int cats = static_cast<int>(rng_.Range(1, 3));
+    for (int c = 0; c < cats; ++c) {
+      out_ += StrFormat(
+          "<incategory category=\"category%lld\"/>",
+          static_cast<long long>(rng_.Uniform(
+              static_cast<uint64_t>(counts_.categories))));
+    }
+    if (rng_.Bernoulli(0.7)) {
+      out_ += "<mailbox>";
+      int mails = static_cast<int>(rng_.Range(1, 3));
+      for (int m = 0; m < mails; ++m) {
+        out_ += "<mail>";
+        Elem("from", Name());
+        Elem("to", Name());
+        Elem("date", Date());
+        RichText();
+        out_ += "</mail>";
+      }
+      out_ += "</mailbox>";
+    }
+    out_ += "</item>";
+  }
+
+  std::string Name() {
+    return std::string(kFirstNames[rng_.Uniform(26)]) + " " +
+           kLastNames[rng_.Uniform(26)];
+  }
+
+  void Categories() {
+    out_ += "<categories>";
+    for (int64_t c = 0; c < counts_.categories; ++c) {
+      out_ += StrFormat("<category id=\"category%lld\">",
+                        static_cast<long long>(c));
+      Elem("name", Sentence(1, 2));
+      Description();
+      out_ += "</category>";
+    }
+    out_ += "</categories>";
+  }
+
+  void Catgraph() {
+    out_ += "<catgraph>";
+    int64_t edges = counts_.categories;
+    for (int64_t e = 0; e < edges; ++e) {
+      out_ += StrFormat(
+          "<edge from=\"category%lld\" to=\"category%lld\"/>",
+          static_cast<long long>(
+              rng_.Uniform(static_cast<uint64_t>(counts_.categories))),
+          static_cast<long long>(
+              rng_.Uniform(static_cast<uint64_t>(counts_.categories))));
+    }
+    out_ += "</catgraph>";
+  }
+
+  void People() {
+    out_ += "<people>";
+    for (int64_t p = 0; p < counts_.persons; ++p) {
+      out_ += StrFormat("<person id=\"person%lld\">",
+                        static_cast<long long>(p));
+      std::string name = Name();
+      Elem("name", name);
+      Elem("emailaddress",
+           "mailto:" + name.substr(0, name.find(' ')) +
+               StrFormat("%lld@example.net", static_cast<long long>(p)));
+      if (rng_.Bernoulli(0.6)) {
+        Elem("phone", StrFormat("+%d (%d) %d",
+                                static_cast<int>(rng_.Range(1, 99)),
+                                static_cast<int>(rng_.Range(10, 999)),
+                                static_cast<int>(rng_.Range(10000, 9999999))));
+      }
+      if (rng_.Bernoulli(0.5)) {
+        out_ += "<address>";
+        Elem("street", StrFormat("%d ", static_cast<int>(rng_.Range(1, 99))) +
+                           Word() + " St");
+        Elem("city", kCities[rng_.Uniform(26)]);
+        Elem("country", kCountries[rng_.Uniform(12)]);
+        Elem("zipcode", StrFormat("%d", static_cast<int>(rng_.Range(10, 99))));
+        out_ += "</address>";
+      }
+      if (rng_.Bernoulli(0.5)) {
+        Elem("homepage", StrFormat("http://www.example.net/~person%lld",
+                                   static_cast<long long>(p)));
+      }
+      if (rng_.Bernoulli(0.6)) {
+        Elem("creditcard",
+             StrFormat("%04d %04d %04d %04d",
+                       static_cast<int>(rng_.Range(1000, 9999)),
+                       static_cast<int>(rng_.Range(1000, 9999)),
+                       static_cast<int>(rng_.Range(1000, 9999)),
+                       static_cast<int>(rng_.Range(1000, 9999))));
+      }
+      if (rng_.Bernoulli(0.75)) {
+        out_ += StrFormat("<profile income=\"%.2f\">",
+                          4000.0 + rng_.NextDouble() * 96000.0);
+        int interests = static_cast<int>(rng_.Range(0, 4));
+        for (int i = 0; i < interests; ++i) {
+          out_ += StrFormat(
+              "<interest category=\"category%lld\"/>",
+              static_cast<long long>(rng_.Uniform(
+                  static_cast<uint64_t>(counts_.categories))));
+        }
+        if (rng_.Bernoulli(0.5)) Elem("education", "Graduate School");
+        if (rng_.Bernoulli(0.3)) Elem("gender", rng_.Bernoulli(0.5)
+                                                     ? "male"
+                                                     : "female");
+        Elem("business", rng_.Bernoulli(0.5) ? "Yes" : "No");
+        if (rng_.Bernoulli(0.3)) Elem("age",
+                                      StrFormat("%d", static_cast<int>(
+                                                          rng_.Range(18, 80))));
+        out_ += "</profile>";
+      }
+      if (rng_.Bernoulli(0.4) && counts_.open_auctions > 0) {
+        out_ += "<watches>";
+        int watches = static_cast<int>(rng_.Range(1, 3));
+        for (int w = 0; w < watches; ++w) {
+          out_ += StrFormat(
+              "<watch open_auction=\"open_auction%lld\"/>",
+              static_cast<long long>(rng_.Uniform(
+                  static_cast<uint64_t>(counts_.open_auctions))));
+        }
+        out_ += "</watches>";
+      }
+      out_ += "</person>";
+    }
+    out_ += "</people>";
+  }
+
+  void OpenAuctions() {
+    out_ += "<open_auctions>";
+    for (int64_t a = 0; a < counts_.open_auctions; ++a) {
+      out_ += StrFormat("<open_auction id=\"open_auction%lld\">",
+                        static_cast<long long>(a));
+      double initial = 1.0 + rng_.NextDouble() * 260.0;
+      Elem("initial", StrFormat("%.2f", initial));
+      if (rng_.Bernoulli(0.4)) {
+        Elem("reserve", StrFormat("%.2f", initial * (1.2 + rng_.NextDouble())));
+      }
+      int bidders = static_cast<int>(rng_.Range(0, 5));
+      double current = initial;
+      for (int b = 0; b < bidders; ++b) {
+        out_ += "<bidder>";
+        Elem("date", Date());
+        Elem("time", StrFormat("%02d:%02d:%02d",
+                               static_cast<int>(rng_.Range(0, 23)),
+                               static_cast<int>(rng_.Range(0, 59)),
+                               static_cast<int>(rng_.Range(0, 59))));
+        out_ += StrFormat(
+            "<personref person=\"person%lld\"/>",
+            static_cast<long long>(
+                rng_.Uniform(static_cast<uint64_t>(counts_.persons))));
+        double inc = 1.5 * (1 + static_cast<double>(rng_.Range(0, 10)));
+        current += inc;
+        Elem("increase", StrFormat("%.2f", inc));
+        out_ += "</bidder>";
+      }
+      Elem("current", StrFormat("%.2f", current));
+      if (rng_.Bernoulli(0.3)) out_ += "<privacy>Yes</privacy>";
+      out_ += StrFormat(
+          "<itemref item=\"item%lld\"/>",
+          static_cast<long long>(
+              rng_.Uniform(static_cast<uint64_t>(counts_.items))));
+      out_ += StrFormat(
+          "<seller person=\"person%lld\"/>",
+          static_cast<long long>(
+              rng_.Uniform(static_cast<uint64_t>(counts_.persons))));
+      Annotation();
+      Elem("quantity", StrFormat("%d", static_cast<int>(rng_.Range(1, 3))));
+      Elem("type", rng_.Bernoulli(0.7) ? "Regular" : "Featured");
+      out_ += "<interval>";
+      Elem("start", Date());
+      Elem("end", Date());
+      out_ += "</interval>";
+      out_ += "</open_auction>";
+    }
+    out_ += "</open_auctions>";
+  }
+
+  void Annotation() {
+    out_ += "<annotation>";
+    out_ += StrFormat(
+        "<author person=\"person%lld\"/>",
+        static_cast<long long>(
+            rng_.Uniform(static_cast<uint64_t>(counts_.persons))));
+    Description();
+    if (rng_.Bernoulli(0.5)) {
+      Elem("happiness", StrFormat("%d", static_cast<int>(rng_.Range(1, 10))));
+    }
+    out_ += "</annotation>";
+  }
+
+  void ClosedAuctions() {
+    out_ += "<closed_auctions>";
+    for (int64_t a = 0; a < counts_.closed_auctions; ++a) {
+      out_ += "<closed_auction>";
+      out_ += StrFormat(
+          "<seller person=\"person%lld\"/>",
+          static_cast<long long>(
+              rng_.Uniform(static_cast<uint64_t>(counts_.persons))));
+      out_ += StrFormat(
+          "<buyer person=\"person%lld\"/>",
+          static_cast<long long>(
+              rng_.Uniform(static_cast<uint64_t>(counts_.persons))));
+      out_ += StrFormat(
+          "<itemref item=\"item%lld\"/>",
+          static_cast<long long>(
+              rng_.Uniform(static_cast<uint64_t>(counts_.items))));
+      Elem("price", StrFormat("%.2f", 1.0 + rng_.NextDouble() * 260.0));
+      Elem("date", Date());
+      Elem("quantity", StrFormat("%d", static_cast<int>(rng_.Range(1, 3))));
+      Elem("type", rng_.Bernoulli(0.7) ? "Regular" : "Featured");
+      Annotation();
+      out_ += "</closed_auction>";
+    }
+    out_ += "</closed_auctions>";
+  }
+
+  Random rng_;
+  EntityCounts counts_;
+  std::string out_;
+};
+
+}  // namespace
+
+EntityCounts CountsForFactor(double factor) {
+  // xmlgen's factor-1.0 entity counts.
+  auto scale = [&](double base) {
+    return std::max<int64_t>(1, static_cast<int64_t>(std::llround(base *
+                                                                  factor)));
+  };
+  EntityCounts c;
+  c.items = scale(21750);
+  c.persons = scale(25500);
+  c.open_auctions = scale(12000);
+  c.closed_auctions = scale(9750);
+  c.categories = scale(1000);
+  return c;
+}
+
+std::string Generate(const GeneratorOptions& options) {
+  return Generator(options).Run();
+}
+
+}  // namespace pxq::xmark

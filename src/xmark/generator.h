@@ -1,0 +1,38 @@
+// Deterministic XMark-like document generator (stand-in for xmlgen; see
+// DESIGN.md substitutions). Emits the auction-site schema the paper's
+// Figure 9 experiment runs over: regions/items, categories + catgraph,
+// people with profiles and watches, open auctions with bidder histories,
+// closed auctions — with seeded pseudo-text so documents are reproducible
+// byte-for-byte from (factor, seed).
+//
+// Scale follows xmlgen: factor 1.0 ~ a 110 MB-class document; entity
+// counts scale linearly (factor 0.01 ~ 1.1 MB).
+#ifndef PXQ_XMARK_GENERATOR_H_
+#define PXQ_XMARK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pxq::xmark {
+
+struct GeneratorOptions {
+  double factor = 0.01;
+  uint64_t seed = 42;
+};
+
+/// Entity counts for a scale factor (xmlgen proportions).
+struct EntityCounts {
+  int64_t items;
+  int64_t persons;
+  int64_t open_auctions;
+  int64_t closed_auctions;
+  int64_t categories;
+};
+EntityCounts CountsForFactor(double factor);
+
+/// Generate the document text.
+std::string Generate(const GeneratorOptions& options);
+
+}  // namespace pxq::xmark
+
+#endif  // PXQ_XMARK_GENERATOR_H_

@@ -1,0 +1,44 @@
+// The XMark query set (Q1..Q20) compiled by hand onto the pxq physical
+// operators — staircase-join XPath steps, positional value accesses and
+// hash/sort joins — the way Pathfinder would compile the XQuery
+// originals (DESIGN.md substitutions). Each query is templated on the
+// store so the read-only and updatable schemas execute the identical
+// plan; Figure 9 charges any runtime difference to the storage schema.
+//
+// Results are reduced to {cardinality, checksum} so the ro/up runs can
+// be verified to produce identical answers and the compiler cannot
+// dead-code-eliminate the work.
+#ifndef PXQ_XMARK_QUERIES_H_
+#define PXQ_XMARK_QUERIES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace pxq::xmark {
+
+inline constexpr int kNumQueries = 20;
+
+struct QueryResult {
+  int64_t cardinality = 0;
+  uint64_t checksum = 0;
+
+  void Add(int64_t count, uint64_t hash) {
+    cardinality += count;
+    checksum = checksum * 1099511628211ULL + hash;
+  }
+  bool operator==(const QueryResult& o) const = default;
+};
+
+/// One-line description of query q (1-based), for harness output.
+const char* QueryDescription(int q);
+
+/// Run query q (1-based) against a store. Explicitly instantiated for
+/// ReadOnlyStore and PagedStore in queries.cc.
+template <typename Store>
+StatusOr<QueryResult> RunQuery(const Store& store, int q);
+
+}  // namespace pxq::xmark
+
+#endif  // PXQ_XMARK_QUERIES_H_

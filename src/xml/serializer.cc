@@ -1,0 +1,92 @@
+#include "xml/serializer.h"
+
+#include "common/strings.h"
+
+namespace pxq::xml {
+
+Serializer::Serializer(SerializeOptions options) : options_(options) {}
+
+void Serializer::Indent() {
+  if (!options_.pretty || last_was_text_) return;
+  if (!out_.empty()) out_ += '\n';
+  out_.append(open_.size() * 2, ' ');
+}
+
+void Serializer::CloseStartTagIfOpen() {
+  if (start_tag_open_) {
+    out_ += '>';
+    start_tag_open_ = false;
+  }
+}
+
+void Serializer::StartElement(std::string_view name,
+                              const std::vector<Attribute>& attrs) {
+  CloseStartTagIfOpen();
+  Indent();
+  out_ += '<';
+  out_ += name;
+  for (const Attribute& a : attrs) {
+    out_ += ' ';
+    out_ += a.name;
+    out_ += "=\"";
+    out_ += XmlEscape(a.value, /*attribute=*/true);
+    out_ += '"';
+  }
+  open_.emplace_back(name);
+  start_tag_open_ = true;
+  last_was_text_ = false;
+}
+
+void Serializer::EndElement() {
+  if (open_.empty()) return;  // tolerated; Finish() reports imbalance
+  std::string name = open_.back();
+  open_.pop_back();
+  if (start_tag_open_) {
+    out_ += "/>";
+    start_tag_open_ = false;
+  } else {
+    Indent();
+    out_ += "</";
+    out_ += name;
+    out_ += '>';
+  }
+  last_was_text_ = false;
+}
+
+void Serializer::Text(std::string_view text) {
+  CloseStartTagIfOpen();
+  out_ += XmlEscape(text, /*attribute=*/false);
+  last_was_text_ = true;
+}
+
+void Serializer::Comment(std::string_view text) {
+  CloseStartTagIfOpen();
+  Indent();
+  out_ += "<!--";
+  out_ += text;
+  out_ += "-->";
+  last_was_text_ = false;
+}
+
+void Serializer::Pi(std::string_view target, std::string_view data) {
+  CloseStartTagIfOpen();
+  Indent();
+  out_ += "<?";
+  out_ += target;
+  if (!data.empty()) {
+    out_ += ' ';
+    out_ += data;
+  }
+  out_ += "?>";
+  last_was_text_ = false;
+}
+
+StatusOr<std::string> Serializer::Finish() {
+  if (!open_.empty()) {
+    return Status::Corruption(
+        StrFormat("serializer finished with %zu open elements", open_.size()));
+  }
+  return std::move(out_);
+}
+
+}  // namespace pxq::xml

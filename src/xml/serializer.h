@@ -1,0 +1,83 @@
+// XML output builder: the inverse of the parser. Consumers push events
+// (start element / text / ...) and read back a well-formed document
+// string. Used by the store serializer, test oracles and examples.
+#ifndef PXQ_XML_SERIALIZER_H_
+#define PXQ_XML_SERIALIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/parser.h"
+
+namespace pxq::xml {
+
+struct SerializeOptions {
+  /// Emit newline + two-space indentation per depth level.
+  bool pretty = false;
+};
+
+/// Streaming writer with matching-tag bookkeeping. All text is escaped.
+class Serializer {
+ public:
+  explicit Serializer(SerializeOptions options = {});
+
+  void StartElement(std::string_view name,
+                    const std::vector<Attribute>& attrs = {});
+  void EndElement();
+  void Text(std::string_view text);
+  void Comment(std::string_view text);
+  void Pi(std::string_view target, std::string_view data);
+
+  /// Finish and return the document. Returns Corruption if elements are
+  /// still open.
+  StatusOr<std::string> Finish();
+
+  /// Current nesting depth (for tests).
+  size_t depth() const { return open_.size(); }
+
+ private:
+  void Indent();
+  void CloseStartTagIfOpen();
+
+  SerializeOptions options_;
+  std::string out_;
+  std::vector<std::string> open_;
+  bool start_tag_open_ = false;   // "<name ..." emitted, '>' pending
+  bool last_was_text_ = false;    // suppress indent after inline text
+};
+
+/// EventHandler adapter: parse into a Serializer (round-trip helper).
+class SerializingHandler : public EventHandler {
+ public:
+  explicit SerializingHandler(Serializer* out) : out_(out) {}
+  Status OnStartElement(std::string_view name,
+                        const std::vector<Attribute>& attrs) override {
+    out_->StartElement(name, attrs);
+    return Status::OK();
+  }
+  Status OnEndElement(std::string_view) override {
+    out_->EndElement();
+    return Status::OK();
+  }
+  Status OnText(std::string_view text) override {
+    out_->Text(text);
+    return Status::OK();
+  }
+  Status OnComment(std::string_view text) override {
+    out_->Comment(text);
+    return Status::OK();
+  }
+  Status OnPi(std::string_view target, std::string_view data) override {
+    out_->Pi(target, data);
+    return Status::OK();
+  }
+
+ private:
+  Serializer* out_;
+};
+
+}  // namespace pxq::xml
+
+#endif  // PXQ_XML_SERIALIZER_H_

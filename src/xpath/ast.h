@@ -1,0 +1,77 @@
+// XPath subset AST. Axes follow XPath 1.0; the subset covers what the
+// XMark queries and XUpdate select expressions need (see parser.h).
+#ifndef PXQ_XPATH_AST_H_
+#define PXQ_XPATH_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pxq::xpath {
+
+enum class Axis : uint8_t {
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kSelf,
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+  kFollowing,
+  kPreceding,
+  kFollowingSibling,
+  kPrecedingSibling,
+  kAttribute,
+};
+
+/// Node test within a step.
+struct NodeTest {
+  enum class Kind : uint8_t {
+    kName,     // element (or attribute) with this qname
+    kAnyName,  // *
+    kText,     // text()
+    kComment,  // comment()
+    kAnyNode,  // node()
+  };
+  Kind kind = Kind::kAnyName;
+  std::string name;  // kName only; resolved against the store's qn pool
+};
+
+struct Path;  // forward: predicates hold relative paths
+
+/// Comparison operator in value predicates.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct Predicate {
+  enum class Kind : uint8_t {
+    kPosition,  // [3]
+    kLast,      // [last()]
+    kExists,    // [path]           — true if the relative path is non-empty
+    kCompare,   // [path op value]  — numeric if both sides parse as numbers
+  };
+  Kind kind = Kind::kPosition;
+  int64_t position = 0;             // kPosition (1-based)
+  std::vector<struct Step> rel;     // kExists / kCompare: relative steps
+  CmpOp op = CmpOp::kEq;            // kCompare
+  std::string value;                // kCompare literal
+};
+
+struct Step {
+  Axis axis = Axis::kChild;
+  NodeTest test;
+  std::vector<Predicate> predicates;
+};
+
+/// A location path. Absolute paths start at the document root element.
+struct Path {
+  bool absolute = false;
+  std::vector<Step> steps;
+};
+
+/// Render back to XPath syntax (diagnostics, test output).
+std::string ToString(const Path& path);
+std::string ToString(const Step& step);
+
+}  // namespace pxq::xpath
+
+#endif  // PXQ_XPATH_AST_H_

@@ -1,0 +1,3 @@
+#include "xpath/evaluator.h"
+
+namespace pxq::xpath {}

@@ -1,0 +1,381 @@
+// XPath evaluator, templated on the store type so both schemas execute
+// identical plans (see staircase.h). Loop-lifted: every step maps a
+// sorted context sequence to a sorted result sequence.
+#ifndef PXQ_XPATH_EVALUATOR_H_
+#define PXQ_XPATH_EVALUATOR_H_
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/attr_table.h"
+#include "xpath/ast.h"
+#include "xpath/parser.h"
+#include "xpath/staircase.h"
+
+namespace pxq::xpath {
+
+namespace detail {
+inline bool ParseNumber(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+inline bool CompareValues(const std::string& a, CmpOp op,
+                          const std::string& b) {
+  double x, y;
+  if (ParseNumber(a, &x) && ParseNumber(b, &y)) {
+    switch (op) {
+      case CmpOp::kEq: return x == y;
+      case CmpOp::kNe: return x != y;
+      case CmpOp::kLt: return x < y;
+      case CmpOp::kLe: return x <= y;
+      case CmpOp::kGt: return x > y;
+      case CmpOp::kGe: return x >= y;
+    }
+  }
+  switch (op) {
+    case CmpOp::kEq: return a == b;
+    case CmpOp::kNe: return a != b;
+    default: return false;  // ordered comparison of non-numbers: false
+  }
+}
+}  // namespace detail
+
+template <typename Store>
+class Evaluator {
+ public:
+  explicit Evaluator(const Store& store) : store_(store) {}
+
+  /// Evaluate a path from the document root.
+  StatusOr<std::vector<PreId>> Eval(const Path& path) const {
+    return Eval(path, {store_.Root()});
+  }
+  StatusOr<std::vector<PreId>> Eval(std::string_view path_text) const {
+    PXQ_ASSIGN_OR_RETURN(Path path, ParsePath(path_text));
+    return Eval(path);
+  }
+
+  /// Evaluate a path from an explicit (sorted, deduped) context.
+  StatusOr<std::vector<PreId>> Eval(const Path& path,
+                                    std::vector<PreId> ctx) const {
+    size_t first = 0;
+    if (path.absolute) {
+      // Absolute paths conceptually start at a document node above the
+      // root element (which we do not store): /site matches the root
+      // element itself; //x scans root + descendants.
+      if (path.steps.empty()) return std::vector<PreId>{store_.Root()};
+      const Step& s0 = path.steps[0];
+      QnameId qn = -1;
+      if (s0.test.kind == NodeTest::Kind::kName) {
+        qn = store_.pools().FindQname(s0.test.name);
+      }
+      std::vector<PreId> cand;
+      switch (s0.axis) {
+        case Axis::kChild:
+        case Axis::kSelf:
+          if (MatchTest(s0.test, store_.Root(), qn)) {
+            cand.push_back(store_.Root());
+          }
+          break;
+        case Axis::kDescendant:
+        case Axis::kDescendantOrSelf: {
+          PreId root = store_.Root();
+          if (MatchTest(s0.test, root, qn)) cand.push_back(root);
+          for (PreId p : StaircaseDescendant(store_, {root})) {
+            if (MatchTest(s0.test, p, qn)) cand.push_back(p);
+          }
+          break;
+        }
+        default:
+          return Status::Unsupported(
+              "unsupported leading axis for an absolute path");
+      }
+      PXQ_RETURN_IF_ERROR(FilterPredicates(path.steps[0], &cand));
+      ctx = std::move(cand);
+      first = 1;
+    }
+    for (size_t i = first; i < path.steps.size(); ++i) {
+      const Step& step = path.steps[i];
+      if (step.axis == Axis::kAttribute) {
+        return Status::Unsupported(
+            "attribute axis yields no nodes; use EvalStrings");
+      }
+      if (ctx.empty()) break;
+      PXQ_ASSIGN_OR_RETURN(ctx, EvalStep(step, ctx));
+    }
+    return ctx;
+  }
+
+  /// Evaluate a path whose final step may be an attribute step; returns
+  /// string values (attribute values, or node string-values otherwise).
+  StatusOr<std::vector<std::string>> EvalStrings(const Path& path) const {
+    return EvalStrings(path, {store_.Root()});
+  }
+  StatusOr<std::vector<std::string>> EvalStrings(
+      const Path& path, std::vector<PreId> ctx) const {
+    Path prefix = path;
+    std::optional<Step> attr_step;
+    if (!prefix.steps.empty() &&
+        prefix.steps.back().axis == Axis::kAttribute) {
+      attr_step = prefix.steps.back();
+      prefix.steps.pop_back();
+    }
+    PXQ_ASSIGN_OR_RETURN(ctx, Eval(prefix, std::move(ctx)));
+    std::vector<std::string> out;
+    for (PreId p : ctx) {
+      if (attr_step) {
+        auto v = AttrValue(p, attr_step->test);
+        if (v) out.push_back(*v);
+      } else {
+        out.push_back(StringValue(p));
+      }
+    }
+    return out;
+  }
+
+  /// XPath string-value: text content for value nodes, concatenated
+  /// descendant text for elements.
+  std::string StringValue(PreId pre) const {
+    switch (store_.KindAt(pre)) {
+      case NodeKind::kText:
+      case NodeKind::kComment:
+      case NodeKind::kPi:
+        return store_.pools().ValueOf(store_.KindAt(pre),
+                                      store_.RefAt(pre));
+      case NodeKind::kElement: {
+        std::string out;
+        PreId end = pre + store_.SizeAt(pre);
+        for (PreId p = store_.SkipHoles(pre + 1); p <= end;
+             p = store_.SkipHoles(p + 1)) {
+          if (store_.KindAt(p) == NodeKind::kText) {
+            out += store_.pools().Text(store_.RefAt(p));
+          }
+        }
+        return out;
+      }
+      default:
+        return {};
+    }
+  }
+
+  /// Value of the attribute matching `test` on element `pre`.
+  std::optional<std::string> AttrValue(PreId pre,
+                                       const NodeTest& test) const {
+    if (store_.KindAt(pre) != NodeKind::kElement) return std::nullopt;
+    if (test.kind == NodeTest::Kind::kName) {
+      QnameId qn = store_.pools().FindQname(test.name);
+      if (qn < 0) return std::nullopt;
+      int32_t row = store_.attrs().FindByName(store_.AttrOwnerOf(pre), qn);
+      if (row < 0) return std::nullopt;
+      return store_.pools().Prop(store_.attrs().row(row).prop);
+    }
+    // @* : first attribute, if any.
+    std::vector<int32_t> rows;
+    store_.attrs().Lookup(store_.AttrOwnerOf(pre), &rows);
+    if (rows.empty()) return std::nullopt;
+    return store_.pools().Prop(store_.attrs().row(rows[0]).prop);
+  }
+
+  /// One step over a context sequence.
+  StatusOr<std::vector<PreId>> EvalStep(const Step& step,
+                                        const std::vector<PreId>& ctx) const {
+    bool positional = false;
+    for (const Predicate& p : step.predicates) {
+      if (p.kind == Predicate::Kind::kPosition ||
+          p.kind == Predicate::Kind::kLast) {
+        positional = true;
+      }
+    }
+    std::vector<PreId> out;
+    if (positional) {
+      // Positional predicates are relative to each origin's result list.
+      for (PreId c : ctx) {
+        PXQ_ASSIGN_OR_RETURN(std::vector<PreId> cand,
+                             AxisNodes(step, {c}));
+        PXQ_RETURN_IF_ERROR(FilterPredicates(step, &cand));
+        out.insert(out.end(), cand.begin(), cand.end());
+      }
+      Normalize(&out);
+    } else {
+      PXQ_ASSIGN_OR_RETURN(out, AxisNodes(step, ctx));
+      PXQ_RETURN_IF_ERROR(FilterPredicates(step, &out));
+    }
+    return out;
+  }
+
+ private:
+  bool MatchTest(const NodeTest& test, PreId p, QnameId qn) const {
+    switch (test.kind) {
+      case NodeTest::Kind::kName:
+        return qn >= 0 && store_.KindAt(p) == NodeKind::kElement &&
+               store_.RefAt(p) == qn;
+      case NodeTest::Kind::kAnyName:
+        return store_.KindAt(p) == NodeKind::kElement;
+      case NodeTest::Kind::kText:
+        return store_.KindAt(p) == NodeKind::kText;
+      case NodeTest::Kind::kComment:
+        return store_.KindAt(p) == NodeKind::kComment;
+      case NodeTest::Kind::kAnyNode:
+        return true;
+    }
+    return false;
+  }
+
+  /// Axis + node test (no predicates), sorted/dedup output.
+  StatusOr<std::vector<PreId>> AxisNodes(
+      const Step& step, const std::vector<PreId>& ctx) const {
+    QnameId qn = -1;
+    if (step.test.kind == NodeTest::Kind::kName) {
+      qn = store_.pools().FindQname(step.test.name);
+      if (qn < 0) return std::vector<PreId>{};  // name never interned
+    }
+    std::vector<PreId> out;
+    auto keep = [&](PreId p) {
+      if (MatchTest(step.test, p, qn)) out.push_back(p);
+    };
+    switch (step.axis) {
+      case Axis::kChild:
+        for (PreId c : ctx) {
+          if (store_.KindAt(c) != NodeKind::kElement) continue;
+          ForEachChild(store_, c, keep);
+        }
+        Normalize(&out);
+        break;
+      case Axis::kDescendant:
+        for (PreId p : StaircaseDescendant(store_, ctx)) keep(p);
+        break;
+      case Axis::kDescendantOrSelf: {
+        std::vector<PreId> d = StaircaseDescendant(store_, ctx);
+        for (PreId c : ctx) keep(c);
+        for (PreId p : d) keep(p);
+        Normalize(&out);
+        break;
+      }
+      case Axis::kSelf:
+        for (PreId c : ctx) keep(c);
+        break;
+      case Axis::kParent: {
+        for (PreId c : ctx) {
+          auto chain = DescendToAncestors(store_, c);
+          if (!chain.empty()) keep(chain.back());
+        }
+        Normalize(&out);
+        break;
+      }
+      case Axis::kAncestor:
+      case Axis::kAncestorOrSelf: {
+        for (PreId c : ctx) {
+          for (PreId a : DescendToAncestors(store_, c)) keep(a);
+          if (step.axis == Axis::kAncestorOrSelf) keep(c);
+        }
+        Normalize(&out);
+        break;
+      }
+      case Axis::kFollowing:
+        for (PreId p : StaircaseFollowing(store_, ctx)) keep(p);
+        break;
+      case Axis::kPreceding:
+        for (PreId p : StaircasePreceding(store_, ctx)) keep(p);
+        break;
+      case Axis::kFollowingSibling:
+        for (PreId c : ctx) ForEachFollowingSibling(store_, c, keep);
+        Normalize(&out);
+        break;
+      case Axis::kPrecedingSibling: {
+        for (PreId c : ctx) {
+          auto chain = DescendToAncestors(store_, c);
+          if (chain.empty()) continue;
+          ForEachChild(store_, chain.back(), [&](PreId s) {
+            if (s < c) keep(s);
+          });
+        }
+        Normalize(&out);
+        break;
+      }
+      case Axis::kAttribute:
+        return Status::Unsupported("attribute axis inside a node step");
+    }
+    return out;
+  }
+
+  Status FilterPredicates(const Step& step, std::vector<PreId>* nodes) const {
+    for (const Predicate& pred : step.predicates) {
+      std::vector<PreId> kept;
+      const auto last = static_cast<int64_t>(nodes->size());
+      for (int64_t i = 0; i < last; ++i) {
+        PreId p = (*nodes)[static_cast<size_t>(i)];
+        bool ok = false;
+        switch (pred.kind) {
+          case Predicate::Kind::kPosition:
+            ok = (i + 1 == pred.position);
+            break;
+          case Predicate::Kind::kLast:
+            ok = (i + 1 == last);
+            break;
+          case Predicate::Kind::kExists:
+          case Predicate::Kind::kCompare: {
+            PXQ_ASSIGN_OR_RETURN(bool r, EvalValuePredicate(pred, p));
+            ok = r;
+            break;
+          }
+        }
+        if (ok) kept.push_back(p);
+      }
+      *nodes = std::move(kept);
+    }
+    return Status::OK();
+  }
+
+  StatusOr<bool> EvalValuePredicate(const Predicate& pred, PreId node) const {
+    // Split the relative steps into node steps + optional attr tail.
+    Path rel;
+    rel.absolute = false;
+    rel.steps = pred.rel;
+    std::optional<Step> attr_step;
+    if (!rel.steps.empty() && rel.steps.back().axis == Axis::kAttribute) {
+      attr_step = rel.steps.back();
+      rel.steps.pop_back();
+    }
+    PXQ_ASSIGN_OR_RETURN(std::vector<PreId> nodes, Eval(rel, {node}));
+    if (pred.kind == Predicate::Kind::kExists) {
+      if (!attr_step) return !nodes.empty();
+      for (PreId p : nodes) {
+        if (AttrValue(p, attr_step->test)) return true;
+      }
+      return false;
+    }
+    // kCompare: existential comparison.
+    for (PreId p : nodes) {
+      std::string v;
+      if (attr_step) {
+        auto a = AttrValue(p, attr_step->test);
+        if (!a) continue;
+        v = *a;
+      } else {
+        v = StringValue(p);
+      }
+      if (detail::CompareValues(v, pred.op, pred.value)) return true;
+    }
+    return false;
+  }
+
+  const Store& store_;
+};
+
+/// Convenience: parse + evaluate from the root.
+template <typename Store>
+StatusOr<std::vector<PreId>> EvaluatePath(const Store& store,
+                                          std::string_view path_text) {
+  Evaluator<Store> ev(store);
+  return ev.Eval(path_text);
+}
+
+}  // namespace pxq::xpath
+
+#endif  // PXQ_XPATH_EVALUATOR_H_

@@ -1,0 +1,30 @@
+// XPath parser for the supported subset:
+//
+//   path       := '/'? step ( ('/' | '//') step )*  |  '//' step ...
+//   step       := axis '::' nodetest preds
+//               | nodetest preds          (child axis)
+//               | '@' name preds          (attribute axis)
+//               | '.' | '..'
+//   nodetest   := NAME | '*' | 'text()' | 'comment()' | 'node()'
+//   preds      := ( '[' pred ']' )*
+//   pred       := INTEGER | 'last()' | relpath | relpath cmp literal
+//   cmp        := '=' | '!=' | '<' | '<=' | '>' | '>='
+//   literal    := 'string' | "string" | number
+//
+// '//' between steps desugars to a descendant(-or-self) axis. This is
+// the subset the XMark workload and XUpdate select expressions exercise.
+#ifndef PXQ_XPATH_PARSER_H_
+#define PXQ_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace pxq::xpath {
+
+StatusOr<Path> ParsePath(std::string_view text);
+
+}  // namespace pxq::xpath
+
+#endif  // PXQ_XPATH_PARSER_H_

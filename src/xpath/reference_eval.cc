@@ -1,0 +1,3 @@
+#include "xpath/reference_eval.h"
+
+namespace pxq::xpath {}

@@ -1,0 +1,247 @@
+// Brute-force XPath reference evaluator for property tests: every axis
+// is a full scan of all used tuples with the textbook pre/size/level
+// interval tests — no staircase pruning, no skipping, no shared code
+// with the production evaluator's axis implementations. If the fast and
+// the slow evaluator agree on random documents and random paths, the
+// staircase machinery (including hole skipping on the paged store) is
+// exercised end to end.
+#ifndef PXQ_XPATH_REFERENCE_EVAL_H_
+#define PXQ_XPATH_REFERENCE_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "xpath/ast.h"
+#include "xpath/evaluator.h"
+
+namespace pxq::xpath {
+
+template <typename Store>
+class ReferenceEvaluator {
+ public:
+  explicit ReferenceEvaluator(const Store& store) : store_(store) {
+    for (PreId p = 0; p < store_.view_size(); ++p) {
+      if (store_.IsUsed(p)) all_.push_back(p);
+    }
+  }
+
+  StatusOr<std::vector<PreId>> Eval(const Path& path) const {
+    return Eval(path, {all_.empty() ? 0 : all_[0]});
+  }
+
+  StatusOr<std::vector<PreId>> Eval(const Path& path,
+                                    std::vector<PreId> ctx) const {
+    size_t first = 0;
+    if (path.absolute) {
+      if (path.steps.empty()) return std::vector<PreId>{all_[0]};
+      const Step& s0 = path.steps[0];
+      std::vector<PreId> cand;
+      switch (s0.axis) {
+        case Axis::kChild:
+        case Axis::kSelf:
+          if (Match(s0.test, all_[0])) cand.push_back(all_[0]);
+          break;
+        case Axis::kDescendant:
+        case Axis::kDescendantOrSelf:
+          for (PreId v : all_) {
+            if (Match(s0.test, v)) cand.push_back(v);
+          }
+          break;
+        default:
+          return Status::Unsupported("leading axis");
+      }
+      PXQ_RETURN_IF_ERROR(Filter(s0, &cand));
+      ctx = std::move(cand);
+      first = 1;
+    }
+    for (size_t i = first; i < path.steps.size(); ++i) {
+      if (ctx.empty()) break;
+      if (path.steps[i].axis == Axis::kAttribute) {
+        return Status::Unsupported("attribute axis in node path");
+      }
+      PXQ_ASSIGN_OR_RETURN(ctx, EvalStep(path.steps[i], ctx));
+    }
+    return ctx;
+  }
+
+  StatusOr<std::vector<PreId>> EvalStep(const Step& step,
+                                        const std::vector<PreId>& ctx) const {
+    bool positional = false;
+    for (const Predicate& p : step.predicates) {
+      if (p.kind == Predicate::Kind::kPosition ||
+          p.kind == Predicate::Kind::kLast) {
+        positional = true;
+      }
+    }
+    std::vector<PreId> out;
+    if (positional) {
+      for (PreId c : ctx) {
+        std::vector<PreId> cand = Axis_(step, c);
+        PXQ_RETURN_IF_ERROR(Filter(step, &cand));
+        out.insert(out.end(), cand.begin(), cand.end());
+      }
+    } else {
+      for (PreId c : ctx) {
+        std::vector<PreId> cand = Axis_(step, c);
+        out.insert(out.end(), cand.begin(), cand.end());
+      }
+      Normalize(&out);
+      PXQ_RETURN_IF_ERROR(Filter(step, &out));
+      return out;
+    }
+    Normalize(&out);
+    return out;
+  }
+
+ private:
+  std::vector<PreId> Axis_(const Step& step, PreId c) const {
+    std::vector<PreId> out;
+    const int64_t cs = store_.SizeAt(c);
+    const int32_t cl = store_.LevelAt(c);
+    PreId parent = kNullPre;
+    int64_t best = -1;
+    for (PreId v : all_) {
+      if (v < c && c <= v + store_.SizeAt(v) && v > best) {
+        // nearest enclosing region below: track max pre ancestor
+        if (store_.LevelAt(v) == cl - 1) parent = v;
+        best = v;
+      }
+    }
+    for (PreId v : all_) {
+      bool in = false;
+      switch (step.axis) {
+        case xpath::Axis::kChild:
+          in = (c < v && v <= c + cs && store_.LevelAt(v) == cl + 1);
+          break;
+        case xpath::Axis::kDescendant:
+          in = (c < v && v <= c + cs);
+          break;
+        case xpath::Axis::kDescendantOrSelf:
+          in = (c <= v && v <= c + cs);
+          break;
+        case xpath::Axis::kSelf:
+          in = (v == c);
+          break;
+        case xpath::Axis::kParent:
+          in = (v == parent);
+          break;
+        case xpath::Axis::kAncestor:
+          in = (v < c && c <= v + store_.SizeAt(v));
+          break;
+        case xpath::Axis::kAncestorOrSelf:
+          in = (v <= c && c <= v + store_.SizeAt(v));
+          break;
+        case xpath::Axis::kFollowing:
+          in = (v > c + cs);
+          break;
+        case xpath::Axis::kPreceding:
+          in = (v + store_.SizeAt(v) < c);
+          break;
+        case xpath::Axis::kFollowingSibling:
+          in = (v > c && parent != kNullPre && parent < v &&
+                v <= parent + store_.SizeAt(parent) &&
+                store_.LevelAt(v) == cl);
+          break;
+        case xpath::Axis::kPrecedingSibling:
+          in = (v < c && parent != kNullPre && parent < v &&
+                store_.LevelAt(v) == cl);
+          break;
+        case xpath::Axis::kAttribute:
+          break;
+      }
+      if (in && Match(step.test, v)) out.push_back(v);
+    }
+    return out;
+  }
+
+  bool Match(const NodeTest& test, PreId v) const {
+    switch (test.kind) {
+      case NodeTest::Kind::kName: {
+        if (store_.KindAt(v) != NodeKind::kElement) return false;
+        QnameId qn = store_.pools().FindQname(test.name);
+        return qn >= 0 && store_.RefAt(v) == qn;
+      }
+      case NodeTest::Kind::kAnyName:
+        return store_.KindAt(v) == NodeKind::kElement;
+      case NodeTest::Kind::kText:
+        return store_.KindAt(v) == NodeKind::kText;
+      case NodeTest::Kind::kComment:
+        return store_.KindAt(v) == NodeKind::kComment;
+      case NodeTest::Kind::kAnyNode:
+        return true;
+    }
+    return false;
+  }
+
+  Status Filter(const Step& step, std::vector<PreId>* nodes) const {
+    Evaluator<Store> ev(store_);  // reuse value/compare machinery only
+    for (const Predicate& pred : step.predicates) {
+      std::vector<PreId> kept;
+      const auto last = static_cast<int64_t>(nodes->size());
+      for (int64_t i = 0; i < last; ++i) {
+        PreId p = (*nodes)[static_cast<size_t>(i)];
+        bool ok = false;
+        switch (pred.kind) {
+          case Predicate::Kind::kPosition:
+            ok = (i + 1 == pred.position);
+            break;
+          case Predicate::Kind::kLast:
+            ok = (i + 1 == last);
+            break;
+          case Predicate::Kind::kExists:
+          case Predicate::Kind::kCompare: {
+            Path rel;
+            rel.steps = pred.rel;
+            std::optional<Step> attr_step;
+            if (!rel.steps.empty() &&
+                rel.steps.back().axis == Axis::kAttribute) {
+              attr_step = rel.steps.back();
+              rel.steps.pop_back();
+            }
+            PXQ_ASSIGN_OR_RETURN(std::vector<PreId> rs, Eval(rel, {p}));
+            if (pred.kind == Predicate::Kind::kExists) {
+              if (!attr_step) {
+                ok = !rs.empty();
+              } else {
+                for (PreId r : rs) {
+                  if (ev.AttrValue(r, attr_step->test)) {
+                    ok = true;
+                    break;
+                  }
+                }
+              }
+            } else {
+              for (PreId r : rs) {
+                std::string v;
+                if (attr_step) {
+                  auto a = ev.AttrValue(r, attr_step->test);
+                  if (!a) continue;
+                  v = *a;
+                } else {
+                  v = ev.StringValue(r);
+                }
+                if (detail::CompareValues(v, pred.op, pred.value)) {
+                  ok = true;
+                  break;
+                }
+              }
+            }
+            break;
+          }
+        }
+        if (ok) kept.push_back(p);
+      }
+      *nodes = std::move(kept);
+    }
+    return Status::OK();
+  }
+
+  const Store& store_;
+  std::vector<PreId> all_;
+};
+
+}  // namespace pxq::xpath
+
+#endif  // PXQ_XPATH_REFERENCE_EVAL_H_

@@ -1,0 +1,3 @@
+#include "xpath/staircase.h"
+
+namespace pxq::xpath {}

@@ -1,0 +1,40 @@
+// XUpdate executor: translates parsed Update operations into structural
+// and value edits on a PagedStore — the paper's XUpdate-to-relational-
+// bulk-update mapping (end of Section 3.1). Target sets are pinned as
+// immutable node ids before any mutation, so earlier edits in a batch
+// cannot invalidate later targets' positions.
+#ifndef PXQ_XUPDATE_APPLY_H_
+#define PXQ_XUPDATE_APPLY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/paged_store.h"
+#include "xupdate/ast.h"
+#include "xupdate/parser.h"
+
+namespace pxq::xupdate {
+
+struct ApplyStats {
+  int64_t targets = 0;         // context nodes the selects matched
+  int64_t nodes_inserted = 0;
+  int64_t nodes_deleted = 0;
+  int64_t value_updates = 0;
+};
+
+/// Apply one parsed update to every node its select matches.
+StatusOr<ApplyStats> ApplyUpdate(storage::PagedStore* store,
+                                 const Update& update);
+
+/// Apply a batch in order; stats are accumulated.
+StatusOr<ApplyStats> ApplyUpdates(storage::PagedStore* store,
+                                  const std::vector<Update>& updates);
+
+/// Parse and apply a complete <xupdate:modifications> document.
+StatusOr<ApplyStats> ApplyXUpdate(storage::PagedStore* store,
+                                  std::string_view xupdate_doc);
+
+}  // namespace pxq::xupdate
+
+#endif  // PXQ_XUPDATE_APPLY_H_

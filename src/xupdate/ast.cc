@@ -1,0 +1,3 @@
+#include "xupdate/ast.h"
+
+namespace pxq::xupdate {}

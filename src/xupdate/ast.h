@@ -1,0 +1,45 @@
+// XUpdate AST (Section 2.1 of the paper). A parsed
+// <xupdate:modifications> document is a sequence of Update operations;
+// structural content is carried as shredded fragments (NewTuple forests
+// + their attributes), ready for PagedStore::InsertTuples.
+#ifndef PXQ_XUPDATE_AST_H_
+#define PXQ_XUPDATE_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/store_common.h"
+#include "xpath/ast.h"
+
+namespace pxq::xupdate {
+
+/// A content fragment to insert: a forest in document order with levels
+/// relative to the insertion point, plus attributes of its elements.
+struct Fragment {
+  std::vector<storage::NewTuple> tuples;
+  std::vector<storage::NewAttr> attrs;
+
+  bool empty() const { return tuples.empty(); }
+};
+
+struct Update {
+  enum class Kind : uint8_t {
+    kRemove,        // <xupdate:remove select=.../>
+    kInsertBefore,  // <xupdate:insert-before select=...>content</...>
+    kInsertAfter,   // <xupdate:insert-after  select=...>content</...>
+    kAppend,        // <xupdate:append select=... [child=n]>content</...>
+    kUpdate,        // <xupdate:update select=...>text</...>  (value update)
+    kRename,        // <xupdate:rename select=...>name</...>
+  };
+
+  Kind kind;
+  xpath::Path select;
+  Fragment content;       // structural kinds
+  int64_t child = -1;     // kAppend: 1-based position (-1 = last)
+  std::string text;       // kUpdate: new value; kRename: new name
+};
+
+}  // namespace pxq::xupdate
+
+#endif  // PXQ_XUPDATE_AST_H_

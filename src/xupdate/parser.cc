@@ -1,0 +1,256 @@
+#include "xupdate/parser.h"
+
+#include <memory>
+
+#include "common/strings.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace pxq::xupdate {
+namespace {
+
+/// Minimal DOM for the modifications document itself (update documents
+/// are tiny; the store never sees this tree).
+struct DomNode {
+  NodeKind kind;
+  std::string name;   // element name / pi target
+  std::string value;  // text/comment/pi payload
+  std::vector<xml::Attribute> attrs;
+  std::vector<DomNode> children;
+};
+
+class DomBuilder : public xml::EventHandler {
+ public:
+  explicit DomBuilder(DomNode* root) { stack_.push_back(root); }
+
+  Status OnStartElement(std::string_view name,
+                        const std::vector<xml::Attribute>& attrs) override {
+    DomNode& n = Push(NodeKind::kElement);
+    n.name = name;
+    n.attrs = attrs;
+    stack_.push_back(&n);
+    return Status::OK();
+  }
+  Status OnEndElement(std::string_view) override {
+    stack_.pop_back();
+    return Status::OK();
+  }
+  Status OnText(std::string_view text) override {
+    Push(NodeKind::kText).value = text;
+    return Status::OK();
+  }
+  Status OnComment(std::string_view text) override {
+    Push(NodeKind::kComment).value = text;
+    return Status::OK();
+  }
+  Status OnPi(std::string_view target, std::string_view data) override {
+    DomNode& n = Push(NodeKind::kPi);
+    n.name = target;
+    n.value = data;
+    return Status::OK();
+  }
+
+ private:
+  DomNode& Push(NodeKind kind) {
+    stack_.back()->children.push_back({kind, {}, {}, {}, {}});
+    stack_.back()->children.back().kind = kind;
+    return stack_.back()->children.back();
+  }
+  std::vector<DomNode*> stack_;
+};
+
+bool IsXupdate(const DomNode& n, std::string_view local) {
+  // Accept any prefix bound to the xupdate namespace by convention
+  // ("xupdate:" or "xu:"); we match lexically like the rest of the qn
+  // handling.
+  std::string_view name = n.name;
+  size_t colon = name.find(':');
+  if (colon == std::string_view::npos) return false;
+  return name.substr(colon + 1) == local &&
+         (StartsWith(name, "xupdate:") || StartsWith(name, "xu:"));
+}
+
+const std::string* FindAttr(const DomNode& n, std::string_view name) {
+  for (const auto& a : n.attrs) {
+    if (a.name == name) return &a.value;
+  }
+  return nullptr;
+}
+
+/// Convert element content (children of an xupdate structural command)
+/// into a NewTuple forest. xupdate:element / xupdate:attribute /
+/// xupdate:text / xupdate:comment / xupdate:processing-instruction
+/// constructors and literal XML may be mixed freely.
+Status ShredContent(const DomNode& n, int32_t level, Fragment* out,
+                    storage::ContentPools* pools) {
+  for (const DomNode& c : n.children) {
+    switch (c.kind) {
+      case NodeKind::kText:
+        out->tuples.push_back(
+            {level, NodeKind::kText, pools->AddText(c.value)});
+        break;
+      case NodeKind::kComment:
+        out->tuples.push_back(
+            {level, NodeKind::kComment, pools->AddComment(c.value)});
+        break;
+      case NodeKind::kPi: {
+        std::string v = c.name;
+        if (!c.value.empty()) {
+          v += ' ';
+          v += c.value;
+        }
+        out->tuples.push_back({level, NodeKind::kPi, pools->AddPi(v)});
+        break;
+      }
+      case NodeKind::kElement: {
+        if (IsXupdate(c, "attribute")) {
+          const std::string* name = FindAttr(c, "name");
+          if (name == nullptr) {
+            return Status::ParseError("xupdate:attribute without name");
+          }
+          std::string value;
+          for (const DomNode& t : c.children) {
+            if (t.kind == NodeKind::kText) value += t.value;
+          }
+          // Attach to the nearest enclosing element tuple.
+          int32_t owner = -1;
+          for (auto i = static_cast<int32_t>(out->tuples.size()) - 1;
+               i >= 0; --i) {
+            if (out->tuples[static_cast<size_t>(i)].level_rel == level - 1 &&
+                out->tuples[static_cast<size_t>(i)].kind ==
+                    NodeKind::kElement) {
+              owner = i;
+              break;
+            }
+          }
+          if (owner < 0) {
+            return Status::ParseError(
+                "xupdate:attribute outside an element constructor");
+          }
+          out->attrs.push_back({owner, pools->InternQname(*name),
+                                pools->AddProp(value)});
+          break;
+        }
+        std::string name;
+        const DomNode* content = &c;
+        if (IsXupdate(c, "element")) {
+          const std::string* n2 = FindAttr(c, "name");
+          if (n2 == nullptr) {
+            return Status::ParseError("xupdate:element without name");
+          }
+          name = *n2;
+        } else if (IsXupdate(c, "text")) {
+          std::string v;
+          for (const DomNode& t : c.children) {
+            if (t.kind == NodeKind::kText) v += t.value;
+          }
+          out->tuples.push_back({level, NodeKind::kText, pools->AddText(v)});
+          break;
+        } else if (IsXupdate(c, "comment")) {
+          std::string v;
+          for (const DomNode& t : c.children) {
+            if (t.kind == NodeKind::kText) v += t.value;
+          }
+          out->tuples.push_back(
+              {level, NodeKind::kComment, pools->AddComment(v)});
+          break;
+        } else if (IsXupdate(c, "processing-instruction")) {
+          const std::string* n2 = FindAttr(c, "name");
+          std::string v = n2 ? *n2 : "pi";
+          for (const DomNode& t : c.children) {
+            if (t.kind == NodeKind::kText) {
+              v += ' ';
+              v += t.value;
+            }
+          }
+          out->tuples.push_back({level, NodeKind::kPi, pools->AddPi(v)});
+          break;
+        } else {
+          name = c.name;  // literal element
+        }
+        auto self = static_cast<int32_t>(out->tuples.size());
+        out->tuples.push_back(
+            {level, NodeKind::kElement, pools->InternQname(name)});
+        // Literal attributes of a literal element.
+        if (!IsXupdate(c, "element")) {
+          for (const auto& a : c.attrs) {
+            out->attrs.push_back({self, pools->InternQname(a.name),
+                                  pools->AddProp(a.value)});
+          }
+        }
+        PXQ_RETURN_IF_ERROR(ShredContent(*content, level + 1, out, pools));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<Update> TranslateCommand(const DomNode& cmd,
+                                  storage::ContentPools* pools) {
+  Update u;
+  const std::string* select = FindAttr(cmd, "select");
+  if (select == nullptr) {
+    return Status::ParseError(cmd.name + " requires a select attribute");
+  }
+  PXQ_ASSIGN_OR_RETURN(u.select, xpath::ParsePath(*select));
+
+  if (IsXupdate(cmd, "remove")) {
+    u.kind = Update::Kind::kRemove;
+    return u;
+  }
+  if (IsXupdate(cmd, "update") || IsXupdate(cmd, "rename")) {
+    u.kind = IsXupdate(cmd, "update") ? Update::Kind::kUpdate
+                                      : Update::Kind::kRename;
+    for (const DomNode& t : cmd.children) {
+      if (t.kind == NodeKind::kText) u.text += t.value;
+    }
+    return u;
+  }
+  if (IsXupdate(cmd, "insert-before")) {
+    u.kind = Update::Kind::kInsertBefore;
+  } else if (IsXupdate(cmd, "insert-after")) {
+    u.kind = Update::Kind::kInsertAfter;
+  } else if (IsXupdate(cmd, "append")) {
+    u.kind = Update::Kind::kAppend;
+    if (const std::string* child = FindAttr(cmd, "child")) {
+      uint64_t v = 0;
+      if (!ParseUint(*child, &v) || v == 0) {
+        return Status::ParseError("bad child position '" + *child + "'");
+      }
+      u.child = static_cast<int64_t>(v);
+    }
+  } else {
+    return Status::ParseError("unknown xupdate command " + cmd.name);
+  }
+  PXQ_RETURN_IF_ERROR(ShredContent(cmd, 0, &u.content, pools));
+  if (u.content.empty()) {
+    return Status::ParseError(cmd.name + " has no content to insert");
+  }
+  return u;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Update>> ParseXUpdate(std::string_view doc,
+                                           storage::ContentPools* pools) {
+  DomNode root{NodeKind::kElement, {}, {}, {}, {}};
+  DomBuilder builder(&root);
+  PXQ_RETURN_IF_ERROR(xml::Parse(doc, &builder));
+  if (root.children.size() != 1 ||
+      root.children[0].kind != NodeKind::kElement ||
+      !IsXupdate(root.children[0], "modifications")) {
+    return Status::ParseError("expected a single xupdate:modifications root");
+  }
+  std::vector<Update> updates;
+  for (const DomNode& cmd : root.children[0].children) {
+    if (cmd.kind != NodeKind::kElement) continue;  // whitespace/comments
+    PXQ_ASSIGN_OR_RETURN(Update u, TranslateCommand(cmd, pools));
+    updates.push_back(std::move(u));
+  }
+  return updates;
+}
+
+}  // namespace pxq::xupdate

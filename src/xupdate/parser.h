@@ -1,0 +1,37 @@
+// Parser for XUpdate documents:
+//
+//   <xupdate:modifications version="1.0"
+//       xmlns:xupdate="http://www.xmldb.org/xupdate">
+//     <xupdate:remove select="/site/people/person[@id='p0']"/>
+//     <xupdate:insert-after select="...">
+//       <xupdate:element name="bidder">
+//         <xupdate:attribute name="id">b7</xupdate:attribute>
+//         <increase>3.00</increase>
+//       </xupdate:element>
+//       literal elements / <xupdate:text>..</xupdate:text> also allowed
+//     </xupdate:insert-after>
+//     <xupdate:append select="..." child="2">...</xupdate:append>
+//     <xupdate:update select="...">new value</xupdate:update>
+//     <xupdate:rename select="...">newname</xupdate:rename>
+//   </xupdate:modifications>
+//
+// Content fragments are shredded straight into NewTuple forests against
+// the target store's pools (values are interned at parse time).
+#ifndef PXQ_XUPDATE_PARSER_H_
+#define PXQ_XUPDATE_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/store_common.h"
+#include "xupdate/ast.h"
+
+namespace pxq::xupdate {
+
+StatusOr<std::vector<Update>> ParseXUpdate(std::string_view doc,
+                                           storage::ContentPools* pools);
+
+}  // namespace pxq::xupdate
+
+#endif  // PXQ_XUPDATE_PARSER_H_

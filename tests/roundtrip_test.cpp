@@ -1,0 +1,153 @@
+// End-to-end round-trip properties across the whole stack:
+//   * XML -> shred -> store -> serialize is a fixpoint on both schemas
+//     and both schemas serialize identically;
+//   * after arbitrary updates, serializing and re-shredding the paged
+//     store yields an equivalent fresh store (the mutated representation
+//     is never "sticky");
+//   * lock manager unit behaviour (re-entrancy, timeout, release).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/random.h"
+#include "storage/paged_store.h"
+#include "storage/read_only_store.h"
+#include "storage/shredder.h"
+#include "storage/store_serializer.h"
+#include "txn/lock_manager.h"
+#include "xmark/generator.h"
+#include "xupdate/apply.h"
+
+namespace pxq {
+namespace {
+
+TEST(RoundTripTest, BothSchemasSerializeIdentically) {
+  xmark::GeneratorOptions opt;
+  opt.factor = 0.002;
+  std::string xml = xmark::Generate(opt);
+
+  auto ro = storage::ReadOnlyStore::Build(
+      std::move(storage::ShredXml(xml).value()));
+  storage::PagedStore::Config cfg;
+  cfg.page_tuples = 256;
+  cfg.shred_fill = 0.7;
+  auto up = std::move(
+      storage::PagedStore::Build(std::move(storage::ShredXml(xml).value()),
+                                 cfg)
+          .value());
+
+  auto ro_xml = storage::SerializeSubtree(*ro, ro->Root());
+  auto up_xml = storage::SerializeSubtree(*up, up->Root());
+  ASSERT_TRUE(ro_xml.ok() && up_xml.ok());
+  EXPECT_EQ(ro_xml.value(), up_xml.value());
+
+  // Fixpoint: serializing the reshredded output reproduces itself.
+  auto again = storage::ReadOnlyStore::Build(
+      std::move(storage::ShredXml(ro_xml.value()).value()));
+  EXPECT_EQ(storage::SerializeSubtree(*again, again->Root()).value(),
+            ro_xml.value());
+}
+
+TEST(RoundTripTest, MutatedStoreReshredsEquivalently) {
+  xmark::GeneratorOptions opt;
+  opt.factor = 0.002;
+  std::string xml = xmark::Generate(opt);
+  storage::PagedStore::Config cfg;
+  cfg.page_tuples = 128;
+  cfg.shred_fill = 0.75;
+  auto store = std::move(
+      storage::PagedStore::Build(std::move(storage::ShredXml(xml).value()),
+                                 cfg)
+          .value());
+
+  auto stats = xupdate::ApplyXUpdate(store.get(), R"(
+    <xupdate:modifications version="1.0"
+        xmlns:xupdate="http://www.xmldb.org/xupdate">
+      <xupdate:remove select="/site/regions/africa/item"/>
+      <xupdate:append select="/site/open_auctions/open_auction">
+        <bidder><date>06/12/2026</date>
+          <personref person="person0"/><increase>6.00</increase></bidder>
+      </xupdate:append>
+      <xupdate:update select="/site/people/person[@id='person1']/name">Renamed Person</xupdate:update>
+    </xupdate:modifications>)");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_TRUE(store->CheckInvariants().ok());
+
+  auto mutated_xml = storage::SerializeSubtree(*store, store->Root());
+  ASSERT_TRUE(mutated_xml.ok());
+  // Rebuild from scratch: a fresh, hole-free store of the same document.
+  auto fresh = std::move(
+      storage::PagedStore::Build(
+          std::move(storage::ShredXml(mutated_xml.value()).value()), cfg)
+          .value());
+  EXPECT_EQ(storage::SerializeSubtree(*fresh, fresh->Root()).value(),
+            mutated_xml.value());
+  // The mutated store has holes/extra pages; the fresh one is compact.
+  EXPECT_EQ(store->used_count(), fresh->used_count());
+  EXPECT_GE(store->view_size(), fresh->view_size());
+}
+
+TEST(PageLockManagerTest, ReentrantAndExclusive) {
+  txn::PageLockManager locks(std::chrono::milliseconds(30));
+  ASSERT_TRUE(locks.Acquire(1, 7).ok());
+  ASSERT_TRUE(locks.Acquire(1, 7).ok());  // re-entrant
+  ASSERT_TRUE(locks.Acquire(1, 8).ok());
+  // A different owner times out.
+  Status s = locks.Acquire(2, 7);
+  EXPECT_TRUE(s.IsConflict()) << s.ToString();
+  EXPECT_EQ(locks.HeldBy(1).size(), 2u);
+  locks.ReleaseAll(1);
+  EXPECT_TRUE(locks.HeldBy(1).empty());
+  EXPECT_TRUE(locks.Acquire(2, 7).ok());
+  locks.ReleaseAll(2);
+}
+
+TEST(PageLockManagerTest, WaiterWakesOnRelease) {
+  txn::PageLockManager locks(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(locks.Acquire(1, 3).ok());
+  std::thread waiter([&] {
+    Status s = locks.Acquire(2, 3);  // blocks until released
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    locks.ReleaseAll(2);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  locks.ReleaseAll(1);
+  waiter.join();
+}
+
+TEST(RoundTripTest, SmallDocumentsStressPageBoundaries) {
+  // Tiny pages force every code path at document boundaries.
+  Random rng(31);
+  for (int32_t page : {4, 8, 16}) {
+    for (double fill : {0.5, 1.0}) {
+      storage::PagedStore::Config cfg;
+      cfg.page_tuples = page;
+      cfg.shred_fill = fill;
+      auto store = std::move(
+          storage::PagedStore::Build(
+              std::move(storage::ShredXml("<r><a/><b/></r>").value()), cfg)
+              .value());
+      // Grow it well past several page boundaries.
+      for (int i = 0; i < 60; ++i) {
+        std::vector<storage::NewTuple> frag = {
+            {0, NodeKind::kElement, store->pools().InternQname("n")},
+            {1, NodeKind::kText, store->pools().AddText("t")}};
+        PreId root = store->Root();
+        PreId target = rng.Bernoulli(0.5)
+                           ? root
+                           : store->SkipHoles(root + 1);
+        auto ids = store->InsertTuples(
+            target + store->SizeAt(target) + 1, target, frag);
+        ASSERT_TRUE(ids.ok()) << "page=" << page << " fill=" << fill
+                              << " i=" << i << ": "
+                              << ids.status().ToString();
+        Status inv = store->CheckInvariants();
+        ASSERT_TRUE(inv.ok()) << inv.ToString();
+      }
+      EXPECT_EQ(store->used_count(), 3 + 60 * 2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pxq

@@ -1,0 +1,196 @@
+// Smoke tests pinned to the paper's running example (Fig. 2-4): the
+// ten-node document <a><b><c><d/><e/></c></b><f><g/><h><i/><j/></h></f></a>
+// and the <xupdate:append select='/a/f/g'><k><l/><m/></k></xupdate:append>
+// insert that Figures 3/4 trace through both schemas.
+#include <gtest/gtest.h>
+
+#include "storage/paged_store.h"
+#include "storage/read_only_store.h"
+#include "storage/shredder.h"
+#include "storage/store_serializer.h"
+#include "xpath/evaluator.h"
+
+namespace pxq {
+namespace {
+
+constexpr const char* kFig2Doc =
+    "<a><b><c><d></d><e></e></c></b>"
+    "<f><g></g><h><i></i><j></j></h></f></a>";
+
+storage::DenseDocument Shred(const char* xml) {
+  auto doc = storage::ShredXml(xml);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(doc).value();
+}
+
+TEST(ShredderTest, Fig2DenseEncoding) {
+  storage::DenseDocument doc = Shred(kFig2Doc);
+  ASSERT_EQ(doc.node_count(), 10);
+  // Figure 2 (iv): pre/size/level of a..j.
+  std::vector<int64_t> want_size{9, 3, 2, 0, 0, 4, 0, 2, 0, 0};
+  std::vector<int32_t> want_level{0, 1, 2, 3, 3, 1, 2, 2, 3, 3};
+  EXPECT_EQ(doc.size, want_size);
+  EXPECT_EQ(doc.level, want_level);
+  // post = pre + size - level must be the Fig. 2 (ii) post ranks.
+  std::vector<int64_t> want_post{9, 3, 2, 0, 1, 8, 4, 7, 5, 6};
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(i + doc.size[i] - doc.level[i], want_post[i]) << "node " << i;
+  }
+}
+
+TEST(ReadOnlyStoreTest, AdoptsDenseImage) {
+  auto store = storage::ReadOnlyStore::Build(Shred(kFig2Doc));
+  EXPECT_EQ(store->view_size(), 10);
+  EXPECT_EQ(store->SizeAt(0), 9);
+  EXPECT_EQ(store->LevelAt(5), 1);  // f
+  EXPECT_EQ(store->KindAt(0), NodeKind::kElement);
+  EXPECT_EQ(store->pools().QnameOf(store->RefAt(5)), "f");
+}
+
+TEST(PagedStoreTest, BuildWithPageSize8MatchesFig4Layout) {
+  // Fig. 4: pagesize 8; with shred_fill 7/8 the first page holds a..g and
+  // one hole at pos 7, the second page h,i,j + five holes.
+  storage::PagedStore::Config cfg;
+  cfg.page_tuples = 8;
+  cfg.shred_fill = 0.875;
+  auto store_or = storage::PagedStore::Build(Shred(kFig2Doc), cfg);
+  ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+  auto& store = *store_or.value();
+
+  EXPECT_EQ(store.logical_page_count(), 2);
+  EXPECT_EQ(store.view_size(), 16);
+  EXPECT_EQ(store.used_count(), 10);
+  EXPECT_TRUE(store.IsUsed(6));    // g at pre 6
+  EXPECT_FALSE(store.IsUsed(7));   // the page-0 hole of Fig. 4
+  EXPECT_TRUE(store.IsUsed(8));    // h leads page 1
+  EXPECT_FALSE(store.IsUsed(11));  // page-1 padding
+  ASSERT_TRUE(store.CheckInvariants().ok())
+      << store.CheckInvariants().ToString();
+
+  // a's region must span both pages: lrd(a) = j at pre 10.
+  EXPECT_EQ(store.SizeAt(0), 10);
+  // f at pre 5: lrd = j at pre 10 -> size 5 (covers the pre-7 hole).
+  EXPECT_EQ(store.SizeAt(5), 5);
+  // Hole runs: pre 7 is a lone hole; pre 11 heads a 5-hole run.
+  EXPECT_EQ(store.SizeAt(7), 0);
+  EXPECT_EQ(store.SizeAt(11), 4);
+  EXPECT_EQ(store.SkipHoles(7), 8);
+  EXPECT_EQ(store.SkipHoles(11), 16);  // view end
+
+  // node == pos at shred time; swizzle identities.
+  for (PreId pre : {0, 5, 8, 10}) {
+    NodeId n = store.NodeAt(pre);
+    EXPECT_EQ(store.PosOfPre(pre), n);
+    auto back = store.PreOfNode(n);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), pre);
+  }
+}
+
+TEST(PagedStoreTest, Fig3AppendKlmUnderG) {
+  storage::PagedStore::Config cfg;
+  cfg.page_tuples = 8;
+  cfg.shred_fill = 0.875;
+  auto store_or = storage::PagedStore::Build(Shred(kFig2Doc), cfg);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or.value();
+
+  // <k><l/><m/></k> as children of g (pre 6). g is a leaf: insert at 7.
+  std::vector<storage::NewTuple> klm = {
+      {0, NodeKind::kElement, store.pools().InternQname("k")},
+      {1, NodeKind::kElement, store.pools().InternQname("l")},
+      {1, NodeKind::kElement, store.pools().InternQname("m")},
+  };
+  PreId g = 6;
+  auto ids_or = store.InsertTuples(g + store.SizeAt(g) + 1, g, klm);
+  ASSERT_TRUE(ids_or.ok()) << ids_or.status().ToString();
+  EXPECT_EQ(ids_or.value().size(), 3u);
+
+  ASSERT_TRUE(store.CheckInvariants().ok())
+      << store.CheckInvariants().ToString();
+  EXPECT_EQ(store.used_count(), 13);
+  // The paper's trace: k fills the page-0 hole at pre 7, and a fresh page
+  // is stitched in between for the overflow (l, m + padding).
+  EXPECT_EQ(store.physical_page_count(), 3);
+  EXPECT_EQ(store.logical_page_count(), 3);
+  EXPECT_EQ(store.stats().overflow_inserts, 1);
+  // g now has three element children named k, l, m in document order.
+  EXPECT_EQ(store.SizeAt(6), 3 + /*holes interior*/ 0 +
+                                 (store.PreOfNode(ids_or.value()[2]).value() -
+                                  6 - 3));  // == pre(m) - pre(g)
+  // Serialization shows the updated document.
+  auto xml = storage::SerializeSubtree(store, store.Root());
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(xml.value(),
+            "<a><b><c><d/><e/></c></b>"
+            "<f><g><k><l/><m/></k></g><h><i/><j/></h></f></a>");
+}
+
+TEST(PagedStoreTest, DeleteCreatesHolesWithoutShifts) {
+  storage::PagedStore::Config cfg;
+  cfg.page_tuples = 8;
+  cfg.shred_fill = 0.875;
+  auto store_or = storage::PagedStore::Build(Shred(kFig2Doc), cfg);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or.value();
+
+  // Delete <c> (pre 2, subtree c,d,e).
+  PreId h_before = 8;
+  auto del = store.DeleteSubtree(2);
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_EQ(del.value().size(), 3u);
+  EXPECT_EQ(store.used_count(), 7);
+  // No shifts: h still at pre 8.
+  EXPECT_TRUE(store.IsUsed(h_before));
+  EXPECT_EQ(store.pools().QnameOf(store.RefAt(h_before)), "h");
+  ASSERT_TRUE(store.CheckInvariants().ok())
+      << store.CheckInvariants().ToString();
+  // b (pre 1) lost its only child: size 0 now.
+  EXPECT_EQ(store.SizeAt(1), 0);
+  auto xml = storage::SerializeSubtree(store, store.Root());
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(xml.value(), "<a><b/><f><g/><h><i/><j/></h></f></a>");
+}
+
+TEST(XPathTest, AxesOnBothSchemas) {
+  auto dense = Shred(kFig2Doc);
+  auto pools = dense.pools;
+  auto ro = storage::ReadOnlyStore::Build(std::move(dense));
+
+  storage::PagedStore::Config cfg;
+  cfg.page_tuples = 8;
+  cfg.shred_fill = 0.875;
+  auto up_or = storage::PagedStore::Build(Shred(kFig2Doc), cfg);
+  ASSERT_TRUE(up_or.ok());
+  auto& up = *up_or.value();
+
+  xpath::Evaluator ro_ev(*ro);
+  xpath::Evaluator up_ev(up);
+
+  auto ro_desc = ro_ev.Eval("/a//*");
+  ASSERT_TRUE(ro_desc.ok()) << ro_desc.status().ToString();
+  EXPECT_EQ(ro_desc.value().size(), 9u);
+
+  auto up_desc = up_ev.Eval("/a//*");
+  ASSERT_TRUE(up_desc.ok()) << up_desc.status().ToString();
+  EXPECT_EQ(up_desc.value().size(), 9u);
+
+  // /a/f/g — Figure 3's select expression.
+  auto g = up_ev.Eval("/a/f/g");
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g.value().size(), 1u);
+  EXPECT_EQ(g.value()[0], 6);
+
+  // following axis of g: h, i, j.
+  auto fol = up_ev.Eval("/a/f/g/following::*");
+  ASSERT_TRUE(fol.ok());
+  EXPECT_EQ(fol.value().size(), 3u);
+
+  // ancestors of i (pre 9): a, f, h.
+  auto anc = up_ev.Eval("/a/f/h/i/ancestor::*");
+  ASSERT_TRUE(anc.ok());
+  EXPECT_EQ(anc.value().size(), 3u);
+}
+
+}  // namespace
+}  // namespace pxq

@@ -1,0 +1,338 @@
+// Parameterized sweeps: the same behavioural contracts checked across
+// the configuration grid (page sizes, fill factors, scales) the paper's
+// design must hold under.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "storage/paged_store.h"
+#include "storage/read_only_store.h"
+#include "storage/shredder.h"
+#include "storage/store_serializer.h"
+#include "txn/txn_manager.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+#include "xpath/evaluator.h"
+#include "xpath/reference_eval.h"
+#include "xupdate/apply.h"
+
+namespace pxq {
+namespace {
+
+// --------------------------------------------------------------------------
+// Sweep 1: ro/up query equality across store configurations.
+// --------------------------------------------------------------------------
+
+using StoreConfig = std::tuple<int32_t /*page_tuples*/, double /*fill*/>;
+
+class SchemaEquivalenceSweep : public ::testing::TestWithParam<StoreConfig> {
+};
+
+TEST_P(SchemaEquivalenceSweep, AllXmarkQueriesAgree) {
+  auto [page_tuples, fill] = GetParam();
+  xmark::GeneratorOptions opt;
+  opt.factor = 0.002;
+  std::string xml = xmark::Generate(opt);
+
+  auto ro = storage::ReadOnlyStore::Build(
+      std::move(storage::ShredXml(xml).value()));
+  storage::PagedStore::Config cfg;
+  cfg.page_tuples = page_tuples;
+  cfg.shred_fill = fill;
+  auto up_or =
+      storage::PagedStore::Build(std::move(storage::ShredXml(xml).value()),
+                                 cfg);
+  ASSERT_TRUE(up_or.ok()) << up_or.status().ToString();
+  auto& up = *up_or.value();
+  ASSERT_TRUE(up.CheckInvariants().ok());
+
+  for (int q = 1; q <= xmark::kNumQueries; ++q) {
+    auto a = xmark::RunQuery(*ro, q);
+    auto b = xmark::RunQuery(up, q);
+    ASSERT_TRUE(a.ok() && b.ok()) << "Q" << q;
+    EXPECT_EQ(a.value(), b.value())
+        << "Q" << q << " page=" << page_tuples << " fill=" << fill;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SchemaEquivalenceSweep,
+    ::testing::Values(StoreConfig{64, 0.5}, StoreConfig{256, 0.8},
+                      StoreConfig{1024, 1.0}, StoreConfig{4096, 0.66},
+                      StoreConfig{1 << 16, 0.8}));
+
+// --------------------------------------------------------------------------
+// Sweep 2: insert paths hit the intended Fig. 7 regime per fill factor,
+// and the update stream leaves a valid store at every page size.
+// --------------------------------------------------------------------------
+
+class InsertPathSweep
+    : public ::testing::TestWithParam<std::tuple<int32_t, double>> {};
+
+TEST_P(InsertPathSweep, PathsAndInvariants) {
+  auto [page_tuples, fill] = GetParam();
+  storage::PagedStore::Config cfg;
+  cfg.page_tuples = page_tuples;
+  cfg.shred_fill = fill;
+  auto store_or = storage::PagedStore::Build(
+      std::move(storage::ShredXml("<r><a/><b/><c/></r>").value()), cfg);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or.value();
+
+  Random rng(17);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<storage::NewTuple> frag = {
+        {0, NodeKind::kElement, store.pools().InternQname("n")}};
+    PreId root = store.Root();
+    // Rotate through append-at-end, first-child and before-second-child.
+    PreId at;
+    switch (i % 3) {
+      case 0: at = root + store.SizeAt(root) + 1; break;
+      case 1: at = root + 1; break;
+      default: {
+        PreId first = store.SkipHoles(root + 1);
+        at = store.SkipHoles(first + store.SizeAt(first) + 1);
+        break;
+      }
+    }
+    ASSERT_TRUE(store.InsertTuples(at, root, frag).ok()) << i;
+  }
+  Status inv = store.CheckInvariants();
+  ASSERT_TRUE(inv.ok()) << inv.ToString();
+  EXPECT_EQ(store.used_count(), 4 + 100);
+
+  const auto& st = store.stats();
+  if (fill >= 1.0 && page_tuples < 100) {
+    // Fully packed pages and more inserts than the tail page's slack:
+    // fresh pages must have been appended.
+    EXPECT_GT(st.overflow_inserts, 0);
+  } else {
+    // Free space exists (shred slack or the partially-filled tail page).
+    EXPECT_GT(st.hole_fill_inserts + st.within_page_inserts, 0);
+  }
+  // All three counters sum to the number of inserts.
+  EXPECT_EQ(st.hole_fill_inserts + st.within_page_inserts +
+                st.overflow_inserts,
+            100);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, InsertPathSweep,
+    ::testing::Combine(::testing::Values(4, 8, 32, 128),
+                       ::testing::Values(0.5, 0.8, 1.0)));
+
+// --------------------------------------------------------------------------
+// Sweep 3: every axis agrees with the reference evaluator on a corpus of
+// fixed documents (beyond the random ones in property_test).
+// --------------------------------------------------------------------------
+
+class AxisSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AxisSweep, AllAxesMatchReference) {
+  const char* doc = GetParam();
+  storage::PagedStore::Config cfg;
+  cfg.page_tuples = 8;
+  cfg.shred_fill = 0.75;
+  auto store_or = storage::PagedStore::Build(
+      std::move(storage::ShredXml(doc).value()), cfg);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or.value();
+
+  xpath::Evaluator<storage::PagedStore> fast(store);
+  xpath::ReferenceEvaluator<storage::PagedStore> slow(store);
+  const char* axes[] = {
+      "child", "descendant", "descendant-or-self", "self",
+      "parent", "ancestor", "ancestor-or-self", "following",
+      "preceding", "following-sibling", "preceding-sibling"};
+  const char* tests[] = {"*", "node()", "text()", "a", "b"};
+  for (const char* axis : axes) {
+    for (const char* test : tests) {
+      std::string path =
+          StrFormat("//b/%s::%s", axis, test);
+      auto parsed = xpath::ParsePath(path);
+      ASSERT_TRUE(parsed.ok()) << path;
+      auto a = fast.Eval(parsed.value());
+      auto b = slow.Eval(parsed.value());
+      ASSERT_EQ(a.ok(), b.ok()) << path;
+      if (a.ok()) EXPECT_EQ(a.value(), b.value()) << path;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Docs, AxisSweep,
+    ::testing::Values(
+        "<a><b><a/><b/></b><b>t</b></a>",
+        "<a><b><b><b/></b></b></a>",
+        "<a>x<b/>y<b><c/>z</b><c><b/></c></a>",
+        "<a><c/><c/><b/><c/><b/><c/></a>",
+        "<a><b/></a>"));
+
+// --------------------------------------------------------------------------
+// Sweep 4: durability across page sizes (WAL carries page images of the
+// configured size; snapshot + recovery must agree for each).
+// --------------------------------------------------------------------------
+
+class DurabilitySweep : public ::testing::TestWithParam<int32_t> {};
+
+TEST_P(DurabilitySweep, RecoverAcrossPageSizes) {
+  int32_t page_tuples = GetParam();
+  std::string dir = ::testing::TempDir();
+  std::string snap = dir + StrFormat("/pxq_sweep_%d.snapshot", page_tuples);
+  std::string wal = dir + StrFormat("/pxq_sweep_%d.wal", page_tuples);
+  std::remove(snap.c_str());
+  std::remove(wal.c_str());
+
+  storage::PagedStore::Config cfg;
+  cfg.page_tuples = page_tuples;
+  cfg.shred_fill = 0.7;
+  std::shared_ptr<storage::PagedStore> base = std::move(
+      storage::PagedStore::Build(
+          std::move(storage::ShredXml("<r><s/><t/></r>").value()), cfg)
+          .value());
+  ASSERT_TRUE(base->SaveSnapshot(snap).ok());
+  txn::TxnOptions opts;
+  opts.wal_path = wal;
+  auto mgr = std::move(txn::TransactionManager::Create(base, opts).value());
+  for (int i = 0; i < 20; ++i) {
+    auto t = std::move(mgr->Begin().value());
+    std::string up = StrFormat(
+        "<xupdate:modifications version=\"1.0\" "
+        "xmlns:xupdate=\"http://www.xmldb.org/xupdate\">"
+        "<xupdate:append select=\"/r/%s\"><n i=\"%d\"/></xupdate:append>"
+        "</xupdate:modifications>",
+        i % 2 ? "s" : "t", i);
+    ASSERT_TRUE(xupdate::ApplyXUpdate(t->store(), up).ok());
+    ASSERT_TRUE(t->Commit().ok());
+  }
+  auto rec = txn::TransactionManager::Recover(snap, wal);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(
+      storage::SerializeSubtree(*rec.value(), rec.value()->Root()).value(),
+      storage::SerializeSubtree(*base, base->Root()).value());
+  ASSERT_TRUE(rec.value()->CheckInvariants().ok());
+  std::remove(snap.c_str());
+  std::remove(wal.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, DurabilitySweep,
+                         ::testing::Values(4, 16, 64, 1024));
+
+// --------------------------------------------------------------------------
+// Sweep 5: XUpdate command matrix over a fixture document.
+// --------------------------------------------------------------------------
+
+struct XUpdateCase {
+  const char* name;
+  const char* command;   // inner xupdate command(s)
+  const char* expected;  // resulting document
+};
+
+class XUpdateMatrix : public ::testing::TestWithParam<XUpdateCase> {};
+
+TEST_P(XUpdateMatrix, ProducesExpectedDocument) {
+  const XUpdateCase& c = GetParam();
+  storage::PagedStore::Config cfg;
+  cfg.page_tuples = 8;
+  cfg.shred_fill = 0.8;
+  auto store_or = storage::PagedStore::Build(
+      std::move(
+          storage::ShredXml("<r><p k='1'>x</p><q><s/></q></r>").value()),
+      cfg);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or.value();
+  std::string doc = StrFormat(
+      "<xupdate:modifications version=\"1.0\" "
+      "xmlns:xupdate=\"http://www.xmldb.org/xupdate\">%s"
+      "</xupdate:modifications>",
+      c.command);
+  auto stats = xupdate::ApplyXUpdate(&store, doc);
+  ASSERT_TRUE(stats.ok()) << c.name << ": " << stats.status().ToString();
+  Status inv = store.CheckInvariants();
+  ASSERT_TRUE(inv.ok()) << c.name << ": " << inv.ToString();
+  EXPECT_EQ(storage::SerializeSubtree(store, store.Root()).value(),
+            c.expected)
+      << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Commands, XUpdateMatrix,
+    ::testing::Values(
+        XUpdateCase{"remove_elem", "<xupdate:remove select='/r/q/s'/>",
+                    "<r><p k=\"1\">x</p><q/></r>"},
+        XUpdateCase{"remove_attr", "<xupdate:remove select='/r/p/@k'/>",
+                    "<r><p>x</p><q><s/></q></r>"},
+        XUpdateCase{"insert_before",
+                    "<xupdate:insert-before select='/r/q'><v/>"
+                    "</xupdate:insert-before>",
+                    "<r><p k=\"1\">x</p><v/><q><s/></q></r>"},
+        XUpdateCase{"insert_after_text",
+                    "<xupdate:insert-after select='/r/p'>"
+                    "<xupdate:text>mid</xupdate:text></xupdate:insert-after>",
+                    "<r><p k=\"1\">x</p>mid<q><s/></q></r>"},
+        XUpdateCase{"append_first",
+                    "<xupdate:append select='/r' child='1'><v/>"
+                    "</xupdate:append>",
+                    "<r><v/><p k=\"1\">x</p><q><s/></q></r>"},
+        XUpdateCase{"append_comment",
+                    "<xupdate:append select='/r/q'>"
+                    "<xupdate:comment>note</xupdate:comment>"
+                    "</xupdate:append>",
+                    "<r><p k=\"1\">x</p><q><s/><!--note--></q></r>"},
+        XUpdateCase{"update_text",
+                    "<xupdate:update select='/r/p'>new</xupdate:update>",
+                    "<r><p k=\"1\">new</p><q><s/></q></r>"},
+        XUpdateCase{"update_attr",
+                    "<xupdate:update select='/r/p/@k'>9</xupdate:update>",
+                    "<r><p k=\"9\">x</p><q><s/></q></r>"},
+        XUpdateCase{"rename",
+                    "<xupdate:rename select='/r/q'>z</xupdate:rename>",
+                    "<r><p k=\"1\">x</p><z><s/></z></r>"},
+        XUpdateCase{"multi",
+                    "<xupdate:remove select='/r/q/s'/>"
+                    "<xupdate:append select='/r/q'><t2/></xupdate:append>"
+                    "<xupdate:update select='/r/p/@k'>2</xupdate:update>",
+                    "<r><p k=\"2\">x</p><q><t2/></q></r>"}));
+
+// --------------------------------------------------------------------------
+// Sweep 6: generator scale linearity and query non-triviality per factor.
+// --------------------------------------------------------------------------
+
+class GeneratorSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeneratorSweep, CountsMatchSchema) {
+  double factor = GetParam();
+  xmark::GeneratorOptions opt;
+  opt.factor = factor;
+  std::string xml = xmark::Generate(opt);
+  auto counts = xmark::CountsForFactor(factor);
+
+  auto dense = storage::ShredXml(xml);
+  ASSERT_TRUE(dense.ok());
+  auto ro = storage::ReadOnlyStore::Build(std::move(dense).value());
+  xpath::Evaluator<storage::ReadOnlyStore> ev(*ro);
+  EXPECT_EQ(static_cast<int64_t>(
+                ev.Eval("/site/regions//item").value().size()),
+            counts.items);
+  EXPECT_EQ(static_cast<int64_t>(
+                ev.Eval("/site/people/person").value().size()),
+            counts.persons);
+  EXPECT_EQ(static_cast<int64_t>(
+                ev.Eval("/site/open_auctions/open_auction").value().size()),
+            counts.open_auctions);
+  EXPECT_EQ(
+      static_cast<int64_t>(
+          ev.Eval("/site/closed_auctions/closed_auction").value().size()),
+      counts.closed_auctions);
+  EXPECT_EQ(static_cast<int64_t>(
+                ev.Eval("/site/categories/category").value().size()),
+            counts.categories);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, GeneratorSweep,
+                         ::testing::Values(0.001, 0.003, 0.01));
+
+}  // namespace
+}  // namespace pxq

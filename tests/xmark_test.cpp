@@ -1,0 +1,122 @@
+// XMark workload tests: the generator emits well-formed, deterministic
+// documents, and all twenty queries produce identical results on the
+// read-only and the updatable schema — the correctness gate for the
+// Figure 9 experiment (identical plans, different storage).
+#include <gtest/gtest.h>
+
+#include "storage/paged_store.h"
+#include "storage/read_only_store.h"
+#include "storage/shredder.h"
+#include "storage/store_serializer.h"
+#include "xmark/generator.h"
+#include "xpath/evaluator.h"
+#include "xmark/queries.h"
+#include "xupdate/apply.h"
+
+namespace pxq {
+namespace {
+
+TEST(XmarkGeneratorTest, Deterministic) {
+  xmark::GeneratorOptions opt;
+  opt.factor = 0.002;
+  std::string a = xmark::Generate(opt);
+  std::string b = xmark::Generate(opt);
+  EXPECT_EQ(a, b);
+  opt.seed = 43;
+  EXPECT_NE(a, xmark::Generate(opt));
+}
+
+TEST(XmarkGeneratorTest, ParsesAndScales) {
+  xmark::GeneratorOptions opt;
+  opt.factor = 0.002;
+  std::string small = xmark::Generate(opt);
+  auto doc = storage::ShredXml(small);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_GT(doc->node_count(), 1000);
+
+  opt.factor = 0.004;
+  std::string larger = xmark::Generate(opt);
+  // Roughly linear scaling (very loose bounds).
+  EXPECT_GT(larger.size(), small.size() * 3 / 2);
+  EXPECT_LT(larger.size(), small.size() * 3);
+}
+
+TEST(XmarkQueriesTest, RoAndUpSchemasAgreeOnAllQueries) {
+  xmark::GeneratorOptions opt;
+  opt.factor = 0.003;
+  std::string xml = xmark::Generate(opt);
+
+  auto dense_ro = storage::ShredXml(xml);
+  ASSERT_TRUE(dense_ro.ok());
+  auto ro = storage::ReadOnlyStore::Build(std::move(dense_ro).value());
+
+  auto dense_up = storage::ShredXml(xml);
+  ASSERT_TRUE(dense_up.ok());
+  storage::PagedStore::Config cfg;
+  cfg.page_tuples = 1 << 10;
+  cfg.shred_fill = 0.8;
+  auto up_or = storage::PagedStore::Build(std::move(dense_up).value(), cfg);
+  ASSERT_TRUE(up_or.ok()) << up_or.status().ToString();
+  auto& up = *up_or.value();
+  ASSERT_TRUE(up.CheckInvariants().ok());
+
+  for (int q = 1; q <= xmark::kNumQueries; ++q) {
+    auto r_ro = xmark::RunQuery(*ro, q);
+    ASSERT_TRUE(r_ro.ok()) << "Q" << q << ": " << r_ro.status().ToString();
+    auto r_up = xmark::RunQuery(up, q);
+    ASSERT_TRUE(r_up.ok()) << "Q" << q << ": " << r_up.status().ToString();
+    EXPECT_EQ(r_ro->cardinality, r_up->cardinality) << "Q" << q;
+    EXPECT_EQ(r_ro->checksum, r_up->checksum) << "Q" << q;
+    // Queries should find something on a non-trivial document (Q4's
+    // specific person pair may legitimately be empty at tiny scale).
+    if (q != 4) {
+      EXPECT_GT(r_ro->cardinality, 0) << "Q" << q << " found nothing";
+    }
+  }
+}
+
+TEST(XmarkQueriesTest, QueriesSurviveUpdates) {
+  // Apply a bid-insertion workload, then re-run the queries on the
+  // updated store: results must still be well-formed and the store must
+  // satisfy its invariants.
+  xmark::GeneratorOptions opt;
+  opt.factor = 0.002;
+  std::string xml = xmark::Generate(opt);
+  auto dense = storage::ShredXml(xml);
+  ASSERT_TRUE(dense.ok());
+  storage::PagedStore::Config cfg;
+  cfg.page_tuples = 1 << 9;
+  cfg.shred_fill = 0.8;
+  auto up_or = storage::PagedStore::Build(std::move(dense).value(), cfg);
+  ASSERT_TRUE(up_or.ok());
+  auto& up = *up_or.value();
+
+  auto before = xmark::RunQuery(up, 2);
+  ASSERT_TRUE(before.ok());
+
+  auto stats = xupdate::ApplyXUpdate(&up, R"(
+    <xupdate:modifications version="1.0"
+        xmlns:xupdate="http://www.xmldb.org/xupdate">
+      <xupdate:append select="/site/open_auctions/open_auction">
+        <bidder><date>01/05/2000</date>
+          <personref person="person0"/>
+          <increase>1.50</increase></bidder>
+      </xupdate:append>
+    </xupdate:modifications>)");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->nodes_inserted, 0);
+  ASSERT_TRUE(up.CheckInvariants().ok())
+      << up.CheckInvariants().ToString();
+
+  auto after = xmark::RunQuery(up, 2);
+  ASSERT_TRUE(after.ok());
+  // Every auction now has at least one bidder, so Q2 cardinality must be
+  // the number of open auctions.
+  auto auctions = xpath::EvaluatePath(up, "/site/open_auctions/open_auction");
+  ASSERT_TRUE(auctions.ok());
+  EXPECT_EQ(after->cardinality,
+            static_cast<int64_t>(auctions.value().size()));
+}
+
+}  // namespace
+}  // namespace pxq
