@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "common/random.h"
+#include "index/index_manager.h"
 #include "storage/paged_store.h"
 #include "storage/read_only_store.h"
 #include "storage/shredder.h"
@@ -245,6 +246,111 @@ void BM_ShredPaged(benchmark::State& state) {
                           static_cast<int64_t>(xml.size()));
 }
 BENCHMARK(BM_ShredPaged);
+
+// --------------------------------------------------------------------------
+// E8: secondary indexes — descendant name steps and value/attribute
+// predicates, index probe vs scan, at three document scales. The
+// indexed variants also report index build time and footprint from
+// IndexStats.
+// --------------------------------------------------------------------------
+
+constexpr double kIndexScales[] = {0.002, 0.01, 0.04};
+
+struct IndexedFixture {
+  std::unique_ptr<storage::PagedStore> store;
+  std::unique_ptr<index::IndexManager> index;
+};
+
+const IndexedFixture& IndexedAt(int scale_idx) {
+  static IndexedFixture fixtures[3];
+  IndexedFixture& f = fixtures[scale_idx];
+  if (!f.store) {
+    f.store = BuildUp(XmarkXml(kIndexScales[scale_idx]));
+    index::IndexConfig cfg;
+    cfg.gate_ratio = 0.5;
+    f.index = std::make_unique<index::IndexManager>(cfg);
+    f.index->Rebuild(*f.store);
+  }
+  return f;
+}
+
+void ReportIndexCounters(benchmark::State& state,
+                         const IndexedFixture& f) {
+  auto s = f.index->Stats();
+  state.counters["nodes"] = static_cast<double>(f.store->used_count());
+  state.counters["build_ms"] = static_cast<double>(s.build_micros) / 1000.0;
+  state.counters["index_MB"] =
+      static_cast<double>(s.bytes) / (1024.0 * 1024.0);
+}
+
+void RunQuery(benchmark::State& state, const IndexedFixture& f,
+              const char* query, bool use_index) {
+  xpath::Evaluator<storage::PagedStore> ev(
+      *f.store, use_index ? f.index.get() : nullptr);
+  auto path = xpath::ParsePath(query).value();
+  int64_t results = 0;
+  for (auto _ : state) {
+    auto r = ev.Eval(path);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    results = static_cast<int64_t>(r.value().size());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["results"] = static_cast<double>(results);
+  if (use_index) ReportIndexCounters(state, f);
+}
+
+void BM_DescendantNameScan(benchmark::State& state) {
+  RunQuery(state, IndexedAt(static_cast<int>(state.range(0))), "//item",
+           /*use_index=*/false);
+}
+BENCHMARK(BM_DescendantNameScan)->DenseRange(0, 2);
+
+void BM_DescendantNameIndexed(benchmark::State& state) {
+  RunQuery(state, IndexedAt(static_cast<int>(state.range(0))), "//item",
+           /*use_index=*/true);
+}
+BENCHMARK(BM_DescendantNameIndexed)->DenseRange(0, 2);
+
+void BM_AttrEqPredicateScan(benchmark::State& state) {
+  RunQuery(state, IndexedAt(static_cast<int>(state.range(0))),
+           "/site/people/person[@id='person0']", /*use_index=*/false);
+}
+BENCHMARK(BM_AttrEqPredicateScan)->DenseRange(0, 2);
+
+void BM_AttrEqPredicateIndexed(benchmark::State& state) {
+  RunQuery(state, IndexedAt(static_cast<int>(state.range(0))),
+           "/site/people/person[@id='person0']", /*use_index=*/true);
+}
+BENCHMARK(BM_AttrEqPredicateIndexed)->DenseRange(0, 2);
+
+void BM_ChildRangePredicateScan(benchmark::State& state) {
+  RunQuery(state, IndexedAt(static_cast<int>(state.range(0))),
+           "/site/open_auctions/open_auction[reserve>100]",
+           /*use_index=*/false);
+}
+BENCHMARK(BM_ChildRangePredicateScan)->DenseRange(0, 2);
+
+void BM_ChildRangePredicateIndexed(benchmark::State& state) {
+  RunQuery(state, IndexedAt(static_cast<int>(state.range(0))),
+           "/site/open_auctions/open_auction[reserve>100]",
+           /*use_index=*/true);
+}
+BENCHMARK(BM_ChildRangePredicateIndexed)->DenseRange(0, 2);
+
+void BM_IndexRebuild(benchmark::State& state) {
+  const IndexedFixture& f = IndexedAt(static_cast<int>(state.range(0)));
+  index::IndexConfig cfg;
+  for (auto _ : state) {
+    index::IndexManager idx(cfg);
+    idx.Rebuild(*f.store);
+    benchmark::DoNotOptimize(idx);
+  }
+  ReportIndexCounters(state, f);
+}
+BENCHMARK(BM_IndexRebuild)->DenseRange(0, 2);
 
 }  // namespace
 }  // namespace pxq

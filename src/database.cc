@@ -27,6 +27,11 @@ StatusOr<std::unique_ptr<Database>> Database::CreateFromXml(
     PXQ_RETURN_IF_ERROR(db->store_->SaveSnapshot(db->SnapshotPath()));
     topts.wal_path = db->WalPath();
   }
+  if (db->options_.index.enabled) {
+    db->index_ = std::make_unique<index::IndexManager>(db->options_.index);
+    db->index_->Rebuild(*db->store_);
+    topts.index = db->index_.get();
+  }
   PXQ_ASSIGN_OR_RETURN(db->txns_,
                        txn::TransactionManager::Create(db->store_, topts));
   return db;
@@ -51,6 +56,13 @@ StatusOr<std::unique_ptr<Database>> Database::Open(Options options) {
   }
   txn::TxnOptions topts = db->options_.txn;
   topts.wal_path = db->WalPath();
+  if (db->options_.index.enabled) {
+    // Recovery path: the WAL replay reconstructed the base store, so
+    // the secondary indexes are re-derived from a single full scan.
+    db->index_ = std::make_unique<index::IndexManager>(db->options_.index);
+    db->index_->Rebuild(*db->store_);
+    topts.index = db->index_.get();
+  }
   PXQ_ASSIGN_OR_RETURN(db->txns_,
                        txn::TransactionManager::Create(db->store_, topts));
   return db;
@@ -58,7 +70,7 @@ StatusOr<std::unique_ptr<Database>> Database::Open(Options options) {
 
 StatusOr<std::vector<PreId>> Database::Query(std::string_view xpath) {
   return txns_->Read([&](const storage::PagedStore& s) {
-    return xpath::EvaluatePath(s, xpath);
+    return xpath::EvaluatePath(s, xpath, index_.get());
   });
 }
 
@@ -68,7 +80,7 @@ StatusOr<std::vector<std::string>> Database::QueryStrings(
       [&](const storage::PagedStore& s)
           -> StatusOr<std::vector<std::string>> {
         PXQ_ASSIGN_OR_RETURN(xpath::Path path, xpath::ParsePath(xpath));
-        xpath::Evaluator<storage::PagedStore> ev(s);
+        xpath::Evaluator<storage::PagedStore> ev(s, index_.get());
         return ev.EvalStrings(path);
       });
 }

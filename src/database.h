@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "index/index_manager.h"
 #include "storage/paged_store.h"
 #include "txn/txn_manager.h"
 #include "xupdate/apply.h"
@@ -36,6 +37,10 @@ class Database {
     std::string data_dir;
     std::string name = "pxq";
     txn::TxnOptions txn;
+    /// Secondary indexes (qname postings + value/attribute dictionaries)
+    /// consulted by Query/QueryStrings; maintained through commits,
+    /// rebuilt on Open(). Disable to always scan.
+    index::IndexConfig index;
   };
 
   /// Shred an XML document into a fresh database. With durability
@@ -72,6 +77,14 @@ class Database {
   storage::PagedStore& store() { return txns_->base(); }
   txn::TransactionManager& txn_manager() { return *txns_; }
 
+  /// Secondary-index observability (zeroed stats when disabled).
+  index::IndexStats IndexStats() const {
+    return index_ ? index_->Stats() : index::IndexStats{};
+  }
+  /// The database's index (nullptr when disabled). Probes are only
+  /// valid against the committed base store under the global read lock.
+  index::IndexManager* index_manager() { return index_.get(); }
+
  private:
   Database() = default;
   std::string SnapshotPath() const;
@@ -79,6 +92,7 @@ class Database {
 
   Options options_;
   std::shared_ptr<storage::PagedStore> store_;
+  std::unique_ptr<index::IndexManager> index_;
   std::unique_ptr<txn::TransactionManager> txns_;
 };
 

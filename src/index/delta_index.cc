@@ -1,0 +1,10 @@
+#include "index/delta_index.h"
+
+namespace pxq::index {
+
+void DeltaIndex::Clear() {
+  dirty_.clear();
+  seen_.clear();
+}
+
+}  // namespace pxq::index

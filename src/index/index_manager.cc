@@ -1,0 +1,430 @@
+#include "index/index_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "xpath/value_compare.h"
+
+namespace pxq::index {
+namespace {
+
+void SortedInsert(std::vector<NodeId>* v, NodeId n) {
+  auto it = std::lower_bound(v->begin(), v->end(), n);
+  if (it == v->end() || *it != n) v->insert(it, n);
+}
+
+void SortedErase(std::vector<NodeId>* v, NodeId n) {
+  auto it = std::lower_bound(v->begin(), v->end(), n);
+  if (it != v->end() && *it == n) v->erase(it);
+}
+
+void SidecarErase(std::multimap<double, NodeId>* m, double key, NodeId n) {
+  auto [lo, hi] = m->equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == n) {
+      m->erase(it);
+      return;
+    }
+  }
+}
+
+/// Value-index view of one element: simple (no element children) plus
+/// the concatenation of its text children — which for a simple element
+/// IS its XPath string value, since comments and PIs contain no text
+/// descendants.
+struct Derived {
+  bool simple = true;
+  std::string value;
+};
+
+Derived DeriveValue(const storage::PagedStore& store, PreId pre) {
+  Derived d;
+  const PreId end = pre + store.SizeAt(pre);
+  for (PreId c = store.SkipHoles(pre + 1); c <= end;
+       c = store.SkipHoles(c + store.SizeAt(c) + 1)) {
+    switch (store.KindAt(c)) {
+      case NodeKind::kElement:
+        d.simple = false;
+        d.value.clear();
+        return d;
+      case NodeKind::kText:
+        d.value += store.pools().Text(store.RefAt(c));
+        break;
+      default:
+        break;
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+void IndexManager::Rebuild(const storage::PagedStore& store) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  qname_postings_.clear();
+  values_.clear();
+  attrs_.clear();
+  node_state_.clear();
+  pre_memo_.clear();
+  if (config_.enabled) {
+    const PreId end = store.view_size();
+    for (PreId p = store.SkipHoles(0); p < end; p = store.SkipHoles(p + 1)) {
+      if (store.KindAt(p) == NodeKind::kElement) {
+        AddNodeLocked(store, store.NodeAt(p), p);
+      }
+    }
+  }
+  ++epoch_;
+  stats_.maintenance_ops = 0;
+  stats_.applied_commits = 0;
+  stats_.build_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+}
+
+void IndexManager::ApplyDirty(const storage::PagedStore& store,
+                              const std::vector<NodeId>& dirty) {
+  if (!config_.enabled) return;
+  // An empty dirty set means no structural/value/attr mutation happened
+  // (every pre-shifting primitive marks at least one node), so the
+  // memoized pre-lists are still valid — don't invalidate them.
+  if (dirty.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (NodeId n : dirty) {
+    RemoveNodeLocked(n);
+    if (store.PosOfNode(n) == kNullPos) continue;  // deleted (or aborted id)
+    auto pre = store.PreOfNode(n);
+    if (!pre.ok()) continue;
+    if (store.KindAt(pre.value()) != NodeKind::kElement) continue;
+    AddNodeLocked(store, n, pre.value());
+  }
+  ++epoch_;
+  pre_memo_.clear();
+  stats_.maintenance_ops += static_cast<int64_t>(dirty.size());
+  stats_.applied_commits += 1;
+}
+
+void IndexManager::AddNodeLocked(const storage::PagedStore& store,
+                                 NodeId node, PreId pre) {
+  NodeState st;
+  st.qn = store.RefAt(pre);
+  SortedInsert(&qname_postings_[st.qn], node);
+  ValueBucket& vb = values_[st.qn];
+  Derived d = DeriveValue(store, pre);
+  if (d.simple) {
+    st.simple = true;
+    st.value = std::move(d.value);
+    st.numeric = xpath::detail::ParseNumber(st.value, &st.num);
+    ValueEntry& e = vb.by_string[st.value];
+    e.numeric = st.numeric;
+    SortedInsert(&e.nodes, node);
+    if (st.numeric) vb.by_number.emplace(st.num, node);
+  } else {
+    SortedInsert(&vb.complex_elems, node);
+  }
+  std::vector<int32_t> rows;
+  store.attrs().Lookup(node, &rows);
+  for (int32_t r : rows) {
+    const storage::AttrRow& row = store.attrs().row(r);
+    AttrState as;
+    as.qn = row.qname;
+    as.value = store.pools().Prop(row.prop);
+    as.numeric = xpath::detail::ParseNumber(as.value, &as.num);
+    AttrBucket& ab = attrs_[as.qn];
+    SortedInsert(&ab.owners, node);
+    ValueEntry& e = ab.by_string[as.value];
+    e.numeric = as.numeric;
+    SortedInsert(&e.nodes, node);
+    if (as.numeric) ab.by_number.emplace(as.num, node);
+    st.attrs.push_back(std::move(as));
+  }
+  node_state_[node] = std::move(st);
+}
+
+void IndexManager::RemoveNodeLocked(NodeId node) {
+  auto it = node_state_.find(node);
+  if (it == node_state_.end()) return;
+  const NodeState& st = it->second;
+
+  auto pit = qname_postings_.find(st.qn);
+  if (pit != qname_postings_.end()) {
+    SortedErase(&pit->second, node);
+    if (pit->second.empty()) qname_postings_.erase(pit);
+  }
+  auto vit = values_.find(st.qn);
+  if (vit != values_.end()) {
+    ValueBucket& vb = vit->second;
+    if (st.simple) {
+      auto eit = vb.by_string.find(st.value);
+      if (eit != vb.by_string.end()) {
+        SortedErase(&eit->second.nodes, node);
+        if (eit->second.nodes.empty()) vb.by_string.erase(eit);
+      }
+      if (st.numeric) SidecarErase(&vb.by_number, st.num, node);
+    } else {
+      SortedErase(&vb.complex_elems, node);
+    }
+    if (vb.by_string.empty() && vb.by_number.empty() &&
+        vb.complex_elems.empty()) {
+      values_.erase(vit);
+    }
+  }
+  for (const AttrState& as : st.attrs) {
+    auto ait = attrs_.find(as.qn);
+    if (ait == attrs_.end()) continue;
+    AttrBucket& ab = ait->second;
+    SortedErase(&ab.owners, node);
+    auto eit = ab.by_string.find(as.value);
+    if (eit != ab.by_string.end()) {
+      SortedErase(&eit->second.nodes, node);
+      if (eit->second.nodes.empty()) ab.by_string.erase(eit);
+    }
+    if (as.numeric) SidecarErase(&ab.by_number, as.num, node);
+    if (ab.owners.empty()) attrs_.erase(ait);
+  }
+  node_state_.erase(it);
+}
+
+bool IndexManager::GateLocked(int64_t candidates, int64_t scan_cost) const {
+  if (config_.cross_check) return true;  // always exercise the index
+  return static_cast<double>(candidates) <=
+         config_.gate_ratio * static_cast<double>(scan_cost);
+}
+
+std::vector<PreId> IndexManager::ToPres(
+    const storage::PagedStore& store, const std::vector<NodeId>& nodes) const {
+  std::vector<PreId> pres;
+  pres.reserve(nodes.size());
+  for (NodeId n : nodes) {
+    auto pre = store.PreOfNode(n);
+    if (pre.ok()) pres.push_back(pre.value());
+  }
+  std::sort(pres.begin(), pres.end());
+  return pres;
+}
+
+const std::vector<PreId>& IndexManager::QnamePresLocked(
+    const storage::PagedStore& store, QnameId qn) const {
+  PreMemo& memo = pre_memo_[qn];
+  if (memo.epoch != epoch_) {
+    auto it = qname_postings_.find(qn);
+    memo.pres = it == qname_postings_.end() ? std::vector<PreId>{}
+                                            : ToPres(store, it->second);
+    memo.epoch = epoch_;
+  }
+  return memo.pres;
+}
+
+int64_t IndexManager::PostingsCount(QnameId qn) const {
+  if (!config_.enabled || qn < 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = qname_postings_.find(qn);
+  return it == qname_postings_.end()
+             ? 0
+             : static_cast<int64_t>(it->second.size());
+}
+
+std::optional<std::vector<PreId>> IndexManager::ElementsByQname(
+    const storage::PagedStore& store, QnameId qn, int64_t scan_cost) const {
+  if (!config_.enabled || qn < 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.probes;
+  auto it = qname_postings_.find(qn);
+  const int64_t k =
+      it == qname_postings_.end() ? 0 : static_cast<int64_t>(it->second.size());
+  if (!GateLocked(k, scan_cost)) return std::nullopt;
+  ++stats_.probe_hits;
+  return QnamePresLocked(store, qn);
+}
+
+void IndexManager::CollectMatches(
+    const std::map<std::string, ValueEntry>& dict,
+    const std::multimap<double, NodeId>& sidecar, xpath::CmpOp op,
+    const std::string& literal, std::vector<NodeId>* out) {
+  using xpath::CmpOp;
+  double x = 0;
+  const bool lit_num = xpath::detail::ParseNumber(literal, &x);
+
+  if (op == CmpOp::kEq) {
+    if (lit_num) {
+      // Numeric equality ("1.0" matches literal "1"): sidecar only. A
+      // non-numeric value can never be byte-equal to a string that
+      // parses as a number.
+      auto [lo, hi] = sidecar.equal_range(x);
+      for (auto it = lo; it != hi; ++it) out->push_back(it->second);
+    } else {
+      auto it = dict.find(literal);
+      if (it != dict.end()) {
+        out->insert(out->end(), it->second.nodes.begin(),
+                    it->second.nodes.end());
+      }
+    }
+    return;
+  }
+
+  // Ordered operator. Numeric literal: numeric values compare through
+  // the sidecar, non-numeric values lexicographically. Non-numeric
+  // literal: everything compares lexicographically.
+  const bool skip_numeric_in_dict = lit_num;
+  if (lit_num) {
+    std::multimap<double, NodeId>::const_iterator lo, hi;
+    switch (op) {
+      case CmpOp::kLt:
+        lo = sidecar.begin();
+        hi = sidecar.lower_bound(x);
+        break;
+      case CmpOp::kLe:
+        lo = sidecar.begin();
+        hi = sidecar.upper_bound(x);
+        break;
+      case CmpOp::kGt:
+        lo = sidecar.upper_bound(x);
+        hi = sidecar.end();
+        break;
+      default:  // kGe
+        lo = sidecar.lower_bound(x);
+        hi = sidecar.end();
+        break;
+    }
+    for (auto it = lo; it != hi; ++it) out->push_back(it->second);
+  }
+  std::map<std::string, ValueEntry>::const_iterator lo, hi;
+  switch (op) {
+    case CmpOp::kLt:
+      lo = dict.begin();
+      hi = dict.lower_bound(literal);
+      break;
+    case CmpOp::kLe:
+      lo = dict.begin();
+      hi = dict.upper_bound(literal);
+      break;
+    case CmpOp::kGt:
+      lo = dict.upper_bound(literal);
+      hi = dict.end();
+      break;
+    default:  // kGe
+      lo = dict.lower_bound(literal);
+      hi = dict.end();
+      break;
+  }
+  for (auto it = lo; it != hi; ++it) {
+    if (skip_numeric_in_dict && it->second.numeric) continue;
+    out->insert(out->end(), it->second.nodes.begin(),
+                it->second.nodes.end());
+  }
+}
+
+bool IndexManager::ChildValueProbe(const storage::PagedStore& store,
+                                   QnameId qn, xpath::CmpOp op,
+                                   const std::string& literal,
+                                   int64_t scan_cost,
+                                   std::vector<PreId>* simple,
+                                   std::vector<PreId>* complex_rest) const {
+  if (!config_.enabled || qn < 0 || op == xpath::CmpOp::kNe) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.probes;
+  simple->clear();
+  complex_rest->clear();
+  auto vit = values_.find(qn);
+  if (vit == values_.end()) {
+    // No element carries this tag: the empty result is exact.
+    ++stats_.probe_hits;
+    return true;
+  }
+  const ValueBucket& vb = vit->second;
+  std::vector<NodeId> matches;
+  CollectMatches(vb.by_string, vb.by_number, op, literal, &matches);
+  const int64_t k = static_cast<int64_t>(matches.size()) +
+                    static_cast<int64_t>(vb.complex_elems.size());
+  if (!GateLocked(k, scan_cost)) return false;
+  ++stats_.probe_hits;
+  *simple = ToPres(store, matches);
+  *complex_rest = ToPres(store, vb.complex_elems);
+  return true;
+}
+
+std::optional<std::vector<PreId>> IndexManager::AttrOwners(
+    const storage::PagedStore& store, QnameId qn, int64_t scan_cost) const {
+  if (!config_.enabled || qn < 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.probes;
+  auto it = attrs_.find(qn);
+  const int64_t k =
+      it == attrs_.end() ? 0 : static_cast<int64_t>(it->second.owners.size());
+  if (!GateLocked(k, scan_cost)) return std::nullopt;
+  ++stats_.probe_hits;
+  if (it == attrs_.end()) return std::vector<PreId>{};
+  return ToPres(store, it->second.owners);
+}
+
+std::optional<std::vector<PreId>> IndexManager::AttrValueProbe(
+    const storage::PagedStore& store, QnameId qn, xpath::CmpOp op,
+    const std::string& literal, int64_t scan_cost) const {
+  if (!config_.enabled || qn < 0 || op == xpath::CmpOp::kNe) {
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.probes;
+  auto it = attrs_.find(qn);
+  if (it == attrs_.end()) {
+    ++stats_.probe_hits;
+    return std::vector<PreId>{};
+  }
+  std::vector<NodeId> matches;
+  CollectMatches(it->second.by_string, it->second.by_number, op, literal,
+                 &matches);
+  if (!GateLocked(static_cast<int64_t>(matches.size()), scan_cost)) {
+    return std::nullopt;
+  }
+  ++stats_.probe_hits;
+  return ToPres(store, matches);
+}
+
+void IndexManager::NoteCrossCheckMismatch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.cross_check_mismatches;
+}
+
+IndexStats IndexManager::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  IndexStats s = stats_;
+  s.qname_keys = static_cast<int64_t>(qname_postings_.size());
+  s.postings_entries = 0;
+  for (const auto& [qn, nodes] : qname_postings_) {
+    s.postings_entries += static_cast<int64_t>(nodes.size());
+  }
+  s.value_keys = 0;
+  s.complex_entries = 0;
+  int64_t bytes = 0;
+  for (const auto& [qn, vb] : values_) {
+    s.value_keys += static_cast<int64_t>(vb.by_string.size());
+    s.complex_entries += static_cast<int64_t>(vb.complex_elems.size());
+    for (const auto& [v, e] : vb.by_string) {
+      bytes += static_cast<int64_t>(v.size()) + 48 +
+               static_cast<int64_t>(e.nodes.size()) * 8;
+    }
+    bytes += static_cast<int64_t>(vb.by_number.size()) * 48 +
+             static_cast<int64_t>(vb.complex_elems.size()) * 8;
+  }
+  s.attr_value_keys = 0;
+  for (const auto& [qn, ab] : attrs_) {
+    s.attr_value_keys += static_cast<int64_t>(ab.by_string.size());
+    for (const auto& [v, e] : ab.by_string) {
+      bytes += static_cast<int64_t>(v.size()) + 48 +
+               static_cast<int64_t>(e.nodes.size()) * 8;
+    }
+    bytes += static_cast<int64_t>(ab.by_number.size()) * 48 +
+             static_cast<int64_t>(ab.owners.size()) * 8;
+  }
+  bytes += s.postings_entries * 8;
+  for (const auto& [n, st] : node_state_) {
+    bytes += static_cast<int64_t>(sizeof(NodeState)) +
+             static_cast<int64_t>(st.value.size()) +
+             static_cast<int64_t>(st.attrs.size()) * 48;
+  }
+  s.bytes = bytes;
+  return s;
+}
+
+}  // namespace pxq::index

@@ -1,0 +1,216 @@
+// Secondary index subsystem layered over the updatable pre/size/level
+// plane: read-optimized postings consulted by the XPath evaluator, kept
+// correct under updates by the DeltaIndex overlay (delta_index.h).
+//
+// Three structures, all keyed by interned QnameId:
+//
+//   1. QName index      qname -> sorted NodeId postings of every element
+//                       with that tag. Descendant name steps (`//item`)
+//                       become a swizzle of the postings into pre order
+//                       plus a staircase merge against the context
+//                       regions, instead of a full-plane scan.
+//
+//   2. Value index      per element qname: a sorted string dictionary
+//                       (std::map value -> postings) with a typed
+//                       numeric sidecar (multimap double -> postings)
+//                       for range probes — the smol-style split of a
+//                       read-heavy dictionary plus fixed-width numeric
+//                       run. Only "simple" elements are value-indexed:
+//                       elements with no element children, whose XPath
+//                       string value is exactly the concatenation of
+//                       their text children and thus maintainable from
+//                       local edits alone. The remaining ("complex")
+//                       elements are listed per qname so a probe can
+//                       hand them back for exact per-node evaluation —
+//                       index probes never approximate the language
+//                       semantics.
+//
+//   3. Attribute index  attr qname -> owner postings, plus the same
+//                       dictionary + numeric sidecar over attribute
+//                       values (attribute values are atomic, so probes
+//                       are exact with no complex remainder).
+//
+// Postings store immutable NodeIds, not pre ranks: structural edits
+// shift pre values wholesale (within-page shifts, page stitching), but
+// node ids never change, and the node -> pre swizzle is O(1) on the
+// paged store. Pre-order materializations of the qname postings are
+// memoized per epoch; every ApplyDirty/Rebuild bumps the epoch.
+//
+// Comparison semantics exactly mirror xpath::detail::CompareValues
+// (see xpath/value_compare.h): numeric when both sides parse under the
+// strict grammar, lexicographic otherwise. `!=` probes are declined
+// (anti-joins have no selectivity) and fall back to the scan path.
+//
+// Concurrency: probes run under the database's global shared lock and
+// serialize on an internal mutex (they mutate the memo cache and stats);
+// ApplyDirty/Rebuild run inside the exclusive commit window.
+#ifndef PXQ_INDEX_INDEX_MANAGER_H_
+#define PXQ_INDEX_INDEX_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/paged_store.h"
+#include "xpath/ast.h"
+
+namespace pxq::index {
+
+struct IndexConfig {
+  /// Master switch; a disabled index declines every probe.
+  bool enabled = true;
+  /// Cost gate: a probe is accepted only when its estimated candidate
+  /// work is below `gate_ratio` times the estimated scan work. 0 makes
+  /// the planner always scan; large values make it always probe.
+  double gate_ratio = 0.5;
+  /// Paranoia mode: every accepted probe also runs the scan path and a
+  /// divergence fails the query with Corruption. Bypasses the cost gate
+  /// so tests exercise the index even on tiny documents.
+  bool cross_check = false;
+};
+
+struct IndexStats {
+  int64_t qname_keys = 0;        // distinct element tags indexed
+  int64_t value_keys = 0;        // distinct (qname, string value) keys
+  int64_t attr_value_keys = 0;   // distinct (attr qname, value) keys
+  int64_t postings_entries = 0;  // NodeIds across qname postings
+  int64_t complex_entries = 0;   // elements excluded from the value index
+  int64_t bytes = 0;             // rough structure footprint
+  int64_t build_micros = 0;      // duration of the last full Rebuild
+  int64_t maintenance_ops = 0;   // dirty nodes re-derived since Rebuild
+  int64_t applied_commits = 0;   // ApplyDirty calls (one per commit)
+  int64_t probes = 0;            // planner consultations
+  int64_t probe_hits = 0;        // probes the gate accepted
+  int64_t cross_check_mismatches = 0;
+};
+
+class IndexManager {
+ public:
+  explicit IndexManager(IndexConfig config) : config_(config) {}
+
+  const IndexConfig& config() const { return config_; }
+
+  /// Drop everything and re-derive from a full store scan (initial
+  /// build, and crash recovery after the WAL replay reconstructed the
+  /// base store).
+  void Rebuild(const storage::PagedStore& store);
+
+  /// Commit-time merge of a transaction's DeltaIndex overlay: each dirty
+  /// node's entries are removed and re-derived against the *merged* base
+  /// store. Call under the exclusive global lock, after oplog replay and
+  /// size resolution.
+  void ApplyDirty(const storage::PagedStore& store,
+                  const std::vector<NodeId>& dirty);
+
+  // --- probes (consulted by xpath::Evaluator) -------------------------
+  // Every probe returns std::nullopt when the index declines (disabled,
+  // unsupported operator, or the cost gate chose the scan); the caller
+  // then evaluates by scanning. Returned vectors are sorted, distinct
+  // pre lists valid for `store`'s current structure.
+
+  /// All elements tagged `qn`, in document order. `scan_cost` is the
+  /// caller's estimate of the tuples a scan would visit.
+  std::optional<std::vector<PreId>> ElementsByQname(
+      const storage::PagedStore& store, QnameId qn, int64_t scan_cost) const;
+
+  /// Number of elements tagged `qn` (0 when unknown / disabled).
+  int64_t PostingsCount(QnameId qn) const;
+
+  /// Value probe for elements tagged `qn` whose string value satisfies
+  /// (`op`, `literal`). Fills `simple` with exact matches and `complex`
+  /// with the pre ranks of same-tag elements the value index does not
+  /// cover (the caller must evaluate those individually). Declines kNe.
+  bool ChildValueProbe(const storage::PagedStore& store, QnameId qn,
+                       xpath::CmpOp op, const std::string& literal,
+                       int64_t scan_cost, std::vector<PreId>* simple,
+                       std::vector<PreId>* complex_rest) const;
+
+  /// Owners of an attribute named `qn` (any value), in document order.
+  std::optional<std::vector<PreId>> AttrOwners(
+      const storage::PagedStore& store, QnameId qn, int64_t scan_cost) const;
+
+  /// Owners of an attribute named `qn` whose value satisfies the
+  /// comparison. Exact (attribute values are atomic). Declines kNe.
+  std::optional<std::vector<PreId>> AttrValueProbe(
+      const storage::PagedStore& store, QnameId qn, xpath::CmpOp op,
+      const std::string& literal, int64_t scan_cost) const;
+
+  void NoteCrossCheckMismatch() const;
+
+  IndexStats Stats() const;
+
+ private:
+  struct ValueEntry {
+    std::vector<NodeId> nodes;  // sorted
+    bool numeric = false;       // key parses under the strict grammar
+  };
+  struct ValueBucket {
+    std::map<std::string, ValueEntry> by_string;      // sorted dictionary
+    std::multimap<double, NodeId> by_number;          // numeric sidecar
+    std::vector<NodeId> complex_elems;                // sorted
+  };
+  struct AttrBucket {
+    std::vector<NodeId> owners;                       // sorted
+    std::map<std::string, ValueEntry> by_string;
+    std::multimap<double, NodeId> by_number;
+  };
+  struct AttrState {
+    QnameId qn;
+    std::string value;
+    bool numeric;
+    double num;
+  };
+  /// Reverse mapping: what the index currently holds for a node, so a
+  /// dirty node's stale entries can be removed without re-reading any
+  /// pre-edit store state.
+  struct NodeState {
+    QnameId qn = -1;
+    bool simple = false;
+    bool numeric = false;
+    double num = 0;
+    std::string value;
+    std::vector<AttrState> attrs;
+  };
+
+  void RemoveNodeLocked(NodeId node);
+  void AddNodeLocked(const storage::PagedStore& store, NodeId node,
+                     PreId pre);
+  bool GateLocked(int64_t candidates, int64_t scan_cost) const;
+  /// Swizzle a sorted NodeId postings list into a sorted pre list.
+  std::vector<PreId> ToPres(const storage::PagedStore& store,
+                            const std::vector<NodeId>& nodes) const;
+  /// Memoized pre materialization of one qname's postings.
+  const std::vector<PreId>& QnamePresLocked(const storage::PagedStore& store,
+                                            QnameId qn) const;
+  /// Collect matches of (op, literal) from a dictionary + sidecar pair.
+  static void CollectMatches(const std::map<std::string, ValueEntry>& dict,
+                             const std::multimap<double, NodeId>& sidecar,
+                             xpath::CmpOp op, const std::string& literal,
+                             std::vector<NodeId>* out);
+
+  IndexConfig config_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<QnameId, std::vector<NodeId>> qname_postings_;
+  std::unordered_map<QnameId, ValueBucket> values_;
+  std::unordered_map<QnameId, AttrBucket> attrs_;
+  std::unordered_map<NodeId, NodeState> node_state_;
+
+  struct PreMemo {
+    uint64_t epoch = 0;
+    std::vector<PreId> pres;
+  };
+  mutable std::unordered_map<QnameId, PreMemo> pre_memo_;
+  mutable uint64_t epoch_ = 1;
+
+  mutable IndexStats stats_;
+};
+
+}  // namespace pxq::index
+
+#endif  // PXQ_INDEX_INDEX_MANAGER_H_

@@ -504,6 +504,7 @@ StatusOr<std::vector<NodeId>> PagedStore::InsertTuples(
   // contiguous view slots, so the extent is the index distance to the
   // last descendant within the block (computed with a level stack).
   std::vector<NodeId> ids = node_alloc_->Allocate(k);
+  const NodeId parent_node = NodeAt(parent_pre);
   const int32_t parent_level = LevelAt(parent_pre);
   std::vector<TupleData> td(static_cast<size_t>(k));
   {
@@ -626,6 +627,13 @@ StatusOr<std::vector<NodeId>> PagedStore::InsertTuples(
   // --- ancestor size maintenance ----------------------------------------
   PXQ_RETURN_IF_ERROR(
       RecomputeSizes(witnesses, td.back().node, grow_chain));
+  if (idx_delta_ != nullptr) {
+    // The parent's value-index entry depends on its content; deeper
+    // ancestors have an element child on the path and are never
+    // value-indexed, so marking the parent suffices.
+    idx_delta_->MarkDirty(parent_node);
+    idx_delta_->MarkDirty(ids);
+  }
   return ids;
 }
 
@@ -865,6 +873,10 @@ StatusOr<std::vector<NodeId>> PagedStore::DeleteSubtree(PreId pre) {
     // parent, which still contains this chain).
     (void)cur_lrd;
   }
+  if (idx_delta_ != nullptr) {
+    idx_delta_->MarkDirty(infos.back().node);  // parent content changed
+    idx_delta_->MarkDirty(freed);
+  }
   return freed;
 }
 
@@ -875,6 +887,14 @@ Status PagedStore::SetRef(PreId pre, int32_t ref) {
   PageId phys = logical_pages_[pre >> page_bits_];
   PXQ_ASSIGN_OR_RETURN(Page * pg, MutablePage(phys));
   pg->ref[static_cast<size_t>(pre & page_mask_)] = ref;
+  if (idx_delta_ != nullptr) {
+    idx_delta_->MarkDirty(NodeAt(pre));  // element rename re-keys it
+    if (KindAt(pre) != NodeKind::kElement) {
+      // A text/comment/pi repoint changes the parent's string value.
+      PreId parent = ParentOf(pre);
+      if (parent != kNullPre) idx_delta_->MarkDirty(NodeAt(parent));
+    }
+  }
   return Status::OK();
 }
 
@@ -888,6 +908,7 @@ void PagedStore::AddAttr(NodeId owner, QnameId qname, ValueId prop) {
     oplog_->attr_ops.push_back(
         {OpLog::AttrOp::Kind::kAdd, owner, qname, prop});
   }
+  if (idx_delta_ != nullptr) idx_delta_->MarkDirty(owner);
 }
 
 void PagedStore::RemoveAttrsOf(NodeId owner) {
@@ -896,6 +917,7 @@ void PagedStore::RemoveAttrsOf(NodeId owner) {
     oplog_->attr_ops.push_back(
         {OpLog::AttrOp::Kind::kRemoveOwner, owner, -1, -1});
   }
+  if (idx_delta_ != nullptr) idx_delta_->MarkDirty(owner);
 }
 
 Status PagedStore::RemoveAttrNamed(NodeId owner, QnameId qname) {
@@ -908,6 +930,7 @@ Status PagedStore::RemoveAttrNamed(NodeId owner, QnameId qname) {
     oplog_->attr_ops.push_back(
         {OpLog::AttrOp::Kind::kRemoveNamed, owner, qname, -1});
   }
+  if (idx_delta_ != nullptr) idx_delta_->MarkDirty(owner);
   return Status::OK();
 }
 
@@ -922,6 +945,7 @@ void PagedStore::SetAttrNamed(NodeId owner, QnameId qname, ValueId prop) {
     oplog_->attr_ops.push_back(
         {OpLog::AttrOp::Kind::kSetNamed, owner, qname, prop});
   }
+  if (idx_delta_ != nullptr) idx_delta_->MarkDirty(owner);
 }
 
 // ---------------------------------------------------------------------------

@@ -46,6 +46,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "index/delta_index.h"
 #include "storage/attr_table.h"
 #include "storage/store_common.h"
 
@@ -286,6 +287,12 @@ class PagedStore {
   /// Attach a primitive-op log + page-write-lock hook (txn recording).
   void AttachOpLog(OpLog* log, PageWriteHook hook = nullptr);
 
+  /// Attach a secondary-index maintenance buffer: structural and value
+  /// mutations mark the affected node ids dirty (inserted/deleted nodes
+  /// and the parent whose content or extent they change), so the commit
+  /// path can re-derive their index entries against the merged base.
+  void AttachIndexDelta(index::DeltaIndex* delta) { idx_delta_ = delta; }
+
   /// Replay a transaction's oplog onto this (base) store. Size claims
   /// are NOT resolved here; the caller follows up with ResolveSizes()
   /// over the claim set (its own plus concurrent commits'). The caller
@@ -409,6 +416,7 @@ class PagedStore {
   AttrTable attrs_;
 
   OpLog* oplog_ = nullptr;
+  index::DeltaIndex* idx_delta_ = nullptr;
   PageWriteHook page_write_hook_;
   std::unordered_set<PageId> imaged_pages_;   // logged PageImages
   std::unordered_set<PageId> fresh_pages_;    // appended while recording

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "index/index_manager.h"
+
 namespace pxq::txn {
 
 using storage::ContentPools;
@@ -50,6 +52,9 @@ StatusOr<std::unique_ptr<Transaction>> TransactionManager::Begin() {
   txn->clone_->AttachOpLog(&txn->oplog_, [this, raw](PageId page) {
     return OnFirstPageWrite(raw, page);
   });
+  if (options_.index != nullptr) {
+    txn->clone_->AttachIndexDelta(&txn->idx_delta_);
+  }
   return txn;
 }
 
@@ -187,6 +192,14 @@ Status TransactionManager::CommitInternal(Transaction* txn) {
            committed_claims_.front().lsn <= min_snapshot) {
       committed_claims_.pop_front();
     }
+  }
+
+  // Secondary-index merge: re-derive every dirty node against the now
+  // fully merged base structure (replayed oplog + resolved sizes), so
+  // concurrent commits converge regardless of order. Still inside the
+  // exclusive window — readers never see a store/index mismatch.
+  if (options_.index != nullptr) {
+    options_.index->ApplyDirty(*base_, txn->idx_delta_.dirty());
   }
 
   commit_lsn_.store(lsn);

@@ -31,9 +31,14 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "index/delta_index.h"
 #include "storage/paged_store.h"
 #include "txn/lock_manager.h"
 #include "txn/wal.h"
+
+namespace pxq::index {
+class IndexManager;
+}  // namespace pxq::index
 
 namespace pxq::txn {
 
@@ -46,6 +51,11 @@ struct TxnOptions {
   bool validate_on_commit = false;
   /// WAL file; empty disables durability (in-memory ACI only).
   std::string wal_path;
+  /// Secondary indexes over the base store (owned by the database
+  /// layer). When set, every transaction buffers index maintenance in a
+  /// DeltaIndex overlay that is merged here inside the exclusive commit
+  /// window — and simply dropped on abort.
+  index::IndexManager* index = nullptr;
 };
 
 class Transaction;
@@ -139,6 +149,7 @@ class Transaction {
   uint64_t snapshot_lsn_;
   std::unique_ptr<storage::PagedStore> clone_;
   storage::OpLog oplog_;
+  index::DeltaIndex idx_delta_;
   storage::ContentPools::PoolSizes pool_begin_;
   bool finished_ = false;
   Status poisoned_ = Status::OK();  // set when a page hook failed

@@ -1,56 +1,46 @@
 // XPath evaluator, templated on the store type so both schemas execute
 // identical plans (see staircase.h). Loop-lifted: every step maps a
 // sorted context sequence to a sorted result sequence.
+//
+// When constructed with an index::IndexManager the evaluator plans
+// index-aware: descendant name steps and the common predicate shapes
+// ([@a op lit], [name op lit], [name/@a op lit], and their existence
+// forms) are answered from the secondary indexes when the index's cost
+// gate accepts, falling back to the scan path otherwise. The index
+// describes ONE specific store — only pass it together with that store
+// (the committed base); a transaction clone must evaluate without it.
+// With IndexConfig::cross_check set, every accepted probe is replayed
+// on the scan path and a divergence fails the query with Corruption.
 #ifndef PXQ_XPATH_EVALUATOR_H_
 #define PXQ_XPATH_EVALUATOR_H_
 
-#include <cstdlib>
+#include <algorithm>
+#include <iterator>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
+#include "index/index_manager.h"
 #include "storage/attr_table.h"
 #include "xpath/ast.h"
 #include "xpath/parser.h"
 #include "xpath/staircase.h"
+#include "xpath/value_compare.h"
 
 namespace pxq::xpath {
-
-namespace detail {
-inline bool ParseNumber(const std::string& s, double* out) {
-  if (s.empty()) return false;
-  char* end = nullptr;
-  *out = std::strtod(s.c_str(), &end);
-  return end == s.c_str() + s.size();
-}
-
-inline bool CompareValues(const std::string& a, CmpOp op,
-                          const std::string& b) {
-  double x, y;
-  if (ParseNumber(a, &x) && ParseNumber(b, &y)) {
-    switch (op) {
-      case CmpOp::kEq: return x == y;
-      case CmpOp::kNe: return x != y;
-      case CmpOp::kLt: return x < y;
-      case CmpOp::kLe: return x <= y;
-      case CmpOp::kGt: return x > y;
-      case CmpOp::kGe: return x >= y;
-    }
-  }
-  switch (op) {
-    case CmpOp::kEq: return a == b;
-    case CmpOp::kNe: return a != b;
-    default: return false;  // ordered comparison of non-numbers: false
-  }
-}
-}  // namespace detail
 
 template <typename Store>
 class Evaluator {
  public:
+  static constexpr bool kIndexable =
+      std::is_same_v<Store, storage::PagedStore>;
+
   explicit Evaluator(const Store& store) : store_(store) {}
+  Evaluator(const Store& store, const index::IndexManager* index)
+      : store_(store), index_(index) {}
 
   /// Evaluate a path from the document root.
   StatusOr<std::vector<PreId>> Eval(const Path& path) const {
@@ -86,9 +76,25 @@ class Evaluator {
         case Axis::kDescendant:
         case Axis::kDescendantOrSelf: {
           PreId root = store_.Root();
-          if (MatchTest(s0.test, root, qn)) cand.push_back(root);
-          for (PreId p : StaircaseDescendant(store_, {root})) {
-            if (MatchTest(s0.test, p, qn)) cand.push_back(p);
+          // `//tag` from the document node selects every element with
+          // that tag — exactly a qname postings materialization.
+          bool answered = false;
+          if constexpr (kIndexable) {
+            if (index_ != nullptr && s0.test.kind == NodeTest::Kind::kName) {
+              auto pres =
+                  index_->ElementsByQname(store_, qn, store_.used_count());
+              if (pres) {
+                cand = std::move(*pres);
+                answered = true;
+              }
+            }
+          }
+          if (!answered) {
+            cand = ScanDescendants(s0.test, qn, {root}, /*or_self=*/true);
+          } else if (CrossChecking()) {
+            PXQ_RETURN_IF_ERROR(VerifyCrossCheck(
+                ScanDescendants(s0.test, qn, {root}, /*or_self=*/true),
+                cand, "absolute descendant step"));
           }
           break;
         }
@@ -248,13 +254,12 @@ class Evaluator {
         Normalize(&out);
         break;
       case Axis::kDescendant:
-        for (PreId p : StaircaseDescendant(store_, ctx)) keep(p);
-        break;
       case Axis::kDescendantOrSelf: {
-        std::vector<PreId> d = StaircaseDescendant(store_, ctx);
-        for (PreId c : ctx) keep(c);
-        for (PreId p : d) keep(p);
-        Normalize(&out);
+        const bool or_self = step.axis == Axis::kDescendantOrSelf;
+        PXQ_ASSIGN_OR_RETURN(bool answered,
+                             IndexDescendantStep(step, ctx, qn, or_self,
+                                                 &out));
+        if (!answered) out = ScanDescendants(step.test, qn, ctx, or_self);
         break;
       }
       case Axis::kSelf:
@@ -306,30 +311,41 @@ class Evaluator {
 
   Status FilterPredicates(const Step& step, std::vector<PreId>* nodes) const {
     for (const Predicate& pred : step.predicates) {
-      std::vector<PreId> kept;
-      const auto last = static_cast<int64_t>(nodes->size());
-      for (int64_t i = 0; i < last; ++i) {
-        PreId p = (*nodes)[static_cast<size_t>(i)];
-        bool ok = false;
-        switch (pred.kind) {
-          case Predicate::Kind::kPosition:
-            ok = (i + 1 == pred.position);
-            break;
-          case Predicate::Kind::kLast:
-            ok = (i + 1 == last);
-            break;
-          case Predicate::Kind::kExists:
-          case Predicate::Kind::kCompare: {
-            PXQ_ASSIGN_OR_RETURN(bool r, EvalValuePredicate(pred, p));
-            ok = r;
-            break;
-          }
-        }
-        if (ok) kept.push_back(p);
-      }
+      PXQ_ASSIGN_OR_RETURN(bool answered, IndexFilterPredicate(pred, nodes));
+      if (answered) continue;
+      PXQ_ASSIGN_OR_RETURN(std::vector<PreId> kept,
+                           ScanFilterOne(pred, *nodes));
       *nodes = std::move(kept);
     }
     return Status::OK();
+  }
+
+  /// One predicate over a candidate list, scan path (also the
+  /// cross-check oracle for the index path).
+  StatusOr<std::vector<PreId>> ScanFilterOne(
+      const Predicate& pred, const std::vector<PreId>& nodes) const {
+    std::vector<PreId> kept;
+    const auto last = static_cast<int64_t>(nodes.size());
+    for (int64_t i = 0; i < last; ++i) {
+      PreId p = nodes[static_cast<size_t>(i)];
+      bool ok = false;
+      switch (pred.kind) {
+        case Predicate::Kind::kPosition:
+          ok = (i + 1 == pred.position);
+          break;
+        case Predicate::Kind::kLast:
+          ok = (i + 1 == last);
+          break;
+        case Predicate::Kind::kExists:
+        case Predicate::Kind::kCompare: {
+          PXQ_ASSIGN_OR_RETURN(bool r, EvalValuePredicate(pred, p));
+          ok = r;
+          break;
+        }
+      }
+      if (ok) kept.push_back(p);
+    }
+    return kept;
   }
 
   StatusOr<bool> EvalValuePredicate(const Predicate& pred, PreId node) const {
@@ -365,14 +381,250 @@ class Evaluator {
     return false;
   }
 
+  /// Scan-path descendant(-or-self) name/test matching over a context:
+  /// the fallback when the index declines AND the cross-check oracle —
+  /// one implementation so the two can never drift apart. With
+  /// `or_self` the context nodes themselves are also tested (for the
+  /// leading step of an absolute path the conceptual context is the
+  /// document node, so pass the root with or_self=true).
+  std::vector<PreId> ScanDescendants(const NodeTest& test, QnameId qn,
+                                     const std::vector<PreId>& ctx,
+                                     bool or_self) const {
+    std::vector<PreId> out;
+    if (or_self) {
+      for (PreId c : ctx) {
+        if (MatchTest(test, c, qn)) out.push_back(c);
+      }
+    }
+    for (PreId p : StaircaseDescendant(store_, ctx)) {
+      if (MatchTest(test, p, qn)) out.push_back(p);
+    }
+    Normalize(&out);
+    return out;
+  }
+
+  // --- index-aware planning -------------------------------------------
+
+  bool CrossChecking() const {
+    if constexpr (kIndexable) {
+      return index_ != nullptr && index_->config().cross_check;
+    }
+    return false;
+  }
+
+  Status VerifyCrossCheck(const std::vector<PreId>& scan,
+                          const std::vector<PreId>& indexed,
+                          const char* what) const {
+    if constexpr (kIndexable) {
+      if (scan != indexed) {
+        index_->NoteCrossCheckMismatch();
+        return Status::Corruption(std::string("index/scan divergence on ") +
+                                  what);
+      }
+    }
+    return Status::OK();
+  }
+
+  /// descendant / descendant-or-self name step via the qname postings:
+  /// swizzle the postings into pre order, then a staircase merge against
+  /// the context regions. Returns false when the index declines.
+  StatusOr<bool> IndexDescendantStep(const Step& step,
+                                     const std::vector<PreId>& ctx,
+                                     QnameId qn, bool or_self,
+                                     std::vector<PreId>* out) const {
+    if constexpr (kIndexable) {
+      if (index_ == nullptr || step.test.kind != NodeTest::Kind::kName) {
+        return false;
+      }
+      // Scan cost: the span the staircase scan would walk.
+      int64_t span = 0;
+      PreId scanned_to = -1;
+      for (PreId c : ctx) {
+        PreId end = c + store_.SizeAt(c);
+        if (end <= scanned_to) continue;
+        span += end - std::max(c, scanned_to);
+        scanned_to = end;
+      }
+      auto pres = index_->ElementsByQname(store_, qn, span);
+      if (!pres) return false;
+      std::vector<PreId> res;
+      scanned_to = -1;
+      auto it = pres->begin();
+      for (PreId c : ctx) {
+        const PreId end = c + store_.SizeAt(c);
+        if (end <= scanned_to) continue;  // covered: staircase pruning
+        const PreId from = std::max(c + 1, scanned_to + 1);
+        it = std::lower_bound(it, pres->end(), from);
+        for (; it != pres->end() && *it <= end; ++it) res.push_back(*it);
+        scanned_to = end;
+      }
+      if (or_self) {
+        for (PreId c : ctx) {
+          if (MatchTest(step.test, c, qn)) res.push_back(c);
+        }
+        Normalize(&res);
+      }
+      if (CrossChecking()) {
+        PXQ_RETURN_IF_ERROR(VerifyCrossCheck(
+            ScanDescendants(step.test, qn, ctx, or_self), res,
+            "descendant step"));
+      }
+      *out = std::move(res);
+      return true;
+    } else {
+      (void)step;
+      (void)ctx;
+      (void)qn;
+      (void)or_self;
+      (void)out;
+      return false;
+    }
+  }
+
+  /// Index path for the supported predicate shapes. Returns true (and
+  /// replaces *nodes) when the index answered; false defers to the scan.
+  StatusOr<bool> IndexFilterPredicate(const Predicate& pred,
+                                      std::vector<PreId>* nodes) const {
+    if constexpr (kIndexable) {
+      if (index_ == nullptr || nodes->empty()) return false;
+      if (pred.kind != Predicate::Kind::kExists &&
+          pred.kind != Predicate::Kind::kCompare) {
+        return false;
+      }
+      const std::vector<Step>& rel = pred.rel;
+      auto plain_name = [](const Step& s, Axis axis) {
+        return s.axis == axis && s.test.kind == NodeTest::Kind::kName &&
+               s.predicates.empty();
+      };
+      std::optional<std::vector<PreId>> kept;
+
+      if (rel.size() == 1 && plain_name(rel[0], Axis::kAttribute)) {
+        // [@a] / [@a op lit]: the context node owns the attribute.
+        QnameId aq = store_.pools().FindQname(rel[0].test.name);
+        if (aq < 0) {
+          kept = std::vector<PreId>{};  // name never interned: no match
+        } else {
+          const auto scan_cost = static_cast<int64_t>(nodes->size());
+          auto cand = pred.kind == Predicate::Kind::kExists
+                          ? index_->AttrOwners(store_, aq, scan_cost)
+                          : index_->AttrValueProbe(store_, aq, pred.op,
+                                                   pred.value, scan_cost);
+          if (!cand) return false;
+          kept = IntersectSorted(*nodes, *cand);
+        }
+      } else if (rel.size() == 1 && plain_name(rel[0], Axis::kChild)) {
+        // [name] / [name op lit]: a child with that tag (satisfying the
+        // comparison).
+        QnameId cq = store_.pools().FindQname(rel[0].test.name);
+        if (cq < 0) {
+          kept = std::vector<PreId>{};
+        } else {
+          int64_t scan_cost = 0;
+          for (PreId c : *nodes) scan_cost += store_.SizeAt(c) + 1;
+          if (pred.kind == Predicate::Kind::kExists) {
+            auto cand = index_->ElementsByQname(store_, cq, scan_cost);
+            if (!cand) return false;
+            kept = KeepWithChildIn(*nodes, *cand);
+          } else {
+            std::vector<PreId> simple, complex_rest;
+            if (!index_->ChildValueProbe(store_, cq, pred.op, pred.value,
+                                         scan_cost, &simple,
+                                         &complex_rest)) {
+              return false;
+            }
+            std::vector<PreId> k;
+            for (PreId c : *nodes) {
+              if (HasChildIn(c, simple)) {
+                k.push_back(c);
+              } else if (HasChildIn(c, complex_rest)) {
+                // Value not covered by the index (element has element
+                // children): evaluate this candidate exactly.
+                PXQ_ASSIGN_OR_RETURN(bool ok, EvalValuePredicate(pred, c));
+                if (ok) k.push_back(c);
+              }
+            }
+            kept = std::move(k);
+          }
+        }
+      } else if (rel.size() == 2 && plain_name(rel[0], Axis::kChild) &&
+                 plain_name(rel[1], Axis::kAttribute)) {
+        // [name/@a] / [name/@a op lit]: a child with that tag owning a
+        // (matching) attribute.
+        QnameId cq = store_.pools().FindQname(rel[0].test.name);
+        QnameId aq = store_.pools().FindQname(rel[1].test.name);
+        if (cq < 0 || aq < 0) {
+          kept = std::vector<PreId>{};
+        } else {
+          int64_t scan_cost = 0;
+          for (PreId c : *nodes) scan_cost += store_.SizeAt(c) + 1;
+          auto cand = pred.kind == Predicate::Kind::kExists
+                          ? index_->AttrOwners(store_, aq, scan_cost)
+                          : index_->AttrValueProbe(store_, aq, pred.op,
+                                                   pred.value, scan_cost);
+          if (!cand) return false;
+          std::vector<PreId> named;
+          for (PreId p : *cand) {
+            if (store_.RefAt(p) == cq) named.push_back(p);
+          }
+          kept = KeepWithChildIn(*nodes, named);
+        }
+      } else {
+        return false;  // shape not index-supported
+      }
+
+      if (CrossChecking()) {
+        PXQ_ASSIGN_OR_RETURN(std::vector<PreId> scan,
+                             ScanFilterOne(pred, *nodes));
+        PXQ_RETURN_IF_ERROR(VerifyCrossCheck(scan, *kept, "predicate"));
+      }
+      *nodes = std::move(*kept);
+      return true;
+    } else {
+      (void)pred;
+      (void)nodes;
+      return false;
+    }
+  }
+
+  static std::vector<PreId> IntersectSorted(const std::vector<PreId>& a,
+                                            const std::vector<PreId>& b) {
+    std::vector<PreId> out;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(out));
+    return out;
+  }
+
+  /// Does `c` have a child (direct, level + 1) among the sorted
+  /// candidate pres?
+  bool HasChildIn(PreId c, const std::vector<PreId>& cand) const {
+    const PreId end = c + store_.SizeAt(c);
+    const int32_t child_level = store_.LevelAt(c) + 1;
+    for (auto it = std::upper_bound(cand.begin(), cand.end(), c);
+         it != cand.end() && *it <= end; ++it) {
+      if (store_.LevelAt(*it) == child_level) return true;
+    }
+    return false;
+  }
+
+  std::vector<PreId> KeepWithChildIn(const std::vector<PreId>& ctx,
+                                     const std::vector<PreId>& cand) const {
+    std::vector<PreId> kept;
+    for (PreId c : ctx) {
+      if (HasChildIn(c, cand)) kept.push_back(c);
+    }
+    return kept;
+  }
+
   const Store& store_;
+  const index::IndexManager* index_ = nullptr;
 };
 
-/// Convenience: parse + evaluate from the root.
+/// Convenience: parse + evaluate from the root, optionally index-aware.
 template <typename Store>
-StatusOr<std::vector<PreId>> EvaluatePath(const Store& store,
-                                          std::string_view path_text) {
-  Evaluator<Store> ev(store);
+StatusOr<std::vector<PreId>> EvaluatePath(
+    const Store& store, std::string_view path_text,
+    const index::IndexManager* index = nullptr) {
+  Evaluator<Store> ev(store, index);
   return ev.Eval(path_text);
 }
 

@@ -1,0 +1,85 @@
+// Value comparison semantics shared by the scan-path evaluator, the
+// brute-force reference evaluator, and the secondary value index. All
+// three MUST agree on (a) what counts as a number and (b) how ordered
+// comparisons of non-numbers behave, or index-accelerated predicates
+// could diverge from scans.
+#ifndef PXQ_XPATH_VALUE_COMPARE_H_
+#define PXQ_XPATH_VALUE_COMPARE_H_
+
+#include <cstdlib>
+#include <string>
+
+#include "xpath/ast.h"
+
+namespace pxq::xpath::detail {
+
+/// Strict decimal parse: [+-]? ( digits [. digits*] | . digits ) with an
+/// optional [eE][+-]digits exponent. Unlike strtod this rejects leading/
+/// trailing whitespace, hex floats, and the inf/nan spellings — those
+/// all compare as strings, deterministically, on every path (a strtod
+/// "inf" on the scan path but not in the index's numeric sidecar would
+/// make the two disagree).
+inline bool ParseNumber(const std::string& s, double* out) {
+  const char* p = s.c_str();
+  const char* end = p + s.size();
+  if (p == end) return false;
+  if (*p == '+' || *p == '-') ++p;
+  bool digits = false;
+  while (p < end && *p >= '0' && *p <= '9') {
+    digits = true;
+    ++p;
+  }
+  if (p < end && *p == '.') {
+    ++p;
+    while (p < end && *p >= '0' && *p <= '9') {
+      digits = true;
+      ++p;
+    }
+  }
+  if (!digits) return false;
+  if (p < end && (*p == 'e' || *p == 'E')) {
+    ++p;
+    if (p < end && (*p == '+' || *p == '-')) ++p;
+    if (p == end || *p < '0' || *p > '9') return false;
+    while (p < end && *p >= '0' && *p <= '9') ++p;
+  }
+  if (p != end) return false;
+  // The grammar above is a subset of what strtod accepts, so the
+  // conversion itself can be delegated without reintroducing its
+  // whitespace/inf/nan/hex liberties.
+  *out = std::strtod(s.c_str(), nullptr);
+  return true;
+}
+
+/// Existential comparison of two strings: numeric when BOTH parse under
+/// the strict grammar above, otherwise plain lexicographic byte order —
+/// including the ordered operators (an earlier version returned false
+/// for ordered non-numeric comparisons, silently dropping matches).
+inline bool CompareValues(const std::string& a, CmpOp op,
+                          const std::string& b) {
+  double x, y;
+  if (ParseNumber(a, &x) && ParseNumber(b, &y)) {
+    switch (op) {
+      case CmpOp::kEq: return x == y;
+      case CmpOp::kNe: return x != y;
+      case CmpOp::kLt: return x < y;
+      case CmpOp::kLe: return x <= y;
+      case CmpOp::kGt: return x > y;
+      case CmpOp::kGe: return x >= y;
+    }
+  }
+  const int c = a.compare(b);
+  switch (op) {
+    case CmpOp::kEq: return c == 0;
+    case CmpOp::kNe: return c != 0;
+    case CmpOp::kLt: return c < 0;
+    case CmpOp::kLe: return c <= 0;
+    case CmpOp::kGt: return c > 0;
+    case CmpOp::kGe: return c >= 0;
+  }
+  return false;
+}
+
+}  // namespace pxq::xpath::detail
+
+#endif  // PXQ_XPATH_VALUE_COMPARE_H_

@@ -1,0 +1,481 @@
+// Secondary index subsystem tests: value-comparison semantics shared
+// with the scan path, IndexManager build/probe/maintenance units, and
+// the maintenance property test — random XUpdate workloads (including
+// aborted transactions and a crash-recovery reopen) with every query
+// answered three ways: index probe, scan path (cross-check mode runs
+// both and fails on divergence), and the brute-force reference
+// evaluator.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "database.h"
+#include "index/index_manager.h"
+#include "storage/paged_store.h"
+#include "storage/shredder.h"
+#include "xmark/generator.h"
+#include "xpath/evaluator.h"
+#include "xpath/reference_eval.h"
+#include "xpath/value_compare.h"
+
+namespace pxq {
+namespace {
+
+using xpath::CmpOp;
+using xpath::detail::CompareValues;
+using xpath::detail::ParseNumber;
+
+// ---------------------------------------------------------------------------
+// Satellite regressions: strict number grammar + lexicographic fallback
+// ---------------------------------------------------------------------------
+
+TEST(ParseNumberTest, AcceptsStrictDecimals) {
+  const std::pair<const char*, double> cases[] = {
+      {"0", 0},        {"42", 42},      {"-3.5", -3.5}, {"+7", 7},
+      {".5", 0.5},     {"-.25", -0.25}, {"10.", 10},    {"1e3", 1000},
+      {"1.5E-2", .015}, {"2e+2", 200},
+  };
+  for (const auto& [s, want] : cases) {
+    double got = -1;
+    EXPECT_TRUE(ParseNumber(s, &got)) << s;
+    EXPECT_DOUBLE_EQ(got, want) << s;
+  }
+}
+
+TEST(ParseNumberTest, RejectsWhitespaceInfNanHex) {
+  for (const char* bad :
+       {"", " 3", "3 ", "\t3", "3\n", "inf", "-inf", "INF", "nan", "NaN",
+        "0x10", "1e", "e5", ".", "+", "-", "1.2.3", "12a"}) {
+    double out;
+    EXPECT_FALSE(ParseNumber(bad, &out)) << "accepted: '" << bad << "'";
+  }
+}
+
+TEST(CompareValuesTest, NumericWhenBothParse) {
+  EXPECT_TRUE(CompareValues("10", CmpOp::kGt, "9"));
+  EXPECT_TRUE(CompareValues("1.0", CmpOp::kEq, "1"));
+  EXPECT_TRUE(CompareValues("-2", CmpOp::kLt, "1e1"));
+  EXPECT_FALSE(CompareValues("10", CmpOp::kLt, "9"));
+}
+
+// Regression: ordered comparisons of non-numeric strings used to return
+// false unconditionally, silently dropping matches.
+TEST(CompareValuesTest, OrderedFallsBackToLexicographic) {
+  EXPECT_TRUE(CompareValues("apple", CmpOp::kLt, "banana"));
+  EXPECT_TRUE(CompareValues("banana", CmpOp::kGe, "banana"));
+  EXPECT_FALSE(CompareValues("banana", CmpOp::kLt, "apple"));
+  // Mixed numeric/non-numeric pairs compare as strings too.
+  EXPECT_TRUE(CompareValues("abc", CmpOp::kGt, "100"));
+  EXPECT_TRUE(CompareValues(" 5", CmpOp::kLt, "5"));  // ' ' < '5'
+}
+
+// ---------------------------------------------------------------------------
+// IndexManager units
+// ---------------------------------------------------------------------------
+
+constexpr const char* kDoc =
+    "<r>"
+    "<a id=\"a1\"><n>5</n><n>abc</n></a>"
+    "<a id=\"a2\"><n>17</n></a>"
+    "<b><c p=\"1\">x</c><c p=\"2\">y</c><c p=\"10\">17</c></b>"
+    "</r>";
+
+std::unique_ptr<storage::PagedStore> BuildStore(const std::string& xml) {
+  storage::PagedStore::Config cfg;
+  cfg.page_tuples = 16;
+  cfg.shred_fill = 0.75;
+  auto dense = storage::ShredXml(xml);
+  EXPECT_TRUE(dense.ok()) << dense.status().ToString();
+  auto store = storage::PagedStore::Build(std::move(dense).value(), cfg);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return std::move(store).value();
+}
+
+TEST(IndexManagerTest, QnamePostingsMatchScan) {
+  auto store = BuildStore(kDoc);
+  index::IndexManager idx(index::IndexConfig{});
+  idx.Rebuild(*store);
+
+  for (const char* tag : {"a", "n", "c", "b", "r"}) {
+    QnameId qn = store->pools().FindQname(tag);
+    ASSERT_GE(qn, 0) << tag;
+    auto pres = idx.ElementsByQname(*store, qn, store->used_count());
+    ASSERT_TRUE(pres.has_value()) << tag;
+    auto want = xpath::EvaluatePath(*store, std::string("//") + tag);
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(*pres, want.value()) << tag;
+  }
+  EXPECT_EQ(idx.PostingsCount(store->pools().FindQname("n")), 3);
+  EXPECT_EQ(idx.PostingsCount(store->pools().FindQname("id")), 0);
+}
+
+TEST(IndexManagerTest, ValueProbesEqualityAndRange) {
+  auto store = BuildStore(kDoc);
+  index::IndexManager idx(index::IndexConfig{});
+  idx.Rebuild(*store);
+  QnameId n = store->pools().FindQname("n");
+  const int64_t big = 1 << 20;
+
+  std::vector<PreId> simple, complex_rest;
+  // Equality, numeric: "17" and "17.0" hit the same sidecar entry.
+  ASSERT_TRUE(idx.ChildValueProbe(*store, n, CmpOp::kEq, "17.0", big,
+                                  &simple, &complex_rest));
+  EXPECT_EQ(simple.size(), 1u);
+  EXPECT_TRUE(complex_rest.empty());  // every <n> is simple content
+  // Range: n > 4 matches 5 and 17 numerically AND "abc"
+  // lexicographically (mixed pairs compare as strings, 'a' > '4').
+  ASSERT_TRUE(idx.ChildValueProbe(*store, n, CmpOp::kGt, "4", big, &simple,
+                                  &complex_rest));
+  EXPECT_EQ(simple.size(), 3u);
+  // With a large numeric bound only the lexicographic match survives.
+  ASSERT_TRUE(idx.ChildValueProbe(*store, n, CmpOp::kGt, "99", big, &simple,
+                                  &complex_rest));
+  EXPECT_EQ(simple.size(), 1u);  // "abc" ('a' > '9')
+  // Non-numeric literal: everything compares lexicographically.
+  ASSERT_TRUE(idx.ChildValueProbe(*store, n, CmpOp::kGe, "abc", big,
+                                  &simple, &complex_rest));
+  EXPECT_EQ(simple.size(), 1u);  // only "abc"
+  // != is declined.
+  EXPECT_FALSE(idx.ChildValueProbe(*store, n, CmpOp::kNe, "5", big,
+                                   &simple, &complex_rest));
+}
+
+TEST(IndexManagerTest, ComplexElementsAreHandedBack) {
+  auto store = BuildStore(kDoc);
+  index::IndexManager idx(index::IndexConfig{});
+  idx.Rebuild(*store);
+  QnameId a = store->pools().FindQname("a");
+  std::vector<PreId> simple, complex_rest;
+  ASSERT_TRUE(idx.ChildValueProbe(*store, a, CmpOp::kEq, "x", 1 << 20,
+                                  &simple, &complex_rest));
+  EXPECT_TRUE(simple.empty());         // <a> has element children
+  EXPECT_EQ(complex_rest.size(), 2u);  // both <a> elements
+}
+
+TEST(IndexManagerTest, AttrProbes) {
+  auto store = BuildStore(kDoc);
+  index::IndexManager idx(index::IndexConfig{});
+  idx.Rebuild(*store);
+  const int64_t big = 1 << 20;
+
+  QnameId id = store->pools().FindQname("id");
+  auto owners = idx.AttrOwners(*store, id, big);
+  ASSERT_TRUE(owners.has_value());
+  EXPECT_EQ(owners->size(), 2u);
+
+  auto eq = idx.AttrValueProbe(*store, id, CmpOp::kEq, "a2", big);
+  ASSERT_TRUE(eq.has_value());
+  EXPECT_EQ(eq->size(), 1u);
+
+  QnameId p = store->pools().FindQname("p");
+  auto range = idx.AttrValueProbe(*store, p, CmpOp::kGe, "2", big);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->size(), 2u);  // p=2, p=10 (numeric, not lexicographic)
+}
+
+TEST(IndexManagerTest, CostGateDeclinesUnselectiveProbes) {
+  auto store = BuildStore(kDoc);
+  index::IndexConfig cfg;
+  cfg.gate_ratio = 0.25;
+  index::IndexManager idx(cfg);
+  idx.Rebuild(*store);
+  QnameId n = store->pools().FindQname("n");
+  // 3 postings vs. a claimed scan of 4 tuples: 3 > 0.25*4 -> decline.
+  EXPECT_FALSE(idx.ElementsByQname(*store, n, 4).has_value());
+  // Generous scan estimate -> accept.
+  EXPECT_TRUE(idx.ElementsByQname(*store, n, 1000).has_value());
+  auto stats = idx.Stats();
+  EXPECT_EQ(stats.probes, 2);
+  EXPECT_EQ(stats.probe_hits, 1);
+}
+
+TEST(IndexManagerTest, StatsReportStructure) {
+  auto store = BuildStore(kDoc);
+  index::IndexManager idx(index::IndexConfig{});
+  idx.Rebuild(*store);
+  auto s = idx.Stats();
+  EXPECT_EQ(s.qname_keys, 5);         // r a n b c
+  EXPECT_EQ(s.postings_entries, 10);  // every element once
+  EXPECT_GT(s.value_keys, 0);
+  EXPECT_GT(s.attr_value_keys, 0);
+  EXPECT_GT(s.bytes, 0);
+  EXPECT_GE(s.build_micros, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Index-aware evaluation through the Database API
+// ---------------------------------------------------------------------------
+
+Database::Options CrossCheckedOptions() {
+  Database::Options opt;
+  opt.store.page_tuples = 16;
+  opt.store.shred_fill = 0.75;
+  opt.index.cross_check = true;  // every probe verified against the scan
+  return opt;
+}
+
+TEST(IndexedQueryTest, MatchesReferenceOnXmark) {
+  xmark::GeneratorOptions gopt;
+  gopt.factor = 0.002;
+  auto db_or =
+      Database::CreateFromXml(xmark::Generate(gopt), CrossCheckedOptions());
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  auto db = std::move(db_or).value();
+
+  const char* queries[] = {
+      "//item",
+      "//person",
+      "/site/people/person[@id='person0']",
+      "/site/people/person[@id]",
+      "/site/open_auctions/open_auction[reserve>30]",
+      "//person[emailaddress]",
+  };
+  for (const char* q : queries) {
+    auto res = db->Query(q);
+    ASSERT_TRUE(res.ok()) << q << ": " << res.status().ToString();
+    auto ref = db->txn_manager().Read([&](const storage::PagedStore& s) {
+      xpath::ReferenceEvaluator<storage::PagedStore> rev(s);
+      return rev.Eval(xpath::ParsePath(q).value());
+    });
+    ASSERT_TRUE(ref.ok()) << q;
+    EXPECT_EQ(res.value(), ref.value()) << q;
+  }
+  auto stats = db->IndexStats();
+  EXPECT_GT(stats.probe_hits, 0);
+  EXPECT_EQ(stats.cross_check_mismatches, 0);
+}
+
+// A scan-vs-index smoke check with a deliberately enormous margin: a
+// handful of needles in a ~40k-node haystack. The real numbers live in
+// bench_micro; this only guards against the index path silently
+// regressing to a scan.
+TEST(IndexedQueryTest, IndexBeatsScanOnSelectiveStep) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 20000; ++i) {
+    xml += "<e>";
+    xml += std::to_string(i);
+    xml += "</e>";
+    if (i % 2000 == 0) xml += "<f>needle</f>";
+  }
+  xml += "</r>";
+  auto store = BuildStore(xml);
+  index::IndexManager idx(index::IndexConfig{});
+  idx.Rebuild(*store);
+
+  xpath::Evaluator<storage::PagedStore> indexed(*store, &idx);
+  xpath::Evaluator<storage::PagedStore> scan(*store);
+  auto path = xpath::ParsePath("//f").value();
+  auto want = scan.Eval(path);
+  ASSERT_TRUE(want.ok());
+  ASSERT_EQ(want.value().size(), 10u);
+
+  const int reps = 50;
+  auto time_us = [&](auto& ev) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) {
+      auto r = ev.Eval(path);
+      EXPECT_TRUE(r.ok());
+      EXPECT_EQ(r.value(), want.value());
+    }
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  int64_t scan_us = time_us(scan);
+  int64_t idx_us = time_us(indexed);
+  EXPECT_LT(idx_us * 3, scan_us)
+      << "indexed " << idx_us << "us vs scan " << scan_us << "us";
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance property test (satellite): random XUpdate workloads with
+// aborted transactions, verified against the reference evaluator after
+// every batch, then once more after crash recovery via Open().
+// ---------------------------------------------------------------------------
+
+class IndexMaintenanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pxq_index_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IndexMaintenanceTest, RandomUpdatesKeepIndexExact) {
+  Database::Options opt = CrossCheckedOptions();
+  opt.data_dir = dir_.string();
+
+  auto db_or = Database::CreateFromXml(kDoc, opt);
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  auto db = std::move(db_or).value();
+
+  Random rng(20260729);
+  auto rand_value = [&]() -> std::string {
+    switch (rng.Uniform(4)) {
+      case 0: return std::to_string(rng.Range(-50, 50));
+      case 1:
+        return std::to_string(rng.Range(0, 100)) + "." +
+               std::to_string(rng.Uniform(100));
+      case 2: return std::string("w") + std::to_string(rng.Uniform(8));
+      default: return "";  // empty text values too
+    }
+  };
+  auto make_update = [&]() -> std::string {
+    std::string v = rand_value();
+    switch (rng.Uniform(10)) {
+      case 0:
+        return "<xupdate:append select=\"//a\"><n>" + v +
+               "</n></xupdate:append>";
+      case 1:
+        return "<xupdate:append select=\"/r/b\"><c p=\"" + v + "\">" + v +
+               "</c></xupdate:append>";
+      case 2:
+        return "<xupdate:remove select=\"//n[" +
+               std::to_string(rng.Range(1, 3)) + "]\"/>";
+      case 3:
+        return "<xupdate:remove select=\"//c[" +
+               std::to_string(rng.Range(1, 3)) + "]\"/>";
+      case 4:
+        return "<xupdate:update select=\"//c[1]\">" + v +
+               "</xupdate:update>";
+      case 5:
+        return "<xupdate:update select=\"//a[1]/@id\">" + v +
+               "</xupdate:update>";
+      case 6:
+        return "<xupdate:rename select=\"//n[1]\">m</xupdate:rename>";
+      case 7:
+        return "<xupdate:insert-before select=\"//c[2]\"><c p=\"" + v +
+               "\">z</c></xupdate:insert-before>";
+      case 8:
+        return "<xupdate:append select=\"//b\"><d><n>" + v +
+               "</n><n>9</n></d></xupdate:append>";
+      default:
+        return "<xupdate:insert-after select=\"//a[2]\"><a id=\"" + v +
+               "\"><n>3</n></a></xupdate:insert-after>";
+    }
+  };
+
+  const char* queries[] = {
+      "//n",
+      "//m",
+      "//c",
+      "//a[n]",
+      "//a[@id]",
+      "//b[c>1]",
+      "//a[n='abc']",
+      "//a[n<=17]",
+      "//b[c='z']",
+      "//a[n>'w1']",
+      "//c[@p>1]",
+      "//c[@p='1']",
+      "//b[d]",
+      "//d[n=9]",
+  };
+
+  auto verify_all = [&](const std::string& when) {
+    for (const char* q : queries) {
+      auto res = db->Query(q);  // cross-check mode: index vs scan inside
+      ASSERT_TRUE(res.ok())
+          << when << " " << q << ": " << res.status().ToString();
+      auto ref = db->txn_manager().Read([&](const storage::PagedStore& s) {
+        xpath::ReferenceEvaluator<storage::PagedStore> rev(s);
+        return rev.Eval(xpath::ParsePath(q).value());
+      });
+      ASSERT_TRUE(ref.ok()) << when << " " << q;
+      ASSERT_EQ(res.value(), ref.value()) << when << " " << q;
+    }
+  };
+
+  for (int round = 0; round < 60; ++round) {
+    std::string body;
+    const int ops = static_cast<int>(rng.Range(1, 3));
+    for (int i = 0; i < ops; ++i) body += make_update();
+    std::string doc =
+        "<xupdate:modifications version=\"1.0\" "
+        "xmlns:xupdate=\"http://www.xmldb.org/xupdate\">" +
+        body + "</xupdate:modifications>";
+
+    if (rng.Bernoulli(0.3)) {
+      // Aborted transaction: the delta overlay must be discarded.
+      auto txn = db->Begin();
+      ASSERT_TRUE(txn.ok());
+      auto stats = txn.value()->Update(doc);
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+      ASSERT_TRUE(txn.value()->Abort().ok());
+    } else {
+      auto stats = db->Update(doc);
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    }
+    verify_all("round " + std::to_string(round));
+  }
+
+  EXPECT_EQ(db->IndexStats().cross_check_mismatches, 0);
+  EXPECT_GT(db->IndexStats().applied_commits, 0);
+
+  // Crash recovery: drop the handle (no checkpoint) and reopen; the
+  // index is rebuilt from snapshot + WAL replay.
+  db.reset();
+  auto reopened = Database::Open(opt);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  db = std::move(reopened).value();
+  verify_all("after recovery");
+  EXPECT_EQ(db->IndexStats().cross_check_mismatches, 0);
+}
+
+// Concurrent writers + cross-checked readers: commits merge their
+// delta overlays under the exclusive lock while readers probe under
+// the shared lock; any index/store divergence fails a query.
+TEST(IndexConcurrencyTest, ConcurrentUpdatesStayConsistent) {
+  auto db_or = Database::CreateFromXml(kDoc, CrossCheckedOptions());
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(db_or).value();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 3; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < 40; ++i) {
+        std::string doc =
+            "<xupdate:modifications version=\"1.0\" "
+            "xmlns:xupdate=\"http://www.xmldb.org/xupdate\">"
+            "<xupdate:append select=\"//b\"><c p=\"" +
+            std::to_string(w * 100 + i) + "\">t" + std::to_string(w) +
+            "</c></xupdate:append></xupdate:modifications>";
+        auto s = db->Update(doc, /*retries=*/20);
+        if (!s.ok()) ++failures;
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      for (const char* q : {"//c", "//b[c]", "//c[@p>'50']"}) {
+        auto r = db->Query(q);
+        if (!r.ok()) ++failures;
+      }
+    }
+  });
+  for (int w = 0; w < 3; ++w) threads[static_cast<size_t>(w)].join();
+  stop.store(true);
+  threads.back().join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(db->IndexStats().cross_check_mismatches, 0);
+  auto c = db->Query("//c");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().size(), 3u + 120u);
+}
+
+}  // namespace
+}  // namespace pxq
