@@ -352,6 +352,75 @@ void BM_IndexRebuild(benchmark::State& state) {
 }
 BENCHMARK(BM_IndexRebuild)->DenseRange(0, 2);
 
+// Multi-step path prefix (/a/b/c/d/e): one path-index pair probe + an
+// ancestor-chain verification per candidate, vs stepwise child walks.
+constexpr const char* kChainQuery =
+    "/site/open_auctions/open_auction/bidder/increase";
+
+void BM_PathPrefixScan(benchmark::State& state) {
+  RunQuery(state, IndexedAt(static_cast<int>(state.range(0))), kChainQuery,
+           /*use_index=*/false);
+}
+BENCHMARK(BM_PathPrefixScan)->DenseRange(0, 2);
+
+void BM_PathPrefixIndexed(benchmark::State& state) {
+  RunQuery(state, IndexedAt(static_cast<int>(state.range(0))), kChainQuery,
+           /*use_index=*/true);
+}
+BENCHMARK(BM_PathPrefixIndexed)->DenseRange(0, 2);
+
+// Child-axis name step below a descendant step: `europe` elements are
+// found via postings, then `item` children via the child-step plan.
+void BM_ChildStepScan(benchmark::State& state) {
+  RunQuery(state, IndexedAt(static_cast<int>(state.range(0))),
+           "//regions/europe/item", /*use_index=*/false);
+}
+BENCHMARK(BM_ChildStepScan)->DenseRange(0, 2);
+
+void BM_ChildStepIndexed(benchmark::State& state) {
+  RunQuery(state, IndexedAt(static_cast<int>(state.range(0))),
+           "//regions/europe/item", /*use_index=*/true);
+}
+BENCHMARK(BM_ChildStepIndexed)->DenseRange(0, 2);
+
+// Concurrent probes over one shared index at the mid scale. PR 1
+// serialized every probe on a single IndexManager mutex (throughput
+// flatlined with threads); probes now acquire-load an immutable shard
+// snapshot, so items/sec should grow with the thread count. UseRealTime
+// makes the per-thread time comparable across thread counts.
+void BM_ConcurrentDescendantProbe(benchmark::State& state) {
+  const IndexedFixture& f = IndexedAt(1);
+  xpath::Evaluator<storage::PagedStore> ev(*f.store, f.index.get());
+  auto path = xpath::ParsePath("//item").value();
+  for (auto _ : state) {
+    auto r = ev.Eval(path);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcurrentDescendantProbe)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_ConcurrentAttrProbe(benchmark::State& state) {
+  const IndexedFixture& f = IndexedAt(1);
+  xpath::Evaluator<storage::PagedStore> ev(*f.store, f.index.get());
+  auto path =
+      xpath::ParsePath("/site/people/person[@id='person0']").value();
+  for (auto _ : state) {
+    auto r = ev.Eval(path);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcurrentAttrProbe)->ThreadRange(1, 8)->UseRealTime();
+
 }  // namespace
 }  // namespace pxq
 

@@ -115,6 +115,19 @@ int main(int argc, char** argv) {
                 static_cast<long long>(s.NodeTableBytes()));
     std::printf("string pools:   %lld bytes\n",
                 static_cast<long long>(s.pools().ByteSize()));
+    auto ix = db->IndexStats();
+    std::printf("index:          %lld qname keys, %lld path keys, "
+                "%lld value keys, %lld attr keys, %lld bytes\n",
+                static_cast<long long>(ix.qname_keys),
+                static_cast<long long>(ix.path_keys),
+                static_cast<long long>(ix.value_keys),
+                static_cast<long long>(ix.attr_value_keys),
+                static_cast<long long>(ix.bytes));
+    std::printf("index shards:   %lld (publish epoch %lld, structure "
+                "epoch %lld)\n",
+                static_cast<long long>(ix.shards),
+                static_cast<long long>(ix.publish_epoch),
+                static_cast<long long>(ix.structure_epoch));
     return 0;
   }
   return Usage();

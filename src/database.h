@@ -37,9 +37,11 @@ class Database {
     std::string data_dir;
     std::string name = "pxq";
     txn::TxnOptions txn;
-    /// Secondary indexes (qname postings + value/attribute dictionaries)
-    /// consulted by Query/QueryStrings; maintained through commits,
-    /// rebuilt on Open(). Disable to always scan.
+    /// Secondary indexes (qname postings + value/attribute dictionaries
+    /// + the (parent, self) qname path index) consulted by
+    /// Query/QueryStrings; maintained through commits, rebuilt on
+    /// Open(). Probes read sharded immutable snapshots lock-free;
+    /// `index.shards` tunes the shard count. Disable to always scan.
     index::IndexConfig index;
   };
 
@@ -77,7 +79,9 @@ class Database {
   storage::PagedStore& store() { return txns_->base(); }
   txn::TransactionManager& txn_manager() { return *txns_; }
 
-  /// Secondary-index observability (zeroed stats when disabled).
+  /// Secondary-index observability (zeroed stats when disabled) —
+  /// includes shard/snapshot publication counters and planner hit
+  /// counters for the child-step and path-prefix plans.
   index::IndexStats IndexStats() const {
     return index_ ? index_->Stats() : index::IndexStats{};
   }

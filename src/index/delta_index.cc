@@ -5,6 +5,7 @@ namespace pxq::index {
 void DeltaIndex::Clear() {
   dirty_.clear();
   seen_.clear();
+  structural_ = false;
 }
 
 }  // namespace pxq::index

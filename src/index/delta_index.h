@@ -15,7 +15,12 @@
 //   insert subtree  -> every inserted node + the insertion parent
 //   delete subtree  -> every deleted node + the parent
 //   SetRef          -> the node; for text/comment/pi also the parent
-//                      (its string value changed)
+//                      (its string value changed). An element rename
+//                      also re-keys its children's path-index entries,
+//                      but those are expanded commit-side by
+//                      IndexManager::ApplyDirty against the MERGED
+//                      base (a clone-side enumeration would miss
+//                      children a rival commit inserted first).
 //   attribute ops   -> the owner element
 //
 // Only the *direct* parent needs re-derivation on content edits: a
@@ -42,8 +47,14 @@ class DeltaIndex {
   void MarkDirty(const std::vector<NodeId>& nodes) {
     for (NodeId n : nodes) MarkDirty(n);
   }
+  /// Record that this transaction shifted pre ranks (insert/delete).
+  /// Value-only transactions (SetRef, attribute edits) leave this unset,
+  /// letting the index keep its memoized pre materializations valid
+  /// across the commit instead of invalidating them wholesale.
+  void MarkStructural() { structural_ = true; }
 
   const std::vector<NodeId>& dirty() const { return dirty_; }
+  bool structural() const { return structural_; }
   bool empty() const { return dirty_.empty(); }
   size_t size() const { return dirty_.size(); }
   void Clear();
@@ -51,6 +62,7 @@ class DeltaIndex {
  private:
   std::vector<NodeId> dirty_;       // first-touch order (deduplicated)
   std::unordered_set<NodeId> seen_;
+  bool structural_ = false;
 };
 
 }  // namespace pxq::index

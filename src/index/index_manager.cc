@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_set>
 
 #include "xpath/value_compare.h"
 
@@ -27,6 +28,14 @@ void SidecarErase(std::multimap<double, NodeId>* m, double key, NodeId n) {
     }
   }
 }
+
+int RoundShards(int requested) {
+  int n = 1;
+  while (n < requested && n < 256) n <<= 1;
+  return n;
+}
+
+const std::vector<PreId> kEmptyPres;
 
 /// Value-index view of one element: simple (no element children) plus
 /// the concatenation of its text children — which for a simple element
@@ -57,71 +66,130 @@ Derived DeriveValue(const storage::PagedStore& store, PreId pre) {
   return d;
 }
 
+QnameId ParentQnameOf(const storage::PagedStore& store, PreId pre) {
+  PreId parent = store.ParentOf(pre);
+  return parent == kNullPre ? -1 : store.RefAt(parent);
+}
+
 }  // namespace
 
-void IndexManager::Rebuild(const storage::PagedStore& store) {
-  const auto t0 = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lock(mu_);
-  qname_postings_.clear();
-  values_.clear();
-  attrs_.clear();
-  node_state_.clear();
-  pre_memo_.clear();
-  if (config_.enabled) {
-    const PreId end = store.view_size();
-    for (PreId p = store.SkipHoles(0); p < end; p = store.SkipHoles(p + 1)) {
-      if (store.KindAt(p) == NodeKind::kElement) {
-        AddNodeLocked(store, store.NodeAt(p), p);
-      }
+IndexManager::IndexManager(IndexConfig config)
+    : config_(config), nshards_(RoundShards(std::max(1, config.shards))) {
+  config_.shards = nshards_;
+  shards_ = std::make_unique<Shard[]>(static_cast<size_t>(nshards_));
+  owned_snaps_.resize(static_cast<size_t>(nshards_));
+  for (int i = 0; i < nshards_; ++i) {
+    owned_snaps_[static_cast<size_t>(i)] = std::make_shared<ShardSnapshot>();
+    shards_[i].snap.store(owned_snaps_[static_cast<size_t>(i)].get(),
+                          std::memory_order_release);
+  }
+}
+
+IndexManager::~IndexManager() {
+  for (int i = 0; i < nshards_; ++i) {
+    const MemoTable* t = shards_[i].memo.load(std::memory_order_acquire);
+    while (t != nullptr) {
+      const MemoTable* prev = t->prev;
+      delete t;
+      t = prev;
     }
   }
-  ++epoch_;
-  stats_.maintenance_ops = 0;
-  stats_.applied_commits = 0;
-  stats_.build_micros = std::chrono::duration_cast<std::chrono::microseconds>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
 }
 
-void IndexManager::ApplyDirty(const storage::PagedStore& store,
-                              const std::vector<NodeId>& dirty) {
-  if (!config_.enabled) return;
-  // An empty dirty set means no structural/value/attr mutation happened
-  // (every pre-shifting primitive marks at least one node), so the
-  // memoized pre-lists are still valid — don't invalidate them.
-  if (dirty.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  for (NodeId n : dirty) {
-    RemoveNodeLocked(n);
-    if (store.PosOfNode(n) == kNullPos) continue;  // deleted (or aborted id)
-    auto pre = store.PreOfNode(n);
-    if (!pre.ok()) continue;
-    if (store.KindAt(pre.value()) != NodeKind::kElement) continue;
-    AddNodeLocked(store, n, pre.value());
+// ---------------------------------------------------------------------------
+// Writer side: copy-on-write staging + publication
+// ---------------------------------------------------------------------------
+
+IndexManager::ShardBuilder& IndexManager::BuilderFor(
+    std::vector<ShardBuilder>& bs, QnameId qn) {
+  ShardBuilder& b = bs[static_cast<size_t>(ShardOf(qn))];
+  if (!b.next) {
+    // Copy the outer maps; every bucket stays shared until touched.
+    b.next = std::make_shared<ShardSnapshot>(*Snap(ShardOf(qn)));
   }
-  ++epoch_;
-  pre_memo_.clear();
-  stats_.maintenance_ops += static_cast<int64_t>(dirty.size());
-  stats_.applied_commits += 1;
+  b.touched = true;
+  return b;
 }
 
-void IndexManager::AddNodeLocked(const storage::PagedStore& store,
-                                 NodeId node, PreId pre) {
+IndexManager::Postings* IndexManager::MutablePostings(
+    std::vector<ShardBuilder>& bs, QnameId qn) {
+  ShardBuilder& b = BuilderFor(bs, qn);
+  auto it = b.post.find(qn);
+  if (it == b.post.end()) {
+    auto cur = b.next->postings.find(qn);
+    auto fresh = cur == b.next->postings.end()
+                     ? std::make_shared<Postings>()
+                     : std::make_shared<Postings>(*cur->second);
+    fresh->gen = ++next_gen_;  // new bucket identity for memo validation
+    it = b.post.emplace(qn, std::move(fresh)).first;
+  }
+  return it->second.get();
+}
+
+IndexManager::ValueBucket* IndexManager::MutableValues(
+    std::vector<ShardBuilder>& bs, QnameId qn) {
+  ShardBuilder& b = BuilderFor(bs, qn);
+  auto it = b.val.find(qn);
+  if (it == b.val.end()) {
+    auto cur = b.next->values.find(qn);
+    auto fresh = cur == b.next->values.end()
+                     ? std::make_shared<ValueBucket>()
+                     : std::make_shared<ValueBucket>(*cur->second);
+    it = b.val.emplace(qn, std::move(fresh)).first;
+  }
+  return it->second.get();
+}
+
+IndexManager::AttrBucket* IndexManager::MutableAttrs(
+    std::vector<ShardBuilder>& bs, QnameId qn) {
+  ShardBuilder& b = BuilderFor(bs, qn);
+  auto it = b.attr.find(qn);
+  if (it == b.attr.end()) {
+    auto cur = b.next->attrs.find(qn);
+    auto fresh = cur == b.next->attrs.end()
+                     ? std::make_shared<AttrBucket>()
+                     : std::make_shared<AttrBucket>(*cur->second);
+    it = b.attr.emplace(qn, std::move(fresh)).first;
+  }
+  return it->second.get();
+}
+
+IndexManager::Postings* IndexManager::MutablePaths(
+    std::vector<ShardBuilder>& bs, QnameId self_qn, uint64_t key) {
+  ShardBuilder& b = BuilderFor(bs, self_qn);  // path keys shard by self qname
+  auto it = b.path.find(key);
+  if (it == b.path.end()) {
+    auto cur = b.next->paths.find(key);
+    auto fresh = cur == b.next->paths.end()
+                     ? std::make_shared<Postings>()
+                     : std::make_shared<Postings>(*cur->second);
+    fresh->gen = ++next_gen_;
+    it = b.path.emplace(key, std::move(fresh)).first;
+  }
+  return it->second.get();
+}
+
+void IndexManager::AddNode(std::vector<ShardBuilder>& bs,
+                           const storage::PagedStore& store, NodeId node,
+                           PreId pre, QnameId parent_qn) {
   NodeState st;
   st.qn = store.RefAt(pre);
-  SortedInsert(&qname_postings_[st.qn], node);
-  ValueBucket& vb = values_[st.qn];
+  st.parent_qn = parent_qn;
+  SortedInsert(&MutablePostings(bs, st.qn)->nodes, node);
+  SortedInsert(&MutablePaths(bs, st.qn, PathKeyOf(parent_qn, st.qn))->nodes,
+               node);
+  ValueBucket* vb = MutableValues(bs, st.qn);
   Derived d = DeriveValue(store, pre);
   if (d.simple) {
     st.simple = true;
     st.value = std::move(d.value);
     st.numeric = xpath::detail::ParseNumber(st.value, &st.num);
-    ValueEntry& e = vb.by_string[st.value];
+    ValueEntry& e = vb->by_string[st.value];
     e.numeric = st.numeric;
     SortedInsert(&e.nodes, node);
-    if (st.numeric) vb.by_number.emplace(st.num, node);
+    if (st.numeric) vb->by_number.emplace(st.num, node);
   } else {
-    SortedInsert(&vb.complex_elems, node);
+    SortedInsert(&vb->complex_elems, node);
   }
   std::vector<int32_t> rows;
   store.attrs().Lookup(node, &rows);
@@ -131,69 +199,194 @@ void IndexManager::AddNodeLocked(const storage::PagedStore& store,
     as.qn = row.qname;
     as.value = store.pools().Prop(row.prop);
     as.numeric = xpath::detail::ParseNumber(as.value, &as.num);
-    AttrBucket& ab = attrs_[as.qn];
-    SortedInsert(&ab.owners, node);
-    ValueEntry& e = ab.by_string[as.value];
+    AttrBucket* ab = MutableAttrs(bs, as.qn);
+    SortedInsert(&ab->owners, node);
+    ValueEntry& e = ab->by_string[as.value];
     e.numeric = as.numeric;
     SortedInsert(&e.nodes, node);
-    if (as.numeric) ab.by_number.emplace(as.num, node);
+    if (as.numeric) ab->by_number.emplace(as.num, node);
     st.attrs.push_back(std::move(as));
   }
   node_state_[node] = std::move(st);
 }
 
-void IndexManager::RemoveNodeLocked(NodeId node) {
+void IndexManager::RemoveNode(std::vector<ShardBuilder>& bs, NodeId node) {
   auto it = node_state_.find(node);
   if (it == node_state_.end()) return;
   const NodeState& st = it->second;
 
-  auto pit = qname_postings_.find(st.qn);
-  if (pit != qname_postings_.end()) {
-    SortedErase(&pit->second, node);
-    if (pit->second.empty()) qname_postings_.erase(pit);
-  }
-  auto vit = values_.find(st.qn);
-  if (vit != values_.end()) {
-    ValueBucket& vb = vit->second;
-    if (st.simple) {
-      auto eit = vb.by_string.find(st.value);
-      if (eit != vb.by_string.end()) {
-        SortedErase(&eit->second.nodes, node);
-        if (eit->second.nodes.empty()) vb.by_string.erase(eit);
-      }
-      if (st.numeric) SidecarErase(&vb.by_number, st.num, node);
-    } else {
-      SortedErase(&vb.complex_elems, node);
+  SortedErase(&MutablePostings(bs, st.qn)->nodes, node);
+  SortedErase(&MutablePaths(bs, st.qn, PathKeyOf(st.parent_qn, st.qn))->nodes,
+              node);
+  ValueBucket* vb = MutableValues(bs, st.qn);
+  if (st.simple) {
+    auto eit = vb->by_string.find(st.value);
+    if (eit != vb->by_string.end()) {
+      SortedErase(&eit->second.nodes, node);
+      if (eit->second.nodes.empty()) vb->by_string.erase(eit);
     }
-    if (vb.by_string.empty() && vb.by_number.empty() &&
-        vb.complex_elems.empty()) {
-      values_.erase(vit);
-    }
+    if (st.numeric) SidecarErase(&vb->by_number, st.num, node);
+  } else {
+    SortedErase(&vb->complex_elems, node);
   }
   for (const AttrState& as : st.attrs) {
-    auto ait = attrs_.find(as.qn);
-    if (ait == attrs_.end()) continue;
-    AttrBucket& ab = ait->second;
-    SortedErase(&ab.owners, node);
-    auto eit = ab.by_string.find(as.value);
-    if (eit != ab.by_string.end()) {
+    AttrBucket* ab = MutableAttrs(bs, as.qn);
+    SortedErase(&ab->owners, node);
+    auto eit = ab->by_string.find(as.value);
+    if (eit != ab->by_string.end()) {
       SortedErase(&eit->second.nodes, node);
-      if (eit->second.nodes.empty()) ab.by_string.erase(eit);
+      if (eit->second.nodes.empty()) ab->by_string.erase(eit);
     }
-    if (as.numeric) SidecarErase(&ab.by_number, as.num, node);
-    if (ab.owners.empty()) attrs_.erase(ait);
+    if (as.numeric) SidecarErase(&ab->by_number, as.num, node);
   }
   node_state_.erase(it);
 }
 
-bool IndexManager::GateLocked(int64_t candidates, int64_t scan_cost) const {
+void IndexManager::PruneMemos() {
+  // Exclusive window: no reader holds a memo table pointer, so every
+  // table except the newest can be reclaimed.
+  for (int i = 0; i < nshards_; ++i) {
+    const MemoTable* newest = shards_[i].memo.load(std::memory_order_acquire);
+    if (newest == nullptr) continue;
+    const MemoTable* t = newest->prev;
+    while (t != nullptr) {
+      const MemoTable* prev = t->prev;
+      delete t;
+      t = prev;
+    }
+    const_cast<MemoTable*>(newest)->prev = nullptr;
+  }
+}
+
+void IndexManager::Publish(std::vector<ShardBuilder>& bs, bool structural) {
+  for (int i = 0; i < nshards_; ++i) {
+    ShardBuilder& b = bs[static_cast<size_t>(i)];
+    if (!b.touched) continue;
+    // Install privatized buckets; empty buckets drop their key so probe
+    // misses stay O(1) map lookups and memory is reclaimed.
+    for (auto& [qn, p] : b.post) {
+      if (p->nodes.empty()) b.next->postings.erase(qn);
+      else b.next->postings[qn] = std::move(p);
+    }
+    for (auto& [qn, v] : b.val) {
+      if (v->empty()) b.next->values.erase(qn);
+      else b.next->values[qn] = std::move(v);
+    }
+    for (auto& [qn, a] : b.attr) {
+      if (a->empty()) b.next->attrs.erase(qn);
+      else b.next->attrs[qn] = std::move(a);
+    }
+    for (auto& [key, p] : b.path) {
+      if (p->nodes.empty()) b.next->paths.erase(key);
+      else b.next->paths[key] = std::move(p);
+    }
+    shards_[i].snap.store(b.next.get(), std::memory_order_release);
+    // Reclaim the previous snapshot: the exclusive window guarantees no
+    // probe still reads it.
+    owned_snaps_[static_cast<size_t>(i)] = std::move(b.next);
+  }
+  PruneMemos();
+  if (structural) {
+    // Pre ranks shifted: every memoized materialization is stale. Memo
+    // entries self-invalidate via the epoch check; no table touch here.
+    structure_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  publish_epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void IndexManager::Rebuild(const storage::PagedStore& store) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  node_state_.clear();
+  std::vector<ShardBuilder> bs(static_cast<size_t>(nshards_));
+  for (int i = 0; i < nshards_; ++i) {
+    // Start every shard from scratch (not from the current snapshot).
+    bs[static_cast<size_t>(i)].next = std::make_shared<ShardSnapshot>();
+    bs[static_cast<size_t>(i)].touched = true;
+  }
+  if (config_.enabled) {
+    // Pre-order walk tracking the enclosing element chain, so each
+    // element's parent qname is O(1) instead of an ancestor descent.
+    struct Enclosing {
+      PreId end;
+      QnameId qn;
+    };
+    std::vector<Enclosing> stack;
+    const PreId end = store.view_size();
+    for (PreId p = store.SkipHoles(0); p < end; p = store.SkipHoles(p + 1)) {
+      while (!stack.empty() && p > stack.back().end) stack.pop_back();
+      if (store.KindAt(p) != NodeKind::kElement) continue;
+      const QnameId parent_qn = stack.empty() ? -1 : stack.back().qn;
+      AddNode(bs, store, store.NodeAt(p), p, parent_qn);
+      stack.push_back({p + store.SizeAt(p), store.RefAt(p)});
+    }
+  }
+  Publish(bs, /*structural=*/true);
+  maintenance_ops_ = 0;
+  applied_commits_ = 0;
+  build_micros_ = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+}
+
+void IndexManager::ApplyDirty(const storage::PagedStore& store,
+                              const DeltaIndex& delta) {
+  if (!config_.enabled) return;
+  // An empty dirty set means no structural/value/attr mutation happened
+  // (every pre-shifting primitive marks at least one node), so nothing
+  // to publish and the memoized pre-lists are still valid.
+  if (delta.empty()) return;
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::vector<ShardBuilder> bs(static_cast<size_t>(nshards_));
+  std::vector<NodeId> work = delta.dirty();
+  std::unordered_set<NodeId> seen(work.begin(), work.end());
+  for (size_t i = 0; i < work.size(); ++i) {
+    const NodeId n = work[i];
+    // Detect renames against the reverse map BEFORE removal: the
+    // transaction marks only the renamed node, but the (parent, self)
+    // path keys of its element children changed with it. Enumerating
+    // those children from the MERGED base (not the transaction's
+    // clone) keeps concurrent commits convergent — a child inserted by
+    // a rival commit is re-keyed here even though the renamer's clone
+    // never saw it.
+    QnameId old_qn = -1;
+    auto st = node_state_.find(n);
+    const bool known = st != node_state_.end();
+    if (known) old_qn = st->second.qn;
+    RemoveNode(bs, n);
+    if (store.PosOfNode(n) == kNullPos) continue;  // deleted (or aborted id)
+    auto pre = store.PreOfNode(n);
+    if (!pre.ok()) continue;
+    if (store.KindAt(pre.value()) != NodeKind::kElement) continue;
+    if (known && old_qn != store.RefAt(pre.value())) {
+      const PreId end = pre.value() + store.SizeAt(pre.value());
+      for (PreId c = store.SkipHoles(pre.value() + 1); c <= end;
+           c = store.SkipHoles(c + store.SizeAt(c) + 1)) {
+        if (store.KindAt(c) != NodeKind::kElement) continue;
+        if (seen.insert(store.NodeAt(c)).second) {
+          work.push_back(store.NodeAt(c));
+        }
+      }
+    }
+    AddNode(bs, store, n, pre.value(), ParentQnameOf(store, pre.value()));
+  }
+  Publish(bs, delta.structural());
+  maintenance_ops_ += static_cast<int64_t>(work.size());
+  applied_commits_ += 1;
+}
+
+// ---------------------------------------------------------------------------
+// Reader side: lock-free probes over published snapshots
+// ---------------------------------------------------------------------------
+
+bool IndexManager::Gate(int64_t candidates, int64_t scan_cost) const {
   if (config_.cross_check) return true;  // always exercise the index
   return static_cast<double>(candidates) <=
          config_.gate_ratio * static_cast<double>(scan_cost);
 }
 
-std::vector<PreId> IndexManager::ToPres(
-    const storage::PagedStore& store, const std::vector<NodeId>& nodes) const {
+std::vector<PreId> IndexManager::ToPres(const storage::PagedStore& store,
+                                        const std::vector<NodeId>& nodes) const {
   std::vector<PreId> pres;
   pres.reserve(nodes.size());
   for (NodeId n : nodes) {
@@ -204,38 +397,92 @@ std::vector<PreId> IndexManager::ToPres(
   return pres;
 }
 
-const std::vector<PreId>& IndexManager::QnamePresLocked(
-    const storage::PagedStore& store, QnameId qn) const {
-  PreMemo& memo = pre_memo_[qn];
-  if (memo.epoch != epoch_) {
-    auto it = qname_postings_.find(qn);
-    memo.pres = it == qname_postings_.end() ? std::vector<PreId>{}
-                                            : ToPres(store, it->second);
-    memo.epoch = epoch_;
+const std::vector<PreId>* IndexManager::MemoizedPres(
+    const Shard& shard, const storage::PagedStore& store, bool is_path,
+    uint64_t key, const Postings& src) const {
+  const uint64_t sepoch = structure_epoch_.load(std::memory_order_acquire);
+  const MemoTable* memo = shard.memo.load(std::memory_order_acquire);
+  if (memo != nullptr) {
+    const auto& map = is_path ? memo->by_path : memo->by_qname;
+    auto it = map.find(key);
+    if (it != map.end() && it->second->src_gen == src.gen &&
+        it->second->structure_epoch == sepoch) {
+      memo_hits_.v.fetch_add(1, std::memory_order_relaxed);
+      return &it->second->pres;
+    }
   }
-  return memo.pres;
+  memo_misses_.v.fetch_add(1, std::memory_order_relaxed);
+  auto entry = std::make_shared<MemoEntry>();
+  entry->src_gen = src.gen;
+  entry->structure_epoch = sepoch;
+  entry->pres = ToPres(store, src.nodes);
+  // CAS-publish a new table version. Readers race only with readers
+  // (writers prune inside the exclusive window); a loser deletes its
+  // never-published candidate and retries against the latest table, so
+  // concurrently inserted entries for other keys are never lost.
+  // Entries are shared between versions, so each link in the retained
+  // chain costs map nodes only, never pre-list copies.
+  const MemoTable* cur = memo;
+  for (;;) {
+    auto* next = cur ? new MemoTable(*cur) : new MemoTable();
+    next->prev = cur;
+    (is_path ? next->by_path : next->by_qname)[key] = entry;
+    if (shard.memo.compare_exchange_strong(cur, next,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      return &entry->pres;
+    }
+    delete next;
+  }
 }
 
 int64_t IndexManager::PostingsCount(QnameId qn) const {
   if (!config_.enabled || qn < 0) return 0;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = qname_postings_.find(qn);
-  return it == qname_postings_.end()
+  const ShardSnapshot* snap = Snap(ShardOf(qn));
+  auto it = snap->postings.find(qn);
+  return it == snap->postings.end()
              ? 0
-             : static_cast<int64_t>(it->second.size());
+             : static_cast<int64_t>(it->second->nodes.size());
 }
 
-std::optional<std::vector<PreId>> IndexManager::ElementsByQname(
+const std::vector<PreId>* IndexManager::ElementsByQname(
     const storage::PagedStore& store, QnameId qn, int64_t scan_cost) const {
-  if (!config_.enabled || qn < 0) return std::nullopt;
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.probes;
-  auto it = qname_postings_.find(qn);
-  const int64_t k =
-      it == qname_postings_.end() ? 0 : static_cast<int64_t>(it->second.size());
-  if (!GateLocked(k, scan_cost)) return std::nullopt;
-  ++stats_.probe_hits;
-  return QnamePresLocked(store, qn);
+  if (!config_.enabled || qn < 0) return nullptr;
+  probes_.v.fetch_add(1, std::memory_order_relaxed);
+  const Shard& shard = shards_[ShardOf(qn)];
+  const ShardSnapshot* snap = shard.snap.load(std::memory_order_acquire);
+  auto it = snap->postings.find(qn);
+  const int64_t k = it == snap->postings.end()
+                        ? 0
+                        : static_cast<int64_t>(it->second->nodes.size());
+  if (!Gate(k, scan_cost)) {
+    probe_declines_.v.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (it == snap->postings.end()) return &kEmptyPres;
+  return MemoizedPres(shard, store, /*is_path=*/false,
+                      static_cast<uint64_t>(static_cast<uint32_t>(qn)),
+                      *it->second);
+}
+
+const std::vector<PreId>* IndexManager::PathPairProbe(
+    const storage::PagedStore& store, QnameId parent_qn, QnameId self_qn,
+    int64_t scan_cost) const {
+  if (!config_.enabled || self_qn < 0) return nullptr;
+  path_probes_.v.fetch_add(1, std::memory_order_relaxed);
+  const Shard& shard = shards_[ShardOf(self_qn)];
+  const ShardSnapshot* snap = shard.snap.load(std::memory_order_acquire);
+  const uint64_t key = PathKeyOf(parent_qn, self_qn);
+  auto it = snap->paths.find(key);
+  const int64_t k = it == snap->paths.end()
+                        ? 0
+                        : static_cast<int64_t>(it->second->nodes.size());
+  if (!Gate(k, scan_cost)) {
+    path_declines_.v.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (it == snap->paths.end()) return &kEmptyPres;
+  return MemoizedPres(shard, store, /*is_path=*/true, key, *it->second);
 }
 
 void IndexManager::CollectMatches(
@@ -322,23 +569,24 @@ bool IndexManager::ChildValueProbe(const storage::PagedStore& store,
                                    std::vector<PreId>* simple,
                                    std::vector<PreId>* complex_rest) const {
   if (!config_.enabled || qn < 0 || op == xpath::CmpOp::kNe) return false;
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.probes;
+  probes_.v.fetch_add(1, std::memory_order_relaxed);
   simple->clear();
   complex_rest->clear();
-  auto vit = values_.find(qn);
-  if (vit == values_.end()) {
+  const ShardSnapshot* snap = Snap(ShardOf(qn));
+  auto vit = snap->values.find(qn);
+  if (vit == snap->values.end()) {
     // No element carries this tag: the empty result is exact.
-    ++stats_.probe_hits;
     return true;
   }
-  const ValueBucket& vb = vit->second;
+  const ValueBucket& vb = *vit->second;
   std::vector<NodeId> matches;
   CollectMatches(vb.by_string, vb.by_number, op, literal, &matches);
   const int64_t k = static_cast<int64_t>(matches.size()) +
                     static_cast<int64_t>(vb.complex_elems.size());
-  if (!GateLocked(k, scan_cost)) return false;
-  ++stats_.probe_hits;
+  if (!Gate(k, scan_cost)) {
+    probe_declines_.v.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   *simple = ToPres(store, matches);
   *complex_rest = ToPres(store, vb.complex_elems);
   return true;
@@ -347,15 +595,18 @@ bool IndexManager::ChildValueProbe(const storage::PagedStore& store,
 std::optional<std::vector<PreId>> IndexManager::AttrOwners(
     const storage::PagedStore& store, QnameId qn, int64_t scan_cost) const {
   if (!config_.enabled || qn < 0) return std::nullopt;
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.probes;
-  auto it = attrs_.find(qn);
-  const int64_t k =
-      it == attrs_.end() ? 0 : static_cast<int64_t>(it->second.owners.size());
-  if (!GateLocked(k, scan_cost)) return std::nullopt;
-  ++stats_.probe_hits;
-  if (it == attrs_.end()) return std::vector<PreId>{};
-  return ToPres(store, it->second.owners);
+  probes_.v.fetch_add(1, std::memory_order_relaxed);
+  const ShardSnapshot* snap = Snap(ShardOf(qn));
+  auto it = snap->attrs.find(qn);
+  const int64_t k = it == snap->attrs.end()
+                        ? 0
+                        : static_cast<int64_t>(it->second->owners.size());
+  if (!Gate(k, scan_cost)) {
+    probe_declines_.v.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  if (it == snap->attrs.end()) return std::vector<PreId>{};
+  return ToPres(store, it->second->owners);
 }
 
 std::optional<std::vector<PreId>> IndexManager::AttrValueProbe(
@@ -364,64 +615,87 @@ std::optional<std::vector<PreId>> IndexManager::AttrValueProbe(
   if (!config_.enabled || qn < 0 || op == xpath::CmpOp::kNe) {
     return std::nullopt;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.probes;
-  auto it = attrs_.find(qn);
-  if (it == attrs_.end()) {
-    ++stats_.probe_hits;
-    return std::vector<PreId>{};
-  }
+  probes_.v.fetch_add(1, std::memory_order_relaxed);
+  const ShardSnapshot* snap = Snap(ShardOf(qn));
+  auto it = snap->attrs.find(qn);
+  if (it == snap->attrs.end()) return std::vector<PreId>{};
   std::vector<NodeId> matches;
-  CollectMatches(it->second.by_string, it->second.by_number, op, literal,
+  CollectMatches(it->second->by_string, it->second->by_number, op, literal,
                  &matches);
-  if (!GateLocked(static_cast<int64_t>(matches.size()), scan_cost)) {
+  if (!Gate(static_cast<int64_t>(matches.size()), scan_cost)) {
+    probe_declines_.v.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  ++stats_.probe_hits;
   return ToPres(store, matches);
 }
 
 void IndexManager::NoteCrossCheckMismatch() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.cross_check_mismatches;
+  cross_check_mismatches_.v.fetch_add(1, std::memory_order_relaxed);
 }
 
 IndexStats IndexManager::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  IndexStats s = stats_;
-  s.qname_keys = static_cast<int64_t>(qname_postings_.size());
-  s.postings_entries = 0;
-  for (const auto& [qn, nodes] : qname_postings_) {
-    s.postings_entries += static_cast<int64_t>(nodes.size());
-  }
-  s.value_keys = 0;
-  s.complex_entries = 0;
+  IndexStats s;
+  s.probes = probes_.v.load(std::memory_order_relaxed);
+  s.probe_hits = s.probes - probe_declines_.v.load(std::memory_order_relaxed);
+  s.path_probes = path_probes_.v.load(std::memory_order_relaxed);
+  s.path_hits =
+      s.path_probes - path_declines_.v.load(std::memory_order_relaxed);
+  s.child_step_hits = child_step_hits_.v.load(std::memory_order_relaxed);
+  s.memo_hits = memo_hits_.v.load(std::memory_order_relaxed);
+  s.memo_misses = memo_misses_.v.load(std::memory_order_relaxed);
+  s.cross_check_mismatches =
+      cross_check_mismatches_.v.load(std::memory_order_relaxed);
+  s.shards = nshards_;
+  s.publish_epoch =
+      static_cast<int64_t>(publish_epoch_.load(std::memory_order_acquire));
+  s.structure_epoch =
+      static_cast<int64_t>(structure_epoch_.load(std::memory_order_acquire));
+  // Structure walk under writer_mu_: publication both swaps and
+  // reclaims snapshots, so Stats() must not chase the raw pointers
+  // concurrently with a writer.
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  s.build_micros = build_micros_;
+  s.maintenance_ops = maintenance_ops_;
+  s.applied_commits = applied_commits_;
+  s.node_states = static_cast<int64_t>(node_state_.size());
   int64_t bytes = 0;
-  for (const auto& [qn, vb] : values_) {
-    s.value_keys += static_cast<int64_t>(vb.by_string.size());
-    s.complex_entries += static_cast<int64_t>(vb.complex_elems.size());
-    for (const auto& [v, e] : vb.by_string) {
-      bytes += static_cast<int64_t>(v.size()) + 48 +
-               static_cast<int64_t>(e.nodes.size()) * 8;
-    }
-    bytes += static_cast<int64_t>(vb.by_number.size()) * 48 +
-             static_cast<int64_t>(vb.complex_elems.size()) * 8;
-  }
-  s.attr_value_keys = 0;
-  for (const auto& [qn, ab] : attrs_) {
-    s.attr_value_keys += static_cast<int64_t>(ab.by_string.size());
-    for (const auto& [v, e] : ab.by_string) {
-      bytes += static_cast<int64_t>(v.size()) + 48 +
-               static_cast<int64_t>(e.nodes.size()) * 8;
-    }
-    bytes += static_cast<int64_t>(ab.by_number.size()) * 48 +
-             static_cast<int64_t>(ab.owners.size()) * 8;
-  }
-  bytes += s.postings_entries * 8;
   for (const auto& [n, st] : node_state_) {
     bytes += static_cast<int64_t>(sizeof(NodeState)) +
              static_cast<int64_t>(st.value.size()) +
              static_cast<int64_t>(st.attrs.size()) * 48;
+  }
+  for (const auto& owned : owned_snaps_) {
+    const ShardSnapshot& snap = *owned;
+    s.qname_keys += static_cast<int64_t>(snap.postings.size());
+    s.path_keys += static_cast<int64_t>(snap.paths.size());
+    for (const auto& [qn, p] : snap.postings) {
+      s.postings_entries += static_cast<int64_t>(p->nodes.size());
+      bytes += static_cast<int64_t>(p->nodes.size()) * 8;
+    }
+    for (const auto& [key, p] : snap.paths) {
+      bytes += static_cast<int64_t>(p->nodes.size()) * 8 + 16;
+    }
+    for (const auto& [qn, vbp] : snap.values) {
+      const ValueBucket& vb = *vbp;
+      s.value_keys += static_cast<int64_t>(vb.by_string.size());
+      s.complex_entries += static_cast<int64_t>(vb.complex_elems.size());
+      for (const auto& [v, e] : vb.by_string) {
+        bytes += static_cast<int64_t>(v.size()) + 48 +
+                 static_cast<int64_t>(e.nodes.size()) * 8;
+      }
+      bytes += static_cast<int64_t>(vb.by_number.size()) * 48 +
+               static_cast<int64_t>(vb.complex_elems.size()) * 8;
+    }
+    for (const auto& [qn, abp] : snap.attrs) {
+      const AttrBucket& ab = *abp;
+      s.attr_value_keys += static_cast<int64_t>(ab.by_string.size());
+      for (const auto& [v, e] : ab.by_string) {
+        bytes += static_cast<int64_t>(v.size()) + 48 +
+                 static_cast<int64_t>(e.nodes.size()) * 8;
+      }
+      bytes += static_cast<int64_t>(ab.by_number.size()) * 48 +
+               static_cast<int64_t>(ab.owners.size()) * 8;
+    }
   }
   s.bytes = bytes;
   return s;

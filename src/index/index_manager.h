@@ -2,13 +2,15 @@
 // plane: read-optimized postings consulted by the XPath evaluator, kept
 // correct under updates by the DeltaIndex overlay (delta_index.h).
 //
-// Three structures, all keyed by interned QnameId:
+// Four structures, all keyed by interned QnameId:
 //
 //   1. QName index      qname -> sorted NodeId postings of every element
 //                       with that tag. Descendant name steps (`//item`)
 //                       become a swizzle of the postings into pre order
 //                       plus a staircase merge against the context
-//                       regions, instead of a full-plane scan.
+//                       regions, instead of a full-plane scan. The same
+//                       postings answer child-axis name steps (candidate
+//                       pres filtered by region + level).
 //
 //   2. Value index      per element qname: a sorted string dictionary
 //                       (std::map value -> postings) with a typed
@@ -30,25 +32,66 @@
 //                       values (attribute values are atomic, so probes
 //                       are exact with no complex remainder).
 //
+//   4. Path index       (parent qname, self qname) chain key -> sorted
+//                       NodeId postings of every element whose tag and
+//                       parent tag match the pair. A multi-step
+//                       absolute path (/site/people/person) becomes a
+//                       cascade of pair probes staircase-merged level
+//                       by level — see xpath::Evaluator. Element
+//                       renames dirty the renamed node AND its element
+//                       children (their parent-qname key changed) —
+//                       see PagedStore::SetRef.
+//
 // Postings store immutable NodeIds, not pre ranks: structural edits
 // shift pre values wholesale (within-page shifts, page stitching), but
 // node ids never change, and the node -> pre swizzle is O(1) on the
-// paged store. Pre-order materializations of the qname postings are
-// memoized per epoch; every ApplyDirty/Rebuild bumps the epoch.
+// paged store.
 //
 // Comparison semantics exactly mirror xpath::detail::CompareValues
 // (see xpath/value_compare.h): numeric when both sides parse under the
 // strict grammar, lexicographic otherwise. `!=` probes are declined
 // (anti-joins have no selectivity) and fall back to the scan path.
 //
-// Concurrency: probes run under the database's global shared lock and
-// serialize on an internal mutex (they mutate the memo cache and stats);
-// ApplyDirty/Rebuild run inside the exclusive commit window.
+// Concurrency — sharded snapshot publication:
+//
+//   The key space is hash-sharded into `IndexConfig::shards` segments
+//   (by qname). Each shard publishes an immutable ShardSnapshot through
+//   an atomic pointer. Probes acquire-load the pointer and read the
+//   immutable structure with NO lock and NO reference-count traffic —
+//   concurrent probes never serialize on each other. Writers (Rebuild /
+//   ApplyDirty) run inside the database's exclusive commit window: they
+//   copy-on-write exactly the buckets the dirty set touches (untouched
+//   buckets stay structurally shared between consecutive snapshots,
+//   keeping their generation stamp), then swap the shard pointers
+//   (release) and reclaim the previous snapshots — safe because the
+//   exclusive window guarantees no probe is in flight. `publish_epoch`
+//   increases monotonically with every publication.
+//
+//   LIFETIME CONTRACT: probes must run either under the database's
+//   shared (read) lock, or while no Rebuild/ApplyDirty can run (e.g.
+//   a quiescent index in tests and benchmarks). Pointers returned by
+//   ElementsByQname / PathPairProbe stay valid until the next
+//   publication.
+//
+//   Pre materializations of qname/path postings are memoized per shard
+//   in a lock-free side table: readers CAS-publish a new table version
+//   whose predecessor stays reachable through an intrusive chain, so a
+//   concurrent reader's pointer into an older table stays valid;
+//   writers prune the chain inside the exclusive window. An entry is
+//   valid iff (a) its source bucket generation matches the bucket in
+//   the current snapshot (catches membership changes without pointer
+//   ABA) and (b) the structure epoch it was swizzled under is current
+//   (catches pre shifts). Value-only commits do not bump the structure
+//   epoch, so they invalidate only the buckets they touched instead of
+//   every materialization — the memo is maintained incrementally,
+//   never rebuilt wholesale.
 #ifndef PXQ_INDEX_INDEX_MANAGER_H_
 #define PXQ_INDEX_INDEX_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -56,6 +99,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "index/delta_index.h"
 #include "storage/paged_store.h"
 #include "xpath/ast.h"
 
@@ -72,54 +116,84 @@ struct IndexConfig {
   /// divergence fails the query with Corruption. Bypasses the cost gate
   /// so tests exercise the index even on tiny documents.
   bool cross_check = false;
+  /// Snapshot shards (clamped to a power of two in [1, 256]). More
+  /// shards mean finer copy-on-write granularity at commit and less
+  /// false sharing between concurrent probes of different qnames.
+  int shards = 16;
 };
 
 struct IndexStats {
   int64_t qname_keys = 0;        // distinct element tags indexed
   int64_t value_keys = 0;        // distinct (qname, string value) keys
   int64_t attr_value_keys = 0;   // distinct (attr qname, value) keys
+  int64_t path_keys = 0;         // distinct (parent qname, qname) keys
   int64_t postings_entries = 0;  // NodeIds across qname postings
   int64_t complex_entries = 0;   // elements excluded from the value index
+  int64_t node_states = 0;       // reverse-map entries (== live elements)
   int64_t bytes = 0;             // rough structure footprint
   int64_t build_micros = 0;      // duration of the last full Rebuild
   int64_t maintenance_ops = 0;   // dirty nodes re-derived since Rebuild
   int64_t applied_commits = 0;   // ApplyDirty calls (one per commit)
   int64_t probes = 0;            // planner consultations
   int64_t probe_hits = 0;        // probes the gate accepted
+  int64_t path_probes = 0;       // path-index (pair) consultations
+  int64_t path_hits = 0;         // accepted path-index probes
+  int64_t child_step_hits = 0;   // child-axis name steps answered
+  int64_t memo_hits = 0;         // pre-materializations served from memo
+  int64_t memo_misses = 0;       // ... recomputed (cold or invalidated)
   int64_t cross_check_mismatches = 0;
+  // --- snapshot publication counters ---------------------------------
+  int64_t shards = 0;            // configured shard count
+  int64_t publish_epoch = 0;     // snapshot publications, monotone
+  int64_t structure_epoch = 0;   // publications that shifted pre ranks
 };
 
 class IndexManager {
  public:
-  explicit IndexManager(IndexConfig config) : config_(config) {}
+  explicit IndexManager(IndexConfig config);
+  ~IndexManager();
+  IndexManager(const IndexManager&) = delete;
+  IndexManager& operator=(const IndexManager&) = delete;
 
   const IndexConfig& config() const { return config_; }
 
   /// Drop everything and re-derive from a full store scan (initial
   /// build, and crash recovery after the WAL replay reconstructed the
-  /// base store).
+  /// base store). Must be serialized against probes (lifetime contract
+  /// above).
   void Rebuild(const storage::PagedStore& store);
 
   /// Commit-time merge of a transaction's DeltaIndex overlay: each dirty
   /// node's entries are removed and re-derived against the *merged* base
-  /// store. Call under the exclusive global lock, after oplog replay and
-  /// size resolution.
-  void ApplyDirty(const storage::PagedStore& store,
-                  const std::vector<NodeId>& dirty);
+  /// store, into copy-on-write shard snapshots published at the end.
+  /// Call under the exclusive global lock, after oplog replay and size
+  /// resolution.
+  void ApplyDirty(const storage::PagedStore& store, const DeltaIndex& delta);
 
   // --- probes (consulted by xpath::Evaluator) -------------------------
-  // Every probe returns std::nullopt when the index declines (disabled,
+  // Probes are lock-free: they acquire-load one shard snapshot and read
+  // only immutable state. Every probe returns an empty result handle
+  // (nullptr / std::nullopt / false) when the index declines (disabled,
   // unsupported operator, or the cost gate chose the scan); the caller
-  // then evaluates by scanning. Returned vectors are sorted, distinct
-  // pre lists valid for `store`'s current structure.
+  // then evaluates by scanning. Returned lists are sorted, distinct pre
+  // lists valid for `store`'s current structure; returned pointers stay
+  // valid until the next publication (lifetime contract above).
 
   /// All elements tagged `qn`, in document order. `scan_cost` is the
   /// caller's estimate of the tuples a scan would visit.
-  std::optional<std::vector<PreId>> ElementsByQname(
-      const storage::PagedStore& store, QnameId qn, int64_t scan_cost) const;
+  const std::vector<PreId>* ElementsByQname(const storage::PagedStore& store,
+                                            QnameId qn,
+                                            int64_t scan_cost) const;
 
   /// Number of elements tagged `qn` (0 when unknown / disabled).
   int64_t PostingsCount(QnameId qn) const;
+
+  /// All elements tagged `self_qn` whose parent element is tagged
+  /// `parent_qn` (path index), in document order. Pass parent_qn = -1
+  /// for root elements (no parent).
+  const std::vector<PreId>* PathPairProbe(const storage::PagedStore& store,
+                                          QnameId parent_qn, QnameId self_qn,
+                                          int64_t scan_cost) const;
 
   /// Value probe for elements tagged `qn` whose string value satisfies
   /// (`op`, `literal`). Fills `simple` with exact matches and `complex`
@@ -141,10 +215,29 @@ class IndexManager {
       const std::string& literal, int64_t scan_cost) const;
 
   void NoteCrossCheckMismatch() const;
+  /// Planner bookkeeping: a child-axis name step answered from postings.
+  void NoteChildStepHit() const {
+    child_step_hits_.v.fetch_add(1, std::memory_order_relaxed);
+  }
 
   IndexStats Stats() const;
 
  private:
+  /// Generation-stamped postings: `gen` is assigned by the writer when
+  /// the bucket is (re)created, never reused, so memo validation by
+  /// generation cannot suffer pointer ABA.
+  struct Postings {
+    std::vector<NodeId> nodes;  // sorted
+    uint64_t gen = 0;
+  };
+  /// Path-index key: (parent qname, self qname) packed into 64 bits.
+  /// parent_qn = -1 (root) packs to 0xFFFFFFFF, which no interned qname
+  /// collides with.
+  static uint64_t PathKeyOf(QnameId parent_qn, QnameId self_qn) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(parent_qn)) << 32) |
+           static_cast<uint32_t>(self_qn);
+  }
+
   struct ValueEntry {
     std::vector<NodeId> nodes;  // sorted
     bool numeric = false;       // key parses under the strict grammar
@@ -153,11 +246,15 @@ class IndexManager {
     std::map<std::string, ValueEntry> by_string;      // sorted dictionary
     std::multimap<double, NodeId> by_number;          // numeric sidecar
     std::vector<NodeId> complex_elems;                // sorted
+    bool empty() const {
+      return by_string.empty() && by_number.empty() && complex_elems.empty();
+    }
   };
   struct AttrBucket {
     std::vector<NodeId> owners;                       // sorted
     std::map<std::string, ValueEntry> by_string;
     std::multimap<double, NodeId> by_number;
+    bool empty() const { return owners.empty(); }
   };
   struct AttrState {
     QnameId qn;
@@ -167,9 +264,10 @@ class IndexManager {
   };
   /// Reverse mapping: what the index currently holds for a node, so a
   /// dirty node's stale entries can be removed without re-reading any
-  /// pre-edit store state.
+  /// pre-edit store state. Writer-only (commit window).
   struct NodeState {
     QnameId qn = -1;
+    QnameId parent_qn = -1;  // path-index key component
     bool simple = false;
     bool numeric = false;
     double num = 0;
@@ -177,16 +275,85 @@ class IndexManager {
     std::vector<AttrState> attrs;
   };
 
-  void RemoveNodeLocked(NodeId node);
-  void AddNodeLocked(const storage::PagedStore& store, NodeId node,
-                     PreId pre);
-  bool GateLocked(int64_t candidates, int64_t scan_cost) const;
+  /// One shard's published, immutable state. Buckets are held by
+  /// shared_ptr so consecutive snapshots share everything a commit did
+  /// not touch.
+  struct ShardSnapshot {
+    std::unordered_map<QnameId, std::shared_ptr<const Postings>> postings;
+    std::unordered_map<QnameId, std::shared_ptr<const ValueBucket>> values;
+    std::unordered_map<QnameId, std::shared_ptr<const AttrBucket>> attrs;
+    std::unordered_map<uint64_t, std::shared_ptr<const Postings>> paths;
+  };
+
+  /// Memo of pre materializations. Entries are valid iff src_gen is the
+  /// generation of the bucket the current snapshot holds AND
+  /// structure_epoch is current. Tables are immutable once published;
+  /// readers CAS in a shallow copy with one more entry (entry objects
+  /// are shared between versions, so a retained table costs map nodes,
+  /// never pre-list copies). `prev` chains replaced tables so in-flight
+  /// readers of an older table stay safe; the writer prunes the chain
+  /// (keeping the newest) inside the exclusive window, when no reader
+  /// exists.
+  struct MemoEntry {
+    uint64_t src_gen = 0;
+    uint64_t structure_epoch = 0;
+    std::vector<PreId> pres;
+  };
+  struct MemoTable {
+    std::unordered_map<uint64_t, std::shared_ptr<const MemoEntry>> by_qname;
+    std::unordered_map<uint64_t, std::shared_ptr<const MemoEntry>> by_path;
+    const MemoTable* prev = nullptr;
+  };
+
+  struct alignas(64) Shard {
+    std::atomic<const ShardSnapshot*> snap{nullptr};
+    mutable std::atomic<const MemoTable*> memo{nullptr};
+  };
+  struct alignas(64) PaddedCounter {
+    mutable std::atomic<int64_t> v{0};
+  };
+
+  /// Writer-side copy-on-write staging for one publication.
+  struct ShardBuilder {
+    std::shared_ptr<ShardSnapshot> next;  // outer maps copied, buckets shared
+    std::unordered_map<QnameId, std::shared_ptr<Postings>> post;
+    std::unordered_map<QnameId, std::shared_ptr<ValueBucket>> val;
+    std::unordered_map<QnameId, std::shared_ptr<AttrBucket>> attr;
+    std::unordered_map<uint64_t, std::shared_ptr<Postings>> path;
+    bool touched = false;
+  };
+
+  int ShardOf(QnameId qn) const {
+    return static_cast<int>(static_cast<uint32_t>(qn) &
+                            static_cast<uint32_t>(nshards_ - 1));
+  }
+  const ShardSnapshot* Snap(int shard) const {
+    return shards_[shard].snap.load(std::memory_order_acquire);
+  }
+
+  // Writer helpers (hold writer_mu_).
+  ShardBuilder& BuilderFor(std::vector<ShardBuilder>& bs, QnameId qn);
+  Postings* MutablePostings(std::vector<ShardBuilder>& bs, QnameId qn);
+  ValueBucket* MutableValues(std::vector<ShardBuilder>& bs, QnameId qn);
+  AttrBucket* MutableAttrs(std::vector<ShardBuilder>& bs, QnameId qn);
+  Postings* MutablePaths(std::vector<ShardBuilder>& bs, QnameId self_qn,
+                         uint64_t key);
+  void RemoveNode(std::vector<ShardBuilder>& bs, NodeId node);
+  void AddNode(std::vector<ShardBuilder>& bs, const storage::PagedStore& store,
+               NodeId node, PreId pre, QnameId parent_qn);
+  void Publish(std::vector<ShardBuilder>& bs, bool structural);
+  void PruneMemos();
+
+  bool Gate(int64_t candidates, int64_t scan_cost) const;
   /// Swizzle a sorted NodeId postings list into a sorted pre list.
   std::vector<PreId> ToPres(const storage::PagedStore& store,
                             const std::vector<NodeId>& nodes) const;
-  /// Memoized pre materialization of one qname's postings.
-  const std::vector<PreId>& QnamePresLocked(const storage::PagedStore& store,
-                                            QnameId qn) const;
+  /// Memoized pre materialization of one postings bucket, keyed in the
+  /// qname or the path namespace (`is_path`).
+  const std::vector<PreId>* MemoizedPres(const Shard& shard,
+                                         const storage::PagedStore& store,
+                                         bool is_path, uint64_t key,
+                                         const Postings& src) const;
   /// Collect matches of (op, literal) from a dictionary + sidecar pair.
   static void CollectMatches(const std::map<std::string, ValueEntry>& dict,
                              const std::multimap<double, NodeId>& sidecar,
@@ -194,21 +361,38 @@ class IndexManager {
                              std::vector<NodeId>* out);
 
   IndexConfig config_;
+  int nshards_;
+  std::unique_ptr<Shard[]> shards_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<QnameId, std::vector<NodeId>> qname_postings_;
-  std::unordered_map<QnameId, ValueBucket> values_;
-  std::unordered_map<QnameId, AttrBucket> attrs_;
+  /// Serializes writers (Rebuild vs direct test callers; commits are
+  /// already exclusive) and guards the writer-only state below. Stats()
+  /// takes it too (it walks the owned snapshots); probes never do.
+  mutable std::mutex writer_mu_;
+  /// Owning references for the raw pointers published in shards_;
+  /// replaced (and thereby reclaimed) at publication, when the
+  /// exclusive window guarantees no probe is in flight.
+  std::vector<std::shared_ptr<const ShardSnapshot>> owned_snaps_;
   std::unordered_map<NodeId, NodeState> node_state_;
+  uint64_t next_gen_ = 0;
+  int64_t maintenance_ops_ = 0;
+  int64_t applied_commits_ = 0;
+  int64_t build_micros_ = 0;
 
-  struct PreMemo {
-    uint64_t epoch = 0;
-    std::vector<PreId> pres;
-  };
-  mutable std::unordered_map<QnameId, PreMemo> pre_memo_;
-  mutable uint64_t epoch_ = 1;
+  std::atomic<uint64_t> publish_epoch_{0};
+  std::atomic<uint64_t> structure_epoch_{1};
 
-  mutable IndexStats stats_;
+  // Hot-path counters are padded to their own cache lines; the accepted
+  // fast path touches exactly two (probes_ + memo_hits_). Hits are
+  // derived in Stats() as probes - declines so the hit path pays no
+  // second increment.
+  PaddedCounter probes_;
+  PaddedCounter probe_declines_;
+  PaddedCounter path_probes_;
+  PaddedCounter path_declines_;
+  PaddedCounter child_step_hits_;
+  PaddedCounter memo_hits_;
+  PaddedCounter memo_misses_;
+  PaddedCounter cross_check_mismatches_;
 };
 
 }  // namespace pxq::index

@@ -631,6 +631,7 @@ StatusOr<std::vector<NodeId>> PagedStore::InsertTuples(
     // The parent's value-index entry depends on its content; deeper
     // ancestors have an element child on the path and are never
     // value-indexed, so marking the parent suffices.
+    idx_delta_->MarkStructural();  // pre ranks shifted
     idx_delta_->MarkDirty(parent_node);
     idx_delta_->MarkDirty(ids);
   }
@@ -874,6 +875,7 @@ StatusOr<std::vector<NodeId>> PagedStore::DeleteSubtree(PreId pre) {
     (void)cur_lrd;
   }
   if (idx_delta_ != nullptr) {
+    idx_delta_->MarkStructural();  // pre ranks shifted
     idx_delta_->MarkDirty(infos.back().node);  // parent content changed
     idx_delta_->MarkDirty(freed);
   }
@@ -888,7 +890,12 @@ Status PagedStore::SetRef(PreId pre, int32_t ref) {
   PXQ_ASSIGN_OR_RETURN(Page * pg, MutablePage(phys));
   pg->ref[static_cast<size_t>(pre & page_mask_)] = ref;
   if (idx_delta_ != nullptr) {
-    idx_delta_->MarkDirty(NodeAt(pre));  // element rename re-keys it
+    // Element rename re-keys it. Its element children's path-index keys
+    // change too, but THEIR re-derivation is commit-side
+    // (IndexManager::ApplyDirty detects the qname change and walks the
+    // children of the *merged* base): enumerating children here, on the
+    // clone, would miss a child a concurrent transaction commits first.
+    idx_delta_->MarkDirty(NodeAt(pre));
     if (KindAt(pre) != NodeKind::kElement) {
       // A text/comment/pi repoint changes the parent's string value.
       PreId parent = ParentOf(pre);

@@ -51,12 +51,38 @@ class PageLockManager {
 };
 
 /// The global lock: shared for readers, exclusive for the commit window.
+///
+/// Hand-rolled writer-preferring implementation rather than
+/// std::shared_mutex: glibc's rwlock is reader-preferring by default,
+/// so a saturated read workload (many threads re-acquiring the shared
+/// lock back to back) starves committers indefinitely — the
+/// probe-vs-commit stress test hangs on it. Here a waiting writer
+/// blocks NEW readers, so the commit window opens as soon as in-flight
+/// reads drain; commits are short, so readers stall only briefly.
+/// Writers are serialized amongst themselves by writer_active_.
 class GlobalLock {
  public:
-  void LockShared() { mu_.lock_shared(); }
-  void UnlockShared() { mu_.unlock_shared(); }
-  void LockExclusive() { mu_.lock(); }
-  void UnlockExclusive() { mu_.unlock(); }
+  void LockShared() {
+    std::unique_lock<std::mutex> l(m_);
+    cv_.wait(l, [&] { return writers_waiting_ == 0 && !writer_active_; });
+    ++readers_;
+  }
+  void UnlockShared() {
+    std::unique_lock<std::mutex> l(m_);
+    if (--readers_ == 0) cv_.notify_all();
+  }
+  void LockExclusive() {
+    std::unique_lock<std::mutex> l(m_);
+    ++writers_waiting_;
+    cv_.wait(l, [&] { return readers_ == 0 && !writer_active_; });
+    --writers_waiting_;
+    writer_active_ = true;
+  }
+  void UnlockExclusive() {
+    std::unique_lock<std::mutex> l(m_);
+    writer_active_ = false;
+    cv_.notify_all();
+  }
 
   /// RAII reader guard for query execution.
   class ReadGuard {
@@ -73,7 +99,11 @@ class GlobalLock {
   };
 
  private:
-  std::shared_mutex mu_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  int64_t readers_ = 0;
+  int64_t writers_waiting_ = 0;
+  bool writer_active_ = false;
 };
 
 }  // namespace pxq::txn

@@ -195,11 +195,18 @@ Status TransactionManager::CommitInternal(Transaction* txn) {
   }
 
   // Secondary-index merge: re-derive every dirty node against the now
-  // fully merged base structure (replayed oplog + resolved sizes), so
-  // concurrent commits converge regardless of order. Still inside the
-  // exclusive window — readers never see a store/index mismatch.
+  // fully merged base structure (replayed oplog + resolved sizes) into
+  // copy-on-write shard snapshots, so concurrent commits converge
+  // regardless of order. Still inside the exclusive window — readers
+  // never see a store/index mismatch; they observe the swap through the
+  // shard snapshot pointers. The overlay's structural flag tells the
+  // index whether pre ranks shifted (memo invalidation granularity).
+  // Every non-commit exit from this function (poisoned, validation,
+  // WAL/replay failure, Abort) ends the transaction WITHOUT this call:
+  // the overlay dies with the Transaction and the index never observes
+  // it.
   if (options_.index != nullptr) {
-    options_.index->ApplyDirty(*base_, txn->idx_delta_.dirty());
+    options_.index->ApplyDirty(*base_, txn->idx_delta_);
   }
 
   commit_lsn_.store(lsn);

@@ -3,14 +3,17 @@
 // sorted context sequence to a sorted result sequence.
 //
 // When constructed with an index::IndexManager the evaluator plans
-// index-aware: descendant name steps and the common predicate shapes
-// ([@a op lit], [name op lit], [name/@a op lit], and their existence
-// forms) are answered from the secondary indexes when the index's cost
-// gate accepts, falling back to the scan path otherwise. The index
-// describes ONE specific store — only pass it together with that store
-// (the committed base); a transaction clone must evaluate without it.
-// With IndexConfig::cross_check set, every accepted probe is replayed
-// on the scan path and a divergence fails the query with Corruption.
+// index-aware: descendant name steps, child-axis name steps, leading
+// multi-step absolute path prefixes (/site/people/person via the path
+// index), and the common predicate shapes ([@a op lit], [name op lit],
+// [name/@a op lit], and their existence forms) are answered from the
+// secondary indexes when the index's cost gate accepts, falling back
+// to the scan path otherwise. The index describes ONE specific store —
+// only pass it together with that store (the committed base); a
+// transaction clone must evaluate without it. With
+// IndexConfig::cross_check set, every accepted probe is replayed on
+// the scan path and a divergence fails the query with Corruption,
+// reporting the diverging step and the node ids only one side found.
 #ifndef PXQ_XPATH_EVALUATOR_H_
 #define PXQ_XPATH_EVALUATOR_H_
 
@@ -60,51 +63,61 @@ class Evaluator {
       // root element (which we do not store): /site matches the root
       // element itself; //x scans root + descendants.
       if (path.steps.empty()) return std::vector<PreId>{store_.Root()};
-      const Step& s0 = path.steps[0];
-      QnameId qn = -1;
-      if (s0.test.kind == NodeTest::Kind::kName) {
-        qn = store_.pools().FindQname(s0.test.name);
-      }
-      std::vector<PreId> cand;
-      switch (s0.axis) {
-        case Axis::kChild:
-        case Axis::kSelf:
-          if (MatchTest(s0.test, store_.Root(), qn)) {
-            cand.push_back(store_.Root());
-          }
-          break;
-        case Axis::kDescendant:
-        case Axis::kDescendantOrSelf: {
-          PreId root = store_.Root();
-          // `//tag` from the document node selects every element with
-          // that tag — exactly a qname postings materialization.
-          bool answered = false;
-          if constexpr (kIndexable) {
-            if (index_ != nullptr && s0.test.kind == NodeTest::Kind::kName) {
-              auto pres =
-                  index_->ElementsByQname(store_, qn, store_.used_count());
-              if (pres) {
-                cand = std::move(*pres);
-                answered = true;
+      // A run of >= 2 leading plain child-name steps is a qname chain:
+      // the path index answers it in one probe + chain verification.
+      size_t consumed = 0;
+      PXQ_ASSIGN_OR_RETURN(bool chained, IndexPathPrefix(path, &ctx,
+                                                         &consumed));
+      if (chained) {
+        first = consumed;
+      } else {
+        const Step& s0 = path.steps[0];
+        QnameId qn = -1;
+        if (s0.test.kind == NodeTest::Kind::kName) {
+          qn = store_.pools().FindQname(s0.test.name);
+        }
+        std::vector<PreId> cand;
+        switch (s0.axis) {
+          case Axis::kChild:
+          case Axis::kSelf:
+            if (MatchTest(s0.test, store_.Root(), qn)) {
+              cand.push_back(store_.Root());
+            }
+            break;
+          case Axis::kDescendant:
+          case Axis::kDescendantOrSelf: {
+            PreId root = store_.Root();
+            // `//tag` from the document node selects every element with
+            // that tag — exactly a qname postings materialization.
+            bool answered = false;
+            if constexpr (kIndexable) {
+              if (index_ != nullptr &&
+                  s0.test.kind == NodeTest::Kind::kName) {
+                auto pres =
+                    index_->ElementsByQname(store_, qn, store_.used_count());
+                if (pres) {
+                  cand = *pres;
+                  answered = true;
+                }
               }
             }
+            if (!answered) {
+              cand = ScanDescendants(s0.test, qn, {root}, /*or_self=*/true);
+            } else if (CrossChecking()) {
+              PXQ_RETURN_IF_ERROR(VerifyCrossCheck(
+                  ScanDescendants(s0.test, qn, {root}, /*or_self=*/true),
+                  cand, "absolute step /" + DescribeStep(s0)));
+            }
+            break;
           }
-          if (!answered) {
-            cand = ScanDescendants(s0.test, qn, {root}, /*or_self=*/true);
-          } else if (CrossChecking()) {
-            PXQ_RETURN_IF_ERROR(VerifyCrossCheck(
-                ScanDescendants(s0.test, qn, {root}, /*or_self=*/true),
-                cand, "absolute descendant step"));
-          }
-          break;
+          default:
+            return Status::Unsupported(
+                "unsupported leading axis for an absolute path");
         }
-        default:
-          return Status::Unsupported(
-              "unsupported leading axis for an absolute path");
+        PXQ_RETURN_IF_ERROR(FilterPredicates(path.steps[0], &cand));
+        ctx = std::move(cand);
+        first = 1;
       }
-      PXQ_RETURN_IF_ERROR(FilterPredicates(path.steps[0], &cand));
-      ctx = std::move(cand);
-      first = 1;
     }
     for (size_t i = first; i < path.steps.size(); ++i) {
       const Step& step = path.steps[i];
@@ -246,13 +259,12 @@ class Evaluator {
       if (MatchTest(step.test, p, qn)) out.push_back(p);
     };
     switch (step.axis) {
-      case Axis::kChild:
-        for (PreId c : ctx) {
-          if (store_.KindAt(c) != NodeKind::kElement) continue;
-          ForEachChild(store_, c, keep);
-        }
-        Normalize(&out);
+      case Axis::kChild: {
+        PXQ_ASSIGN_OR_RETURN(bool answered,
+                             IndexChildStep(step, ctx, qn, &out));
+        if (!answered) out = ScanChildren(step.test, qn, ctx);
         break;
+      }
       case Axis::kDescendant:
       case Axis::kDescendantOrSelf: {
         const bool or_self = step.axis == Axis::kDescendantOrSelf;
@@ -403,6 +415,22 @@ class Evaluator {
     return out;
   }
 
+  /// Scan-path child step: the fallback when the index declines AND the
+  /// cross-check oracle for IndexChildStep.
+  std::vector<PreId> ScanChildren(const NodeTest& test, QnameId qn,
+                                  const std::vector<PreId>& ctx) const {
+    std::vector<PreId> out;
+    auto keep = [&](PreId p) {
+      if (MatchTest(test, p, qn)) out.push_back(p);
+    };
+    for (PreId c : ctx) {
+      if (store_.KindAt(c) != NodeKind::kElement) continue;
+      ForEachChild(store_, c, keep);
+    }
+    Normalize(&out);
+    return out;
+  }
+
   // --- index-aware planning -------------------------------------------
 
   bool CrossChecking() const {
@@ -412,14 +440,65 @@ class Evaluator {
     return false;
   }
 
+  static std::string DescribeStep(const Step& s) {
+    const char* axis = "";
+    switch (s.axis) {
+      case Axis::kChild: axis = "child"; break;
+      case Axis::kDescendant: axis = "descendant"; break;
+      case Axis::kDescendantOrSelf: axis = "descendant-or-self"; break;
+      case Axis::kSelf: axis = "self"; break;
+      case Axis::kParent: axis = "parent"; break;
+      case Axis::kAncestor: axis = "ancestor"; break;
+      case Axis::kAncestorOrSelf: axis = "ancestor-or-self"; break;
+      case Axis::kFollowing: axis = "following"; break;
+      case Axis::kPreceding: axis = "preceding"; break;
+      case Axis::kFollowingSibling: axis = "following-sibling"; break;
+      case Axis::kPrecedingSibling: axis = "preceding-sibling"; break;
+      case Axis::kAttribute: axis = "attribute"; break;
+    }
+    std::string test;
+    switch (s.test.kind) {
+      case NodeTest::Kind::kName: test = s.test.name; break;
+      case NodeTest::Kind::kAnyName: test = "*"; break;
+      case NodeTest::Kind::kText: test = "text()"; break;
+      case NodeTest::Kind::kComment: test = "comment()"; break;
+      case NodeTest::Kind::kAnyNode: test = "node()"; break;
+    }
+    return std::string(axis) + "::" + test;
+  }
+
+  /// Cross-check failure report: which step diverged and which node ids
+  /// only one side produced, so a mismatch is debuggable from the
+  /// Status alone instead of reproducing the query under a debugger.
   Status VerifyCrossCheck(const std::vector<PreId>& scan,
                           const std::vector<PreId>& indexed,
-                          const char* what) const {
+                          const std::string& what) const {
     if constexpr (kIndexable) {
       if (scan != indexed) {
         index_->NoteCrossCheckMismatch();
-        return Status::Corruption(std::string("index/scan divergence on ") +
-                                  what);
+        auto list_only = [&](const std::vector<PreId>& a,
+                             const std::vector<PreId>& b) {
+          std::vector<PreId> only;
+          std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                              std::back_inserter(only));
+          std::string s;
+          const size_t show = std::min<size_t>(only.size(), 4);
+          for (size_t i = 0; i < show; ++i) {
+            if (i > 0) s += ", ";
+            s += "pre " + std::to_string(only[i]) + " (node " +
+                 std::to_string(store_.NodeAt(only[i])) + ")";
+          }
+          if (only.size() > show) {
+            s += ", +" + std::to_string(only.size() - show) + " more";
+          }
+          return s.empty() ? std::string("none") : s;
+        };
+        return Status::Corruption(
+            "index/scan divergence on " + what + ": scan=" +
+            std::to_string(scan.size()) + " nodes, index=" +
+            std::to_string(indexed.size()) + " nodes; scan-only=[" +
+            list_only(scan, indexed) + "]; index-only=[" +
+            list_only(indexed, scan) + "]");
       }
     }
     return Status::OK();
@@ -467,7 +546,7 @@ class Evaluator {
       if (CrossChecking()) {
         PXQ_RETURN_IF_ERROR(VerifyCrossCheck(
             ScanDescendants(step.test, qn, ctx, or_self), res,
-            "descendant step"));
+            "step " + DescribeStep(step)));
       }
       *out = std::move(res);
       return true;
@@ -477,6 +556,128 @@ class Evaluator {
       (void)qn;
       (void)or_self;
       (void)out;
+      return false;
+    }
+  }
+
+  /// child name step via the qname postings: swizzle the postings into
+  /// pre order, then keep candidates lying in a context region exactly
+  /// one level below the region's root. Returns false when the index
+  /// declines.
+  StatusOr<bool> IndexChildStep(const Step& step,
+                                const std::vector<PreId>& ctx, QnameId qn,
+                                std::vector<PreId>* out) const {
+    if constexpr (kIndexable) {
+      if (index_ == nullptr || step.test.kind != NodeTest::Kind::kName) {
+        return false;
+      }
+      // Scan cost: the deduplicated region span is an upper bound on
+      // the child walk (ForEachChild skips subtrees, so the true cost
+      // is the child count; the gate errs toward probing only when the
+      // postings are small relative to the regions).
+      int64_t span = 0;
+      PreId scanned_to = -1;
+      for (PreId c : ctx) {
+        if (store_.KindAt(c) != NodeKind::kElement) continue;
+        PreId end = c + store_.SizeAt(c);
+        if (end <= scanned_to) continue;
+        span += end - std::max(c, scanned_to);
+        scanned_to = end;
+      }
+      auto pres = index_->ElementsByQname(store_, qn, span);
+      if (!pres) return false;
+      std::vector<PreId> res = KeepChildrenOf(*pres, ctx);
+      index_->NoteChildStepHit();
+      if (CrossChecking()) {
+        PXQ_RETURN_IF_ERROR(
+            VerifyCrossCheck(ScanChildren(step.test, qn, ctx), res,
+                             "step " + DescribeStep(step)));
+      }
+      *out = std::move(res);
+      return true;
+    } else {
+      (void)step;
+      (void)ctx;
+      (void)qn;
+      (void)out;
+      return false;
+    }
+  }
+
+  /// Leading qname-chain prefix of an absolute path via the path index:
+  /// a cascade of (parent, self) pair probes staircase-merged level by
+  /// level — level i's candidates are pair postings kept only when they
+  /// lie in a level-(i-1) survivor's region exactly one level down,
+  /// which (the pair already fixes the parent TAG) pins their parent to
+  /// a survivor. No per-candidate ancestor walk. Consumes the longest
+  /// run of plain child-name steps (>= 2, no predicates). Returns false
+  /// when the index declines; on success *ctx holds the prefix result
+  /// and *consumed the step count.
+  StatusOr<bool> IndexPathPrefix(const Path& path, std::vector<PreId>* ctx,
+                                 size_t* consumed) const {
+    if constexpr (kIndexable) {
+      if (index_ == nullptr) return false;
+      size_t m = 0;
+      while (m < path.steps.size()) {
+        const Step& s = path.steps[m];
+        if (s.axis != Axis::kChild ||
+            s.test.kind != NodeTest::Kind::kName || !s.predicates.empty()) {
+          break;
+        }
+        ++m;
+      }
+      if (m < 2) return false;  // single steps use the existing plans
+      std::vector<QnameId> qns(m);
+      bool missing = false;
+      for (size_t i = 0; i < m; ++i) {
+        qns[i] = store_.pools().FindQname(path.steps[i].test.name);
+        if (qns[i] < 0) missing = true;
+      }
+      std::vector<PreId> res;
+      if (!missing) {
+        // Level 0: elements tagged q0 with no parent — the root or
+        // nothing. Gate against the document span (the scan
+        // alternative for an absolute step).
+        auto l0 = index_->PathPairProbe(store_, -1, qns[0],
+                                        store_.SizeAt(store_.Root()) + 1);
+        if (!l0) return false;
+        res = *l0;
+        for (size_t i = 1; i < m && !res.empty(); ++i) {
+          // Deeper levels gate against the surviving regions' span —
+          // the walk a scan of the REMAINING steps would actually do —
+          // so an unselective tag deep in the chain falls back instead
+          // of materializing near-document-sized pair postings.
+          int64_t span = 0;
+          for (PreId c : res) span += store_.SizeAt(c) + 1;
+          auto li =
+              index_->PathPairProbe(store_, qns[i - 1], qns[i], span);
+          if (!li) return false;
+          res = KeepChildrenOf(*li, res);
+        }
+      }
+      // A never-interned tag means no node matches the prefix: the
+      // empty result is exact, no probe needed.
+      if (CrossChecking()) {
+        Evaluator<Store> scan_ev(store_);  // index-free oracle
+        Path prefix;
+        prefix.absolute = true;
+        prefix.steps.assign(path.steps.begin(),
+                            path.steps.begin() + static_cast<long>(m));
+        PXQ_ASSIGN_OR_RETURN(std::vector<PreId> scan, scan_ev.Eval(prefix));
+        std::string what = "path prefix /";
+        for (size_t i = 0; i < m; ++i) {
+          if (i > 0) what += "/";
+          what += path.steps[i].test.name;
+        }
+        PXQ_RETURN_IF_ERROR(VerifyCrossCheck(scan, res, what));
+      }
+      *ctx = std::move(res);
+      *consumed = m;
+      return true;
+    } else {
+      (void)path;
+      (void)ctx;
+      (void)consumed;
       return false;
     }
   }
@@ -575,7 +776,16 @@ class Evaluator {
       if (CrossChecking()) {
         PXQ_ASSIGN_OR_RETURN(std::vector<PreId> scan,
                              ScanFilterOne(pred, *nodes));
-        PXQ_RETURN_IF_ERROR(VerifyCrossCheck(scan, *kept, "predicate"));
+        std::string what = "predicate [";
+        for (size_t i = 0; i < pred.rel.size(); ++i) {
+          if (i > 0) what += "/";
+          what += DescribeStep(pred.rel[i]);
+        }
+        if (pred.kind == Predicate::Kind::kCompare) {
+          what += " op '" + pred.value + "'";
+        }
+        what += "]";
+        PXQ_RETURN_IF_ERROR(VerifyCrossCheck(scan, *kept, what));
       }
       *nodes = std::move(*kept);
       return true;
@@ -613,6 +823,26 @@ class Evaluator {
       if (HasChildIn(c, cand)) kept.push_back(c);
     }
     return kept;
+  }
+
+  /// Candidates (sorted pres) that are a DIRECT child of some parent in
+  /// `parents`: inside a parent's region, exactly one level below it.
+  std::vector<PreId> KeepChildrenOf(const std::vector<PreId>& cand,
+                                    const std::vector<PreId>& parents) const {
+    std::vector<PreId> out;
+    for (PreId c : parents) {
+      if (store_.KindAt(c) != NodeKind::kElement) continue;
+      const PreId end = c + store_.SizeAt(c);
+      const int32_t child_level = store_.LevelAt(c) + 1;
+      // Parent regions may nest (arbitrary contexts), so each region
+      // scans independently; Normalize dedups.
+      for (auto it = std::upper_bound(cand.begin(), cand.end(), c);
+           it != cand.end() && *it <= end; ++it) {
+        if (store_.LevelAt(*it) == child_level) out.push_back(*it);
+      }
+    }
+    Normalize(&out);
+    return out;
   }
 
   const Store& store_;

@@ -6,8 +6,10 @@
 #ifndef PXQ_XPATH_VALUE_COMPARE_H_
 #define PXQ_XPATH_VALUE_COMPARE_H_
 
-#include <cstdlib>
+#include <charconv>
+#include <limits>
 #include <string>
+#include <system_error>
 
 #include "xpath/ast.h"
 
@@ -18,12 +20,24 @@ namespace pxq::xpath::detail {
 /// trailing whitespace, hex floats, and the inf/nan spellings — those
 /// all compare as strings, deterministically, on every path (a strtod
 /// "inf" on the scan path but not in the index's numeric sidecar would
-/// make the two disagree).
+/// make the two disagree). The conversion itself goes through
+/// std::from_chars, never strtod: strtod honors LC_NUMERIC, so an
+/// embedding application switching locales would make an index built
+/// under one locale disagree with scans under another. Out-of-range
+/// magnitudes are defined, not accidental: overflow converts to ±inf
+/// and underflow to ±0 on every path (NaN is unreachable — the grammar
+/// has no spelling for it — so the numeric sidecar's ordering stays a
+/// strict weak order).
 inline bool ParseNumber(const std::string& s, double* out) {
   const char* p = s.c_str();
   const char* end = p + s.size();
   if (p == end) return false;
-  if (*p == '+' || *p == '-') ++p;
+  bool neg = false;
+  if (*p == '+' || *p == '-') {
+    neg = (*p == '-');
+    ++p;
+  }
+  const char* body = p;  // sign stripped; from_chars rejects a leading '+'
   bool digits = false;
   while (p < end && *p >= '0' && *p <= '9') {
     digits = true;
@@ -44,10 +58,51 @@ inline bool ParseNumber(const std::string& s, double* out) {
     while (p < end && *p >= '0' && *p <= '9') ++p;
   }
   if (p != end) return false;
-  // The grammar above is a subset of what strtod accepts, so the
-  // conversion itself can be delegated without reintroducing its
-  // whitespace/inf/nan/hex liberties.
-  *out = std::strtod(s.c_str(), nullptr);
+
+  double v = 0;
+  auto [ptr, ec] = std::from_chars(body, end, v);
+  if (ec == std::errc::result_out_of_range) {
+    // from_chars leaves `v` unspecified here. Classify by the decimal
+    // exponent of the most significant digit (digit i of the
+    // significand, 0-based ignoring the dot, has place value
+    // 10^(int_len - 1 - i + exp10)): positive => overflow (±inf),
+    // non-positive => underflow (±0). Magnitudes near the boundaries
+    // that are actually representable never reach this path.
+    const char* q = body;
+    int64_t int_len = 0, digit_idx = 0, msd_idx = -1;
+    for (; q < end && *q != 'e' && *q != 'E'; ++q) {
+      if (*q == '.') continue;
+      if (q < end && *q >= '0' && *q <= '9') {
+        if (*q != '0' && msd_idx < 0) msd_idx = digit_idx;
+        ++digit_idx;
+      }
+    }
+    {
+      const char* d = body;
+      while (d < end && *d >= '0' && *d <= '9') ++d, ++int_len;
+    }
+    int64_t exp10 = 0;
+    if (q < end) {  // exponent part
+      ++q;
+      bool eneg = false;
+      if (*q == '+' || *q == '-') {
+        eneg = (*q == '-');
+        ++q;
+      }
+      for (; q < end; ++q) {
+        if (exp10 < 100000000) exp10 = exp10 * 10 + (*q - '0');
+      }
+      if (eneg) exp10 = -exp10;
+    }
+    const int64_t msd_exp =
+        msd_idx < 0 ? 0 : int_len - 1 - msd_idx + exp10;
+    v = (msd_idx >= 0 && msd_exp > 0)
+            ? std::numeric_limits<double>::infinity()
+            : 0.0;
+  } else if (ec != std::errc()) {
+    return false;  // unreachable after grammar validation; stay safe
+  }
+  *out = neg ? -v : v;
   return true;
 }
 

@@ -11,7 +11,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,6 +59,39 @@ TEST(ParseNumberTest, RejectsWhitespaceInfNanHex) {
     double out;
     EXPECT_FALSE(ParseNumber(bad, &out)) << "accepted: '" << bad << "'";
   }
+}
+
+// Satellite regression: out-of-range magnitudes must convert the same
+// way on the scan, reference, and index paths — overflow to ±inf,
+// underflow to ±0 — and the conversion must not consult the process
+// locale (std::from_chars, never strtod).
+TEST(ParseNumberTest, OverflowAndUnderflowAreDeterministic) {
+  const double kInf = std::numeric_limits<double>::infinity();
+  const struct {
+    const char* s;
+    double want;
+  } cases[] = {
+      {"1e400", kInf},        {"-1e400", -kInf},
+      {"+2e308", kInf},       {"123456789e400", kInf},
+      {".5e400", kInf},       {"00012e308", kInf},
+      {"1e-400", 0.0},        {"-1e-400", -0.0},
+      {"0.0000001e-320", 0.0}, {"0e99999", 0.0},
+      {"1e308", 1e308},       {"1e-308", 1e-308},
+      {"17", 17.0},
+  };
+  for (const auto& [s, want] : cases) {
+    double got = -42;
+    ASSERT_TRUE(ParseNumber(s, &got)) << s;
+    EXPECT_EQ(got, want) << s;
+    if (want == 0.0) {
+      EXPECT_EQ(std::signbit(got), std::signbit(want)) << s;
+    }
+  }
+  // The three evaluation paths share ParseNumber, so overflowed values
+  // compare consistently everywhere: two overflows are equal (+inf).
+  EXPECT_TRUE(CompareValues("1e400", CmpOp::kEq, "2e400"));
+  EXPECT_TRUE(CompareValues("1e400", CmpOp::kGt, "1e308"));
+  EXPECT_TRUE(CompareValues("-1e400", CmpOp::kLt, "1e-400"));
 }
 
 TEST(CompareValuesTest, NumericWhenBothParse) {
@@ -108,7 +143,7 @@ TEST(IndexManagerTest, QnamePostingsMatchScan) {
     QnameId qn = store->pools().FindQname(tag);
     ASSERT_GE(qn, 0) << tag;
     auto pres = idx.ElementsByQname(*store, qn, store->used_count());
-    ASSERT_TRUE(pres.has_value()) << tag;
+    ASSERT_TRUE(pres != nullptr) << tag;
     auto want = xpath::EvaluatePath(*store, std::string("//") + tag);
     ASSERT_TRUE(want.ok());
     EXPECT_EQ(*pres, want.value()) << tag;
@@ -181,6 +216,88 @@ TEST(IndexManagerTest, AttrProbes) {
   EXPECT_EQ(range->size(), 2u);  // p=2, p=10 (numeric, not lexicographic)
 }
 
+TEST(IndexManagerTest, PathPairProbeMatchesScan) {
+  auto store = BuildStore(kDoc);
+  index::IndexManager idx(index::IndexConfig{});
+  idx.Rebuild(*store);
+  const int64_t big = 1 << 20;
+  QnameId r = store->pools().FindQname("r");
+  QnameId a = store->pools().FindQname("a");
+  QnameId n = store->pools().FindQname("n");
+  QnameId b = store->pools().FindQname("b");
+
+  // (a, n): every <n> sits under an <a>.
+  auto pres = idx.PathPairProbe(*store, a, n, big);
+  ASSERT_NE(pres, nullptr);
+  auto want = xpath::EvaluatePath(*store, "/r/a/n");
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(*pres, want.value());
+
+  // Root pair: parent qname -1 selects the root element.
+  auto root = idx.PathPairProbe(*store, -1, r, big);
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(*root, std::vector<PreId>{store->Root()});
+
+  // A pair that never occurs is exactly empty.
+  auto none = idx.PathPairProbe(*store, b, n, big);
+  ASSERT_NE(none, nullptr);
+  EXPECT_TRUE(none->empty());
+
+  auto s = idx.Stats();
+  EXPECT_EQ(s.path_probes, 3);
+  EXPECT_EQ(s.path_hits, 3);
+  EXPECT_GT(s.path_keys, 0);
+}
+
+// Regression (review finding): a rename's dirty set holds only the
+// renamed node — the transaction's clone cannot know the children a
+// rival commit inserted first. ApplyDirty must detect the qname change
+// and re-key the children it finds in the MERGED base, or a stale
+// (old parent qname, child qname) path entry survives.
+TEST(IndexManagerTest, RenameRekeysChildrenFromMergedBase) {
+  auto store = BuildStore("<r><e><c>1</c><c>2</c></e></r>");
+  index::IndexManager idx(index::IndexConfig{});
+  idx.Rebuild(*store);
+  QnameId r = store->pools().FindQname("r");
+  QnameId e = store->pools().FindQname("e");
+  QnameId c = store->pools().FindQname("c");
+  const int64_t big = 1 << 20;
+  ASSERT_EQ(idx.PathPairProbe(*store, e, c, big)->size(), 2u);
+
+  // Rename <e> to <r> on the base, with a dirty set that (like a real
+  // transaction's) holds ONLY the renamed node.
+  auto e_pre = xpath::EvaluatePath(*store, "//e");
+  ASSERT_TRUE(e_pre.ok());
+  NodeId e_node = store->NodeAt(e_pre.value()[0]);
+  ASSERT_TRUE(store->SetRef(e_pre.value()[0], r).ok());
+  index::DeltaIndex delta;
+  delta.MarkDirty(e_node);
+  idx.ApplyDirty(*store, delta);
+
+  // The children's path keys must have moved from (e, c) to (r, c).
+  ASSERT_EQ(idx.PathPairProbe(*store, e, c, big)->size(), 0u);
+  auto moved = idx.PathPairProbe(*store, r, c, big);
+  ASSERT_NE(moved, nullptr);
+  auto want = xpath::EvaluatePath(*store, "/r/r/c");
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(*moved, want.value());
+}
+
+TEST(IndexManagerTest, MemoServesRepeatedProbes) {
+  auto store = BuildStore(kDoc);
+  index::IndexManager idx(index::IndexConfig{});
+  idx.Rebuild(*store);
+  QnameId n = store->pools().FindQname("n");
+  auto p1 = idx.ElementsByQname(*store, n, 1 << 20);
+  auto p2 = idx.ElementsByQname(*store, n, 1 << 20);
+  ASSERT_NE(p1, nullptr);
+  // The second probe must share the memoized materialization.
+  EXPECT_EQ(p1, p2);
+  auto s = idx.Stats();
+  EXPECT_EQ(s.memo_misses, 1);
+  EXPECT_EQ(s.memo_hits, 1);
+}
+
 TEST(IndexManagerTest, CostGateDeclinesUnselectiveProbes) {
   auto store = BuildStore(kDoc);
   index::IndexConfig cfg;
@@ -189,9 +306,9 @@ TEST(IndexManagerTest, CostGateDeclinesUnselectiveProbes) {
   idx.Rebuild(*store);
   QnameId n = store->pools().FindQname("n");
   // 3 postings vs. a claimed scan of 4 tuples: 3 > 0.25*4 -> decline.
-  EXPECT_FALSE(idx.ElementsByQname(*store, n, 4).has_value());
+  EXPECT_EQ(idx.ElementsByQname(*store, n, 4), nullptr);
   // Generous scan estimate -> accept.
-  EXPECT_TRUE(idx.ElementsByQname(*store, n, 1000).has_value());
+  EXPECT_NE(idx.ElementsByQname(*store, n, 1000), nullptr);
   auto stats = idx.Stats();
   EXPECT_EQ(stats.probes, 2);
   EXPECT_EQ(stats.probe_hits, 1);
@@ -206,8 +323,12 @@ TEST(IndexManagerTest, StatsReportStructure) {
   EXPECT_EQ(s.postings_entries, 10);  // every element once
   EXPECT_GT(s.value_keys, 0);
   EXPECT_GT(s.attr_value_keys, 0);
+  EXPECT_EQ(s.path_keys, 5);          // (-,r) (r,a) (a,n) (r,b) (b,c)
+  EXPECT_EQ(s.node_states, 10);
   EXPECT_GT(s.bytes, 0);
   EXPECT_GE(s.build_micros, 0);
+  EXPECT_EQ(s.shards, 16);            // default config, power of two
+  EXPECT_EQ(s.publish_epoch, 1);      // the Rebuild publication
 }
 
 // ---------------------------------------------------------------------------
@@ -237,6 +358,11 @@ TEST(IndexedQueryTest, MatchesReferenceOnXmark) {
       "/site/people/person[@id]",
       "/site/open_auctions/open_auction[reserve>30]",
       "//person[emailaddress]",
+      // Multi-step chains (path-index prefix plan) and child steps.
+      "/site/people/person",
+      "/site/regions/europe/item",
+      "/site/open_auctions/open_auction/bidder/increase",
+      "//regions/europe",
   };
   for (const char* q : queries) {
     auto res = db->Query(q);
@@ -250,7 +376,120 @@ TEST(IndexedQueryTest, MatchesReferenceOnXmark) {
   }
   auto stats = db->IndexStats();
   EXPECT_GT(stats.probe_hits, 0);
+  EXPECT_GT(stats.path_hits, 0);        // chain prefixes answered
+  EXPECT_GT(stats.child_step_hits, 0);  // child-axis steps answered
   EXPECT_EQ(stats.cross_check_mismatches, 0);
+}
+
+// Cross-check failures must say WHICH step diverged and which node ids
+// only one side produced. Forced here by mutating the store behind the
+// index's back (no DeltaIndex attached — deliberately stale index).
+TEST(IndexedQueryTest, CrossCheckReportsDivergenceDetails) {
+  auto store = BuildStore(kDoc);
+  index::IndexConfig cfg;
+  cfg.cross_check = true;
+  index::IndexManager idx(cfg);
+  idx.Rebuild(*store);
+
+  // Rename the <b> element to <a>: the scan now sees three <a>s, the
+  // stale index still two.
+  auto b = xpath::EvaluatePath(*store, "//b");
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(b.value().size(), 1u);
+  QnameId a_qn = store->pools().FindQname("a");
+  ASSERT_TRUE(store->SetRef(b.value()[0], a_qn).ok());
+
+  auto res = xpath::EvaluatePath(*store, "//a", &idx);
+  ASSERT_FALSE(res.ok());
+  const std::string msg = res.status().ToString();
+  EXPECT_NE(msg.find("divergence"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("descendant::a"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("scan-only=[pre"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("node"), std::string::npos) << msg;
+  EXPECT_GT(idx.Stats().cross_check_mismatches, 0);
+}
+
+// Satellite: aborts — including mid-commit conflict aborts — must drop
+// the DeltaIndex overlay without publishing anything: index epochs,
+// reverse-map size, and footprint stay exactly where they were, no
+// matter how many transactions abort.
+TEST(IndexAbortTest, AbortStormKeepsEpochAndMemoryBounded) {
+  auto db_or = Database::CreateFromXml(kDoc, CrossCheckedOptions());
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(db_or).value();
+
+  const std::string doc =
+      "<xupdate:modifications version=\"1.0\" "
+      "xmlns:xupdate=\"http://www.xmldb.org/xupdate\">"
+      "<xupdate:append select=\"//b\"><c p=\"9\">z</c></xupdate:append>"
+      "<xupdate:update select=\"//a[1]/@id\">zz</xupdate:update>"
+      "</xupdate:modifications>";
+
+  // One committed update to establish a non-trivial baseline.
+  ASSERT_TRUE(db->Update(doc).ok());
+  const auto base = db->IndexStats();
+  ASSERT_GT(base.publish_epoch, 1);
+
+  for (int i = 0; i < 100; ++i) {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn.ok());
+    auto stats = txn.value()->Update(doc);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    ASSERT_TRUE(txn.value()->Abort().ok());
+  }
+  {
+    // Explicit aborts published nothing: every epoch and memory figure
+    // is exactly the baseline.
+    const auto after = db->IndexStats();
+    EXPECT_EQ(after.publish_epoch, base.publish_epoch);
+    EXPECT_EQ(after.structure_epoch, base.structure_epoch);
+    EXPECT_EQ(after.maintenance_ops, base.maintenance_ops);
+    EXPECT_EQ(after.applied_commits, base.applied_commits);
+    EXPECT_EQ(after.node_states, base.node_states);
+    EXPECT_EQ(after.bytes, base.bytes);
+  }
+
+  // Mid-commit failure: t2 snapshots, a rival commit bumps the page
+  // versions, then t2's own update poisons it (first-updater-wins) with
+  // its overlay already populated — Commit() must fail and publish
+  // nothing for t2.
+  const auto before_conflicts = db->IndexStats();
+  const int kConflictRounds = 10;
+  for (int i = 0; i < kConflictRounds; ++i) {
+    auto t2 = db->Begin();
+    ASSERT_TRUE(t2.ok());
+    ASSERT_TRUE(db->Update(doc).ok());  // rival auto-commit
+    (void)t2.value()->Update(doc);      // poisons t2 on the page hook
+    EXPECT_FALSE(t2.value()->Commit().ok());
+  }
+  const auto after = db->IndexStats();
+  // Only the rival commits published (one each).
+  EXPECT_EQ(after.publish_epoch - before_conflicts.publish_epoch,
+            kConflictRounds);
+  EXPECT_EQ(after.applied_commits - before_conflicts.applied_commits,
+            kConflictRounds);
+  // ...and queries remain exact (cross-check runs inside Query).
+  for (const char* q : {"//c", "//a[@id='zz']", "/r/b/c", "//b[c='z']"}) {
+    auto res = db->Query(q);
+    ASSERT_TRUE(res.ok()) << q << ": " << res.status().ToString();
+    auto ref = db->txn_manager().Read([&](const storage::PagedStore& s) {
+      xpath::ReferenceEvaluator<storage::PagedStore> rev(s);
+      return rev.Eval(xpath::ParsePath(q).value());
+    });
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(res.value(), ref.value()) << q;
+  }
+  EXPECT_EQ(db->IndexStats().cross_check_mismatches, 0);
+
+  // Memory bound: the reverse map tracks live elements only — an abort
+  // storm must not grow it. (Element count changed only by the
+  // successful t2 commits: one <c> append each.)
+  auto count_elems = [&] {
+    auto r = db->Query("//*");
+    EXPECT_TRUE(r.ok());
+    return static_cast<int64_t>(r.value().size());
+  };
+  EXPECT_EQ(after.node_states, count_elems());
 }
 
 // A scan-vs-index smoke check with a deliberately enormous margin: a
@@ -353,7 +592,12 @@ TEST_F(IndexMaintenanceTest, RandomUpdatesKeepIndexExact) {
         return "<xupdate:update select=\"//a[1]/@id\">" + v +
                "</xupdate:update>";
       case 6:
-        return "<xupdate:rename select=\"//n[1]\">m</xupdate:rename>";
+        // Alternate renaming a leaf and an element WITH element
+        // children (<d>): the latter re-keys its children's
+        // (parent, self) path-index entries.
+        return rng.Bernoulli(0.5)
+                   ? "<xupdate:rename select=\"//n[1]\">m</xupdate:rename>"
+                   : "<xupdate:rename select=\"//d[1]\">dd</xupdate:rename>";
       case 7:
         return "<xupdate:insert-before select=\"//c[2]\"><c p=\"" + v +
                "\">z</c></xupdate:insert-before>";
@@ -381,6 +625,14 @@ TEST_F(IndexMaintenanceTest, RandomUpdatesKeepIndexExact) {
       "//c[@p='1']",
       "//b[d]",
       "//d[n=9]",
+      // Path-index chains and child steps, maintained under the same
+      // churn (renames re-key, inserts/deletes shift pres).
+      "/r/a/n",
+      "/r/b/c",
+      "/r/b/d/n",
+      "/r/b/dd/n",
+      "//b/c[@p>=2]",
+      "//a/n",
   };
 
   auto verify_all = [&](const std::string& when) {
