@@ -261,17 +261,22 @@ struct IndexedFixture {
   std::unique_ptr<index::IndexManager> index;
 };
 
-const IndexedFixture& IndexedAt(int scale_idx) {
-  static IndexedFixture fixtures[3];
-  IndexedFixture& f = fixtures[scale_idx];
+const IndexedFixture& IndexedFixtureAt(int scale_idx, bool memo_values) {
+  static IndexedFixture fixtures[2][3];
+  IndexedFixture& f = fixtures[memo_values ? 0 : 1][scale_idx];
   if (!f.store) {
     f.store = BuildUp(XmarkXml(kIndexScales[scale_idx]));
     index::IndexConfig cfg;
     cfg.gate_ratio = 0.5;
+    cfg.memo_values = memo_values;
     f.index = std::make_unique<index::IndexManager>(cfg);
     f.index->Rebuild(*f.store);
   }
   return f;
+}
+
+const IndexedFixture& IndexedAt(int scale_idx) {
+  return IndexedFixtureAt(scale_idx, /*memo_values=*/true);
 }
 
 void ReportIndexCounters(benchmark::State& state,
@@ -351,6 +356,104 @@ void BM_IndexRebuild(benchmark::State& state) {
   ReportIndexCounters(state, f);
 }
 BENCHMARK(BM_IndexRebuild)->DenseRange(0, 2);
+
+// Warm vs cold value/attribute probes. "Cold" disables the value memo
+// (IndexConfig::memo_values = false): every probe re-collects matches
+// and re-swizzles NodeIds to pres — the pre-memo per-call cost. "Warm"
+// repeats the same probe against the memoizing index with no
+// intervening commit, so after the first iteration every call is a
+// memo hit (validate generations + copy the cached pre vector). The
+// acceptance bar is warm >= 5x cold on the range probes at the largest
+// scale (factor 0.04, scale index 2).
+
+const IndexedFixture& IndexedNoMemoAt(int scale_idx) {
+  return IndexedFixtureAt(scale_idx, /*memo_values=*/false);
+}
+
+void ValueProbeBench(benchmark::State& state, const IndexedFixture& f) {
+  QnameId reserve = f.store->pools().FindQname("reserve");
+  std::vector<PreId> simple, complex_rest;
+  const int64_t big = 1ll << 40;  // gate always accepts
+  for (auto _ : state) {
+    bool ok = f.index->ChildValueProbe(*f.store, reserve, xpath::CmpOp::kGt,
+                                       "100", big, &simple, &complex_rest);
+    if (!ok) {
+      state.SkipWithError("probe declined");
+      return;
+    }
+    benchmark::DoNotOptimize(simple);
+  }
+  state.counters["results"] = static_cast<double>(simple.size());
+  auto s = f.index->Stats();
+  state.counters["value_memo_hits"] =
+      static_cast<double>(s.memo_value_hits);
+}
+
+void BM_ValueRangeProbeCold(benchmark::State& state) {
+  ValueProbeBench(state, IndexedNoMemoAt(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_ValueRangeProbeCold)->DenseRange(0, 2);
+
+void BM_ValueRangeProbeWarm(benchmark::State& state) {
+  ValueProbeBench(state, IndexedAt(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_ValueRangeProbeWarm)->DenseRange(0, 2);
+
+void AttrProbeBench(benchmark::State& state, const IndexedFixture& f) {
+  QnameId id = f.store->pools().FindQname("id");
+  const int64_t big = 1ll << 40;
+  size_t results = 0;
+  for (auto _ : state) {
+    // Lexicographic range over @id (>= "category" covers the
+    // category/item/open_auction/person id spellings): a large match
+    // set, so the cold cost is dominated by the swizzle.
+    auto owners = f.index->AttrValueProbe(*f.store, id, xpath::CmpOp::kGe,
+                                          "category", big);
+    if (!owners) {
+      state.SkipWithError("probe declined");
+      return;
+    }
+    results = owners->size();
+    benchmark::DoNotOptimize(owners);
+  }
+  state.counters["results"] = static_cast<double>(results);
+}
+
+void BM_AttrRangeProbeCold(benchmark::State& state) {
+  AttrProbeBench(state, IndexedNoMemoAt(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_AttrRangeProbeCold)->DenseRange(0, 2);
+
+void BM_AttrRangeProbeWarm(benchmark::State& state) {
+  AttrProbeBench(state, IndexedAt(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_AttrRangeProbeWarm)->DenseRange(0, 2);
+
+void AttrOwnersBench(benchmark::State& state, const IndexedFixture& f) {
+  QnameId id = f.store->pools().FindQname("id");
+  const int64_t big = 1ll << 40;
+  size_t results = 0;
+  for (auto _ : state) {
+    auto owners = f.index->AttrOwners(*f.store, id, big);
+    if (!owners) {
+      state.SkipWithError("probe declined");
+      return;
+    }
+    results = owners->size();
+    benchmark::DoNotOptimize(owners);
+  }
+  state.counters["results"] = static_cast<double>(results);
+}
+
+void BM_AttrOwnersProbeCold(benchmark::State& state) {
+  AttrOwnersBench(state, IndexedNoMemoAt(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_AttrOwnersProbeCold)->DenseRange(0, 2);
+
+void BM_AttrOwnersProbeWarm(benchmark::State& state) {
+  AttrOwnersBench(state, IndexedAt(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_AttrOwnersProbeWarm)->DenseRange(0, 2);
 
 // Multi-step path prefix (/a/b/c/d/e): one path-index pair probe + an
 // ancestor-chain verification per candidate, vs stepwise child walks.

@@ -1,10 +1,23 @@
 #include "database.h"
 
+#include <cstdlib>
+
 #include "storage/shredder.h"
 #include "storage/store_serializer.h"
 #include "xpath/evaluator.h"
 
 namespace pxq {
+
+namespace {
+/// CI hook: PXQ_FORCE_CROSS_CHECK=1 turns on index/scan cross-checking
+/// for every database in the process, so a whole test suite can run
+/// with indexed-vs-reference divergence failing the build instead of
+/// only firing where a test opted in explicitly.
+bool ForcedCrossCheck() {
+  const char* e = std::getenv("PXQ_FORCE_CROSS_CHECK");
+  return e != nullptr && e[0] != '\0' && e[0] != '0';
+}
+}  // namespace
 
 std::string Database::SnapshotPath() const {
   return options_.data_dir + "/" + options_.name + ".snapshot";
@@ -17,6 +30,7 @@ StatusOr<std::unique_ptr<Database>> Database::CreateFromXml(
     std::string_view xml, Options options) {
   auto db = std::unique_ptr<Database>(new Database());
   db->options_ = std::move(options);
+  if (ForcedCrossCheck()) db->options_.index.cross_check = true;
   PXQ_ASSIGN_OR_RETURN(storage::DenseDocument dense, storage::ShredXml(xml));
   PXQ_ASSIGN_OR_RETURN(
       std::unique_ptr<storage::PagedStore> store,
@@ -43,6 +57,7 @@ StatusOr<std::unique_ptr<Database>> Database::Open(Options options) {
   }
   auto db = std::unique_ptr<Database>(new Database());
   db->options_ = std::move(options);
+  if (ForcedCrossCheck()) db->options_.index.cross_check = true;
   PXQ_ASSIGN_OR_RETURN(
       db->store_,
       txn::TransactionManager::Recover(db->SnapshotPath(), db->WalPath()));

@@ -42,6 +42,9 @@ class Database {
     /// Query/QueryStrings; maintained through commits, rebuilt on
     /// Open(). Probes read sharded immutable snapshots lock-free;
     /// `index.shards` tunes the shard count. Disable to always scan.
+    /// The environment variable PXQ_FORCE_CROSS_CHECK=1 overrides
+    /// `index.cross_check` to true for every database in the process
+    /// (CI leg: the whole suite runs with divergence detection on).
     index::IndexConfig index;
   };
 

@@ -2,9 +2,14 @@
 
 namespace pxq::index {
 
+uint8_t DeltaIndex::KindOf(NodeId node) const {
+  auto it = kind_.find(node);
+  return it == kind_.end() ? static_cast<uint8_t>(kAll) : it->second;
+}
+
 void DeltaIndex::Clear() {
   dirty_.clear();
-  seen_.clear();
+  kind_.clear();
   structural_ = false;
 }
 

@@ -11,17 +11,35 @@
 // order-independence argument as the paper's commutative ancestor size
 // deltas). On abort the overlay is simply dropped.
 //
+// Each dirty node carries a *kind mask* saying which of its index
+// entries may be stale, so commit-time re-derivation privatizes only
+// the buckets that can actually have changed — an attribute rewrite
+// must not recreate the owner's qname/path postings buckets, or every
+// warm memoized materialization for that tag would be invalidated by a
+// value-only commit (see IndexManager's per-key memo validation):
+//
+//   kEntry  qname/path/postings membership: inserts, deletes, renames
+//           (SetRef on an element). Implies a full remove + re-derive.
+//   kValue  the element's string value: SetRef on a text/comment/pi
+//           child dirties the parent with kValue only.
+//   kAttrs  the element's attribute set/values: attribute ops dirty
+//           the owner with kAttrs only. A replaced attribute value is
+//           re-derived against BOTH sides commit-side: the old value
+//           key comes from the index's reverse map, the new one from
+//           the merged base, so both dictionary keys' generations move
+//           and both memoized probes invalidate.
+//
 // Dirtying rules (enforced in storage::PagedStore):
-//   insert subtree  -> every inserted node + the insertion parent
-//   delete subtree  -> every deleted node + the parent
-//   SetRef          -> the node; for text/comment/pi also the parent
-//                      (its string value changed). An element rename
-//                      also re-keys its children's path-index entries,
-//                      but those are expanded commit-side by
-//                      IndexManager::ApplyDirty against the MERGED
-//                      base (a clone-side enumeration would miss
-//                      children a rival commit inserted first).
-//   attribute ops   -> the owner element
+//   insert subtree  -> every inserted node + the insertion parent (kAll)
+//   delete subtree  -> every deleted node + the parent (kAll)
+//   SetRef          -> the node (kAll); for text/comment/pi also the
+//                      parent with kValue (its string value changed).
+//                      An element rename also re-keys its children's
+//                      path-index entries, but those are expanded
+//                      commit-side by IndexManager::ApplyDirty against
+//                      the MERGED base (a clone-side enumeration would
+//                      miss children a rival commit inserted first).
+//   attribute ops   -> the owner element, kAttrs
 //
 // Only the *direct* parent needs re-derivation on content edits: a
 // value-indexed ("simple") element has no element children, so any
@@ -31,7 +49,8 @@
 #define PXQ_INDEX_DELTA_INDEX_H_
 
 #include <cstddef>
-#include <unordered_set>
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -40,13 +59,27 @@ namespace pxq::index {
 
 class DeltaIndex {
  public:
-  void MarkDirty(NodeId node) {
-    if (node < 0) return;
-    if (seen_.insert(node).second) dirty_.push_back(node);
-  }
+  // Kind mask: which of a node's index entries may be stale. Flags
+  // accumulate across marks within one transaction (a node that got an
+  // attribute edit AND was renamed ends up kAll).
+  enum DirtyKind : uint8_t {
+    kEntry = 0x1,  // qname postings / path membership (or liveness)
+    kValue = 0x2,  // string value (value dictionary + sidecar)
+    kAttrs = 0x4,  // attribute owners/dictionaries
+    kAll = kEntry | kValue | kAttrs,
+  };
+
+  void MarkDirty(NodeId node) { Mark(node, kAll); }
   void MarkDirty(const std::vector<NodeId>& nodes) {
-    for (NodeId n : nodes) MarkDirty(n);
+    for (NodeId n : nodes) Mark(n, kAll);
   }
+  /// The node's string value may have changed (text/comment/pi repoint
+  /// below it); postings/path/attr entries are untouched.
+  void MarkValueDirty(NodeId node) { Mark(node, kValue); }
+  /// The node's attribute set/values may have changed; postings/path/
+  /// value entries are untouched.
+  void MarkAttrsDirty(NodeId node) { Mark(node, kAttrs); }
+
   /// Record that this transaction shifted pre ranks (insert/delete).
   /// Value-only transactions (SetRef, attribute edits) leave this unset,
   /// letting the index keep its memoized pre materializations valid
@@ -54,14 +87,27 @@ class DeltaIndex {
   void MarkStructural() { structural_ = true; }
 
   const std::vector<NodeId>& dirty() const { return dirty_; }
+  /// Accumulated kind mask for a dirty node (kAll if never marked —
+  /// callers only pass members of dirty()).
+  uint8_t KindOf(NodeId node) const;
   bool structural() const { return structural_; }
   bool empty() const { return dirty_.empty(); }
   size_t size() const { return dirty_.size(); }
   void Clear();
 
  private:
-  std::vector<NodeId> dirty_;       // first-touch order (deduplicated)
-  std::unordered_set<NodeId> seen_;
+  void Mark(NodeId node, uint8_t kind) {
+    if (node < 0) return;
+    auto [it, inserted] = kind_.try_emplace(node, kind);
+    if (inserted) {
+      dirty_.push_back(node);
+    } else {
+      it->second = static_cast<uint8_t>(it->second | kind);
+    }
+  }
+
+  std::vector<NodeId> dirty_;  // first-touch order (deduplicated)
+  std::unordered_map<NodeId, uint8_t> kind_;
   bool structural_ = false;
 };
 

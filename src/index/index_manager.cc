@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
-#include <unordered_set>
+#include <cstring>
 
 #include "xpath/value_compare.h"
 
@@ -169,28 +169,61 @@ IndexManager::Postings* IndexManager::MutablePaths(
   return it->second.get();
 }
 
-void IndexManager::AddNode(std::vector<ShardBuilder>& bs,
-                           const storage::PagedStore& store, NodeId node,
-                           PreId pre, QnameId parent_qn) {
-  NodeState st;
-  st.qn = store.RefAt(pre);
-  st.parent_qn = parent_qn;
-  SortedInsert(&MutablePostings(bs, st.qn)->nodes, node);
-  SortedInsert(&MutablePaths(bs, st.qn, PathKeyOf(parent_qn, st.qn))->nodes,
-               node);
-  ValueBucket* vb = MutableValues(bs, st.qn);
+void IndexManager::AddValueEntry(ValueBucket* vb,
+                                 const storage::PagedStore& store,
+                                 NodeId node, PreId pre, NodeState* st) {
   Derived d = DeriveValue(store, pre);
+  const uint64_t g = ++next_gen_;
   if (d.simple) {
-    st.simple = true;
-    st.value = std::move(d.value);
-    st.numeric = xpath::detail::ParseNumber(st.value, &st.num);
-    ValueEntry& e = vb->by_string[st.value];
-    e.numeric = st.numeric;
+    st->simple = true;
+    st->value = std::move(d.value);
+    st->numeric = xpath::detail::ParseNumber(st->value, &st->num);
+    ValueEntry& e = vb->by_string[st->value];
+    e.numeric = st->numeric;
     SortedInsert(&e.nodes, node);
-    if (st.numeric) vb->by_number.emplace(st.num, node);
+    e.gen = g;
+    vb->range_gen = g;
+    if (st->numeric) {
+      vb->by_number.emplace(st->num, node);
+      vb->num_gen = g;
+    }
   } else {
+    st->simple = false;
+    st->value.clear();
+    st->numeric = false;
     SortedInsert(&vb->complex_elems, node);
+    vb->complex_gen = g;
   }
+}
+
+void IndexManager::RemoveValueEntry(ValueBucket* vb, NodeId node,
+                                    const NodeState& st) {
+  const uint64_t g = ++next_gen_;
+  if (st.simple) {
+    auto eit = vb->by_string.find(st.value);
+    if (eit != vb->by_string.end()) {
+      SortedErase(&eit->second.nodes, node);
+      if (eit->second.nodes.empty()) {
+        vb->by_string.erase(eit);  // memo sees gen 0 for the vanished key
+      } else {
+        eit->second.gen = g;
+      }
+      vb->range_gen = g;
+    }
+    if (st.numeric) {
+      SidecarErase(&vb->by_number, st.num, node);
+      vb->num_gen = g;
+      vb->range_gen = g;
+    }
+  } else {
+    SortedErase(&vb->complex_elems, node);
+    vb->complex_gen = g;
+  }
+}
+
+void IndexManager::AddAttrEntries(std::vector<ShardBuilder>& bs,
+                                  const storage::PagedStore& store,
+                                  NodeId node, NodeState* st) {
   std::vector<int32_t> rows;
   store.attrs().Lookup(node, &rows);
   for (int32_t r : rows) {
@@ -200,13 +233,58 @@ void IndexManager::AddNode(std::vector<ShardBuilder>& bs,
     as.value = store.pools().Prop(row.prop);
     as.numeric = xpath::detail::ParseNumber(as.value, &as.num);
     AttrBucket* ab = MutableAttrs(bs, as.qn);
+    const uint64_t g = ++next_gen_;
     SortedInsert(&ab->owners, node);
+    ab->owners_gen = g;
     ValueEntry& e = ab->by_string[as.value];
     e.numeric = as.numeric;
     SortedInsert(&e.nodes, node);
-    if (as.numeric) ab->by_number.emplace(as.num, node);
-    st.attrs.push_back(std::move(as));
+    e.gen = g;
+    ab->range_gen = g;
+    if (as.numeric) {
+      ab->by_number.emplace(as.num, node);
+      ab->num_gen = g;
+    }
+    st->attrs.push_back(std::move(as));
   }
+}
+
+void IndexManager::RemoveAttrEntries(std::vector<ShardBuilder>& bs,
+                                     NodeId node, const NodeState& st) {
+  for (const AttrState& as : st.attrs) {
+    AttrBucket* ab = MutableAttrs(bs, as.qn);
+    const uint64_t g = ++next_gen_;
+    SortedErase(&ab->owners, node);
+    ab->owners_gen = g;
+    auto eit = ab->by_string.find(as.value);
+    if (eit != ab->by_string.end()) {
+      SortedErase(&eit->second.nodes, node);
+      if (eit->second.nodes.empty()) {
+        ab->by_string.erase(eit);
+      } else {
+        eit->second.gen = g;
+      }
+      ab->range_gen = g;
+    }
+    if (as.numeric) {
+      SidecarErase(&ab->by_number, as.num, node);
+      ab->num_gen = g;
+      ab->range_gen = g;
+    }
+  }
+}
+
+void IndexManager::AddNode(std::vector<ShardBuilder>& bs,
+                           const storage::PagedStore& store, NodeId node,
+                           PreId pre, QnameId parent_qn) {
+  NodeState st;
+  st.qn = store.RefAt(pre);
+  st.parent_qn = parent_qn;
+  SortedInsert(&MutablePostings(bs, st.qn)->nodes, node);
+  SortedInsert(&MutablePaths(bs, st.qn, PathKeyOf(parent_qn, st.qn))->nodes,
+               node);
+  AddValueEntry(MutableValues(bs, st.qn), store, node, pre, &st);
+  AddAttrEntries(bs, store, node, &st);
   node_state_[node] = std::move(st);
 }
 
@@ -218,33 +296,17 @@ void IndexManager::RemoveNode(std::vector<ShardBuilder>& bs, NodeId node) {
   SortedErase(&MutablePostings(bs, st.qn)->nodes, node);
   SortedErase(&MutablePaths(bs, st.qn, PathKeyOf(st.parent_qn, st.qn))->nodes,
               node);
-  ValueBucket* vb = MutableValues(bs, st.qn);
-  if (st.simple) {
-    auto eit = vb->by_string.find(st.value);
-    if (eit != vb->by_string.end()) {
-      SortedErase(&eit->second.nodes, node);
-      if (eit->second.nodes.empty()) vb->by_string.erase(eit);
-    }
-    if (st.numeric) SidecarErase(&vb->by_number, st.num, node);
-  } else {
-    SortedErase(&vb->complex_elems, node);
-  }
-  for (const AttrState& as : st.attrs) {
-    AttrBucket* ab = MutableAttrs(bs, as.qn);
-    SortedErase(&ab->owners, node);
-    auto eit = ab->by_string.find(as.value);
-    if (eit != ab->by_string.end()) {
-      SortedErase(&eit->second.nodes, node);
-      if (eit->second.nodes.empty()) ab->by_string.erase(eit);
-    }
-    if (as.numeric) SidecarErase(&ab->by_number, as.num, node);
-  }
+  RemoveValueEntry(MutableValues(bs, st.qn), node, st);
+  RemoveAttrEntries(bs, node, st);
   node_state_.erase(it);
 }
 
 void IndexManager::PruneMemos() {
   // Exclusive window: no reader holds a memo table pointer, so every
-  // table except the newest can be reclaimed.
+  // table except the newest can be reclaimed — and a table that hit
+  // the value-key admission cap is dropped wholesale, so memoization
+  // of new literals resumes instead of staying disabled forever (the
+  // hot entries re-admit on their next probe).
   for (int i = 0; i < nshards_; ++i) {
     const MemoTable* newest = shards_[i].memo.load(std::memory_order_acquire);
     if (newest == nullptr) continue;
@@ -254,7 +316,12 @@ void IndexManager::PruneMemos() {
       delete t;
       t = prev;
     }
-    const_cast<MemoTable*>(newest)->prev = nullptr;
+    if (newest->value_entries >= kValueMemoCapPerShard) {
+      shards_[i].memo.store(nullptr, std::memory_order_release);
+      delete newest;
+    } else {
+      const_cast<MemoTable*>(newest)->prev = nullptr;
+    }
   }
 }
 
@@ -339,9 +406,64 @@ void IndexManager::ApplyDirty(const storage::PagedStore& store,
   std::lock_guard<std::mutex> lock(writer_mu_);
   std::vector<ShardBuilder> bs(static_cast<size_t>(nshards_));
   std::vector<NodeId> work = delta.dirty();
-  std::unordered_set<NodeId> seen(work.begin(), work.end());
+  std::vector<uint8_t> kinds;
+  kinds.reserve(work.size());
+  for (NodeId n : work) kinds.push_back(delta.KindOf(n));
   for (size_t i = 0; i < work.size(); ++i) {
     const NodeId n = work[i];
+    const uint8_t kind = kinds[i];
+    auto st = node_state_.find(n);
+    const bool known = st != node_state_.end();
+
+    // Granular path for value-/attr-only dirt: the node's postings and
+    // path entries are provably unchanged, so leave those buckets (and
+    // every warm memo entry sourced from them) alone and refresh just
+    // the value/attribute side. Falls through to the full path on any
+    // surprise (unknown node, vanished node, rival rename) — the full
+    // re-derive is always correct, just coarser.
+    if ((kind & DeltaIndex::kEntry) == 0 && known &&
+        store.PosOfNode(n) != kNullPos) {
+      auto gpre = store.PreOfNode(n);
+      if (gpre.ok() && store.KindAt(gpre.value()) == NodeKind::kElement &&
+          store.RefAt(gpre.value()) == st->second.qn) {
+        if ((kind & DeltaIndex::kValue) != 0) {
+          ValueBucket* vb = MutableValues(bs, st->second.qn);
+          RemoveValueEntry(vb, n, st->second);
+          AddValueEntry(vb, store, n, gpre.value(), &st->second);
+        }
+        if ((kind & DeltaIndex::kAttrs) != 0) {
+          // Old keys from the reverse map, new keys from the merged
+          // base: a replaced attribute value moves BOTH dictionary
+          // keys' generations, so memoized probes of either value
+          // invalidate while sibling keys stay warm.
+          std::vector<std::pair<QnameId, uint64_t>> prior_owner_gens;
+          prior_owner_gens.reserve(st->second.attrs.size());
+          for (const AttrState& as : st->second.attrs) {
+            prior_owner_gens.emplace_back(
+                as.qn, MutableAttrs(bs, as.qn)->owners_gen);
+          }
+          RemoveAttrEntries(bs, n, st->second);
+          st->second.attrs.clear();
+          AddAttrEntries(bs, store, n, &st->second);
+          // An attribute the node owns both before and after (a value
+          // replacement, not an add/remove) leaves the owner LIST
+          // byte-identical — the remove/re-insert pair cancels out.
+          // Restore its pre-commit generation so warm AttrOwners memo
+          // entries stay valid; identical content under the same stamp
+          // cannot alias anything else (no ABA).
+          for (const auto& [qn, gen] : prior_owner_gens) {
+            for (const AttrState& na : st->second.attrs) {
+              if (na.qn == qn) {
+                MutableAttrs(bs, qn)->owners_gen = gen;
+                break;
+              }
+            }
+          }
+        }
+        continue;
+      }
+    }
+
     // Detect renames against the reverse map BEFORE removal: the
     // transaction marks only the renamed node, but the (parent, self)
     // path keys of its element children changed with it. Enumerating
@@ -350,8 +472,6 @@ void IndexManager::ApplyDirty(const storage::PagedStore& store,
     // a rival commit is re-keyed here even though the renamer's clone
     // never saw it.
     QnameId old_qn = -1;
-    auto st = node_state_.find(n);
-    const bool known = st != node_state_.end();
     if (known) old_qn = st->second.qn;
     RemoveNode(bs, n);
     if (store.PosOfNode(n) == kNullPos) continue;  // deleted (or aborted id)
@@ -363,9 +483,15 @@ void IndexManager::ApplyDirty(const storage::PagedStore& store,
       for (PreId c = store.SkipHoles(pre.value() + 1); c <= end;
            c = store.SkipHoles(c + store.SizeAt(c) + 1)) {
         if (store.KindAt(c) != NodeKind::kElement) continue;
-        if (seen.insert(store.NodeAt(c)).second) {
-          work.push_back(store.NodeAt(c));
-        }
+        // Re-enqueue with kAll even when the child is already in the
+        // dirty set: its own mark may be kValue/kAttrs-only (e.g. the
+        // same transaction rewrote its text), and a granular pass —
+        // before or after this point — leaves its (parent, self) path
+        // key stale. A second full pass is idempotent (re-derivation
+        // is a pure function of the merged base) and cannot recurse:
+        // after it, the child's reverse-map qname matches the store.
+        work.push_back(store.NodeAt(c));
+        kinds.push_back(DeltaIndex::kAll);  // path re-key: full refresh
       }
     }
     AddNode(bs, store, n, pre.value(), ParentQnameOf(store, pre.value()));
@@ -397,43 +523,112 @@ std::vector<PreId> IndexManager::ToPres(const storage::PagedStore& store,
   return pres;
 }
 
-const std::vector<PreId>* IndexManager::MemoizedPres(
-    const Shard& shard, const storage::PagedStore& store, bool is_path,
-    uint64_t key, const Postings& src) const {
-  const uint64_t sepoch = structure_epoch_.load(std::memory_order_acquire);
+const IndexManager::MemoEntry* IndexManager::LookupMemo(
+    const Shard& shard, const MemoKey& key) const {
   const MemoTable* memo = shard.memo.load(std::memory_order_acquire);
-  if (memo != nullptr) {
-    const auto& map = is_path ? memo->by_path : memo->by_qname;
-    auto it = map.find(key);
-    if (it != map.end() && it->second->src_gen == src.gen &&
-        it->second->structure_epoch == sepoch) {
-      memo_hits_.v.fetch_add(1, std::memory_order_relaxed);
-      return &it->second->pres;
-    }
-  }
-  memo_misses_.v.fetch_add(1, std::memory_order_relaxed);
-  auto entry = std::make_shared<MemoEntry>();
-  entry->src_gen = src.gen;
-  entry->structure_epoch = sepoch;
-  entry->pres = ToPres(store, src.nodes);
+  if (memo == nullptr) return nullptr;
+  auto it = memo->entries.find(key);
+  return it == memo->entries.end() ? nullptr : it->second.get();
+}
+
+const IndexManager::MemoEntry* IndexManager::PublishMemo(
+    const Shard& shard, const MemoKey& key,
+    std::shared_ptr<const MemoEntry> entry) const {
   // CAS-publish a new table version. Readers race only with readers
   // (writers prune inside the exclusive window); a loser deletes its
   // never-published candidate and retries against the latest table, so
   // concurrently inserted entries for other keys are never lost.
   // Entries are shared between versions, so each link in the retained
   // chain costs map nodes only, never pre-list copies.
-  const MemoTable* cur = memo;
+  //
+  // Value/attr keys carry user-controlled operands, so their key space
+  // is unbounded — and the chain is pruned only inside the exclusive
+  // commit window, which a read-only workload never opens. A full
+  // table therefore stops admitting NEW value keys (existing keys may
+  // still be refreshed in place: same map size), bounding both the
+  // retained chain and the per-insert copy cost. Qname/path keys are
+  // exempt: their space is bounded by the document's tag set, and
+  // MemoizedPres relies on publication to keep its returned pointer
+  // alive.
+  const MemoEntry* raw = entry.get();
+  const bool value_ns = key.ns != MemoNs::kQname && key.ns != MemoNs::kPath;
+  const MemoTable* cur = shard.memo.load(std::memory_order_acquire);
   for (;;) {
+    const bool fresh_key =
+        cur == nullptr || cur->entries.find(key) == cur->entries.end();
+    if (value_ns && fresh_key && cur != nullptr &&
+        cur->value_entries >= kValueMemoCapPerShard) {
+      return nullptr;  // table full: serve the result unmemoized
+    }
     auto* next = cur ? new MemoTable(*cur) : new MemoTable();
     next->prev = cur;
-    (is_path ? next->by_path : next->by_qname)[key] = entry;
+    next->entries[key] = entry;
+    if (value_ns && fresh_key) next->value_entries += 1;
     if (shard.memo.compare_exchange_strong(cur, next,
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire)) {
-      return &entry->pres;
+      return raw;  // kept alive by the published table chain
     }
     delete next;
   }
+}
+
+const std::vector<PreId>* IndexManager::MemoizedPres(
+    const Shard& shard, const storage::PagedStore& store, bool is_path,
+    uint64_t key, const Postings& src) const {
+  const uint64_t sepoch = structure_epoch_.load(std::memory_order_acquire);
+  MemoKey mk;
+  mk.ns = is_path ? MemoNs::kPath : MemoNs::kQname;
+  mk.key = key;
+  if (const MemoEntry* e = LookupMemo(shard, mk);
+      e != nullptr && e->src_gen == src.gen &&
+      e->structure_epoch == sepoch) {
+    memo_hits_.v.fetch_add(1, std::memory_order_relaxed);
+    return &e->pres;
+  }
+  memo_misses_.v.fetch_add(1, std::memory_order_relaxed);
+  auto entry = std::make_shared<MemoEntry>();
+  entry->src_gen = src.gen;
+  entry->structure_epoch = sepoch;
+  entry->candidates = static_cast<int64_t>(src.nodes.size());
+  entry->pres = ToPres(store, src.nodes);
+  return &PublishMemo(shard, mk, std::move(entry))->pres;
+}
+
+IndexManager::MemoKey IndexManager::ValueMemoKey(MemoNs ns, QnameId qn,
+                                                 xpath::CmpOp op,
+                                                 const std::string& literal) {
+  MemoKey mk;
+  mk.ns = ns;
+  mk.op = static_cast<uint8_t>(op);
+  mk.key = static_cast<uint64_t>(static_cast<uint32_t>(qn));
+  double x = 0;
+  if (op == xpath::CmpOp::kEq &&
+      xpath::detail::ParseNumber(literal, &x)) {
+    // Numeric equality reads only the sidecar, so the operand
+    // canonicalizes to the parsed value: "17" and "17.0" share one
+    // entry. Normalize -0 to +0 (they hit the same sidecar range).
+    mk.cls = OperandClass::kNumeric;
+    if (x == 0) x = 0;
+    static_assert(sizeof(x) == sizeof(mk.num_bits));
+    std::memcpy(&mk.num_bits, &x, sizeof(x));
+  } else {
+    // Ordered operators take lexicographic dictionary bounds from the
+    // literal's spelling, so the raw string is the operand.
+    mk.cls = OperandClass::kString;
+    mk.operand = literal;
+  }
+  return mk;
+}
+
+template <typename Bucket>
+uint64_t IndexManager::SourceGenFor(const Bucket& b, const MemoKey& key) {
+  if (static_cast<xpath::CmpOp>(key.op) == xpath::CmpOp::kEq) {
+    if (key.cls == OperandClass::kNumeric) return b.num_gen;
+    auto it = b.by_string.find(key.operand);
+    return it == b.by_string.end() ? 0 : it->second.gen;
+  }
+  return b.range_gen;
 }
 
 int64_t IndexManager::PostingsCount(QnameId qn) const {
@@ -572,23 +767,54 @@ bool IndexManager::ChildValueProbe(const storage::PagedStore& store,
   probes_.v.fetch_add(1, std::memory_order_relaxed);
   simple->clear();
   complex_rest->clear();
-  const ShardSnapshot* snap = Snap(ShardOf(qn));
+  const Shard& shard = shards_[ShardOf(qn)];
+  const ShardSnapshot* snap = shard.snap.load(std::memory_order_acquire);
   auto vit = snap->values.find(qn);
   if (vit == snap->values.end()) {
     // No element carries this tag: the empty result is exact.
     return true;
   }
   const ValueBucket& vb = *vit->second;
+  const uint64_t sepoch = structure_epoch_.load(std::memory_order_acquire);
+  MemoKey mk;
+  if (config_.memo_values) {
+    mk = ValueMemoKey(MemoNs::kValue, qn, op, literal);
+    if (const MemoEntry* e = LookupMemo(shard, mk);
+        e != nullptr && e->src_gen == SourceGenFor(vb, mk) &&
+        e->aux_gen == vb.complex_gen && e->structure_epoch == sepoch) {
+      if (!Gate(e->candidates, scan_cost)) {
+        probe_declines_.v.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      memo_value_hits_.v.fetch_add(1, std::memory_order_relaxed);
+      *simple = e->pres;
+      *complex_rest = e->complex_pres;
+      return true;
+    }
+  }
   std::vector<NodeId> matches;
   CollectMatches(vb.by_string, vb.by_number, op, literal, &matches);
   const int64_t k = static_cast<int64_t>(matches.size()) +
                     static_cast<int64_t>(vb.complex_elems.size());
   if (!Gate(k, scan_cost)) {
+    // Declined probes are not memoized: nothing was materialized, and a
+    // repeat with the same scan estimate re-declines just as cheaply.
     probe_declines_.v.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   *simple = ToPres(store, matches);
   *complex_rest = ToPres(store, vb.complex_elems);
+  if (config_.memo_values) {
+    memo_value_misses_.v.fetch_add(1, std::memory_order_relaxed);
+    auto entry = std::make_shared<MemoEntry>();
+    entry->src_gen = SourceGenFor(vb, mk);
+    entry->aux_gen = vb.complex_gen;
+    entry->structure_epoch = sepoch;
+    entry->candidates = k;
+    entry->pres = *simple;
+    entry->complex_pres = *complex_rest;
+    PublishMemo(shard, mk, std::move(entry));
+  }
   return true;
 }
 
@@ -596,17 +822,39 @@ std::optional<std::vector<PreId>> IndexManager::AttrOwners(
     const storage::PagedStore& store, QnameId qn, int64_t scan_cost) const {
   if (!config_.enabled || qn < 0) return std::nullopt;
   probes_.v.fetch_add(1, std::memory_order_relaxed);
-  const ShardSnapshot* snap = Snap(ShardOf(qn));
+  const Shard& shard = shards_[ShardOf(qn)];
+  const ShardSnapshot* snap = shard.snap.load(std::memory_order_acquire);
   auto it = snap->attrs.find(qn);
-  const int64_t k = it == snap->attrs.end()
-                        ? 0
-                        : static_cast<int64_t>(it->second->owners.size());
+  if (it == snap->attrs.end()) return std::vector<PreId>{};
+  const AttrBucket& ab = *it->second;
+  const int64_t k = static_cast<int64_t>(ab.owners.size());
   if (!Gate(k, scan_cost)) {
     probe_declines_.v.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  if (it == snap->attrs.end()) return std::vector<PreId>{};
-  return ToPres(store, it->second->owners);
+  const uint64_t sepoch = structure_epoch_.load(std::memory_order_acquire);
+  MemoKey mk;
+  mk.ns = MemoNs::kAttrOwners;
+  mk.key = static_cast<uint64_t>(static_cast<uint32_t>(qn));
+  if (config_.memo_values) {
+    if (const MemoEntry* e = LookupMemo(shard, mk);
+        e != nullptr && e->src_gen == ab.owners_gen &&
+        e->structure_epoch == sepoch) {
+      memo_value_hits_.v.fetch_add(1, std::memory_order_relaxed);
+      return e->pres;
+    }
+  }
+  std::vector<PreId> pres = ToPres(store, ab.owners);
+  if (config_.memo_values) {
+    memo_value_misses_.v.fetch_add(1, std::memory_order_relaxed);
+    auto entry = std::make_shared<MemoEntry>();
+    entry->src_gen = ab.owners_gen;
+    entry->structure_epoch = sepoch;
+    entry->candidates = k;
+    entry->pres = pres;
+    PublishMemo(shard, mk, std::move(entry));
+  }
+  return pres;
 }
 
 std::optional<std::vector<PreId>> IndexManager::AttrValueProbe(
@@ -616,17 +864,44 @@ std::optional<std::vector<PreId>> IndexManager::AttrValueProbe(
     return std::nullopt;
   }
   probes_.v.fetch_add(1, std::memory_order_relaxed);
-  const ShardSnapshot* snap = Snap(ShardOf(qn));
+  const Shard& shard = shards_[ShardOf(qn)];
+  const ShardSnapshot* snap = shard.snap.load(std::memory_order_acquire);
   auto it = snap->attrs.find(qn);
   if (it == snap->attrs.end()) return std::vector<PreId>{};
+  const AttrBucket& ab = *it->second;
+  const uint64_t sepoch = structure_epoch_.load(std::memory_order_acquire);
+  MemoKey mk;
+  if (config_.memo_values) {
+    mk = ValueMemoKey(MemoNs::kAttrValue, qn, op, literal);
+    if (const MemoEntry* e = LookupMemo(shard, mk);
+        e != nullptr && e->src_gen == SourceGenFor(ab, mk) &&
+        e->structure_epoch == sepoch) {
+      if (!Gate(e->candidates, scan_cost)) {
+        probe_declines_.v.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      memo_value_hits_.v.fetch_add(1, std::memory_order_relaxed);
+      return e->pres;
+    }
+  }
   std::vector<NodeId> matches;
-  CollectMatches(it->second->by_string, it->second->by_number, op, literal,
-                 &matches);
-  if (!Gate(static_cast<int64_t>(matches.size()), scan_cost)) {
+  CollectMatches(ab.by_string, ab.by_number, op, literal, &matches);
+  const int64_t k = static_cast<int64_t>(matches.size());
+  if (!Gate(k, scan_cost)) {
     probe_declines_.v.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  return ToPres(store, matches);
+  std::vector<PreId> pres = ToPres(store, matches);
+  if (config_.memo_values) {
+    memo_value_misses_.v.fetch_add(1, std::memory_order_relaxed);
+    auto entry = std::make_shared<MemoEntry>();
+    entry->src_gen = SourceGenFor(ab, mk);
+    entry->structure_epoch = sepoch;
+    entry->candidates = k;
+    entry->pres = pres;
+    PublishMemo(shard, mk, std::move(entry));
+  }
+  return pres;
 }
 
 void IndexManager::NoteCrossCheckMismatch() const {
@@ -643,6 +918,9 @@ IndexStats IndexManager::Stats() const {
   s.child_step_hits = child_step_hits_.v.load(std::memory_order_relaxed);
   s.memo_hits = memo_hits_.v.load(std::memory_order_relaxed);
   s.memo_misses = memo_misses_.v.load(std::memory_order_relaxed);
+  s.memo_value_hits = memo_value_hits_.v.load(std::memory_order_relaxed);
+  s.memo_value_misses =
+      memo_value_misses_.v.load(std::memory_order_relaxed);
   s.cross_check_mismatches =
       cross_check_mismatches_.v.load(std::memory_order_relaxed);
   s.shards = nshards_;

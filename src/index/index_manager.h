@@ -73,18 +73,25 @@
 //   ElementsByQname / PathPairProbe stay valid until the next
 //   publication.
 //
-//   Pre materializations of qname/path postings are memoized per shard
-//   in a lock-free side table: readers CAS-publish a new table version
-//   whose predecessor stays reachable through an intrusive chain, so a
-//   concurrent reader's pointer into an older table stays valid;
-//   writers prune the chain inside the exclusive window. An entry is
-//   valid iff (a) its source bucket generation matches the bucket in
-//   the current snapshot (catches membership changes without pointer
-//   ABA) and (b) the structure epoch it was swizzled under is current
-//   (catches pre shifts). Value-only commits do not bump the structure
-//   epoch, so they invalidate only the buckets they touched instead of
-//   every materialization — the memo is maintained incrementally,
-//   never rebuilt wholesale.
+//   Pre materializations are memoized per shard in a lock-free side
+//   table: readers CAS-publish a new table version whose predecessor
+//   stays reachable through an intrusive chain, so a concurrent
+//   reader's pointer into an older table stays valid; writers prune
+//   the chain inside the exclusive window. The memo is heterogeneous —
+//   entries are keyed on (namespace, qname-or-path key, op,
+//   operand-class, operand) and cover qname postings, path postings,
+//   child-value probes, attribute-owner probes, and attribute-value
+//   probes. An entry is valid iff (a) the generation of its source —
+//   the postings bucket, the matching value-dictionary key for
+//   equality probes, the numeric sidecar for numeric-equality probes,
+//   or the whole dictionary for range probes — matches the current
+//   snapshot (catches content changes without pointer ABA) and (b) the
+//   structure epoch it was swizzled under is current (catches pre
+//   shifts). Value-only commits do not bump the structure epoch and
+//   generation stamps move only on the dictionary keys a commit
+//   actually touched, so such commits invalidate only the touched
+//   keys' entries instead of the whole memo — the memo is maintained
+//   incrementally, never rebuilt wholesale.
 #ifndef PXQ_INDEX_INDEX_MANAGER_H_
 #define PXQ_INDEX_INDEX_MANAGER_H_
 
@@ -120,6 +127,11 @@ struct IndexConfig {
   /// shards mean finer copy-on-write granularity at commit and less
   /// false sharing between concurrent probes of different qnames.
   int shards = 16;
+  /// Memoize value/attribute probe materializations (pre vectors keyed
+  /// by (qname, op, operand-class, operand)). Off = re-collect and
+  /// re-swizzle on every probe, the pre-memo behavior — kept as a knob
+  /// so benchmarks can measure the warm/cold gap directly.
+  bool memo_values = true;
 };
 
 struct IndexStats {
@@ -139,8 +151,10 @@ struct IndexStats {
   int64_t path_probes = 0;       // path-index (pair) consultations
   int64_t path_hits = 0;         // accepted path-index probes
   int64_t child_step_hits = 0;   // child-axis name steps answered
-  int64_t memo_hits = 0;         // pre-materializations served from memo
+  int64_t memo_hits = 0;         // qname/path materializations from memo
   int64_t memo_misses = 0;       // ... recomputed (cold or invalidated)
+  int64_t memo_value_hits = 0;   // value/attr probes served from memo
+  int64_t memo_value_misses = 0; // ... recomputed (cold or invalidated)
   int64_t cross_check_mismatches = 0;
   // --- snapshot publication counters ---------------------------------
   int64_t shards = 0;            // configured shard count
@@ -166,6 +180,9 @@ class IndexManager {
   /// Commit-time merge of a transaction's DeltaIndex overlay: each dirty
   /// node's entries are removed and re-derived against the *merged* base
   /// store, into copy-on-write shard snapshots published at the end.
+  /// Honors the overlay's per-node kind masks: kValue/kAttrs-only nodes
+  /// refresh just their value/attribute entries, leaving postings and
+  /// path buckets (and therefore their warm memo entries) untouched.
   /// Call under the exclusive global lock, after oplog replay and size
   /// resolution.
   void ApplyDirty(const storage::PagedStore& store, const DeltaIndex& delta);
@@ -199,6 +216,9 @@ class IndexManager {
   /// (`op`, `literal`). Fills `simple` with exact matches and `complex`
   /// with the pre ranks of same-tag elements the value index does not
   /// cover (the caller must evaluate those individually). Declines kNe.
+  /// Repeat probes with no intervening commit touching the probed keys
+  /// are served from the per-shard memo (memo_value_hits) — warm cost
+  /// is a hash lookup + vector copy, not a re-collect + re-swizzle.
   bool ChildValueProbe(const storage::PagedStore& store, QnameId qn,
                        xpath::CmpOp op, const std::string& literal,
                        int64_t scan_cost, std::vector<PreId>* simple,
@@ -238,14 +258,27 @@ class IndexManager {
            static_cast<uint32_t>(self_qn);
   }
 
+  /// Value-dictionary entry, generation-stamped like Postings: `gen`
+  /// moves whenever `nodes` changes (and the key vanishes when it
+  /// empties), so an equality memo entry validates against exactly its
+  /// own dictionary key — sibling keys of the same bucket keep their
+  /// stamps and their warm memo entries across a commit.
   struct ValueEntry {
     std::vector<NodeId> nodes;  // sorted
     bool numeric = false;       // key parses under the strict grammar
+    uint64_t gen = 0;
   };
   struct ValueBucket {
     std::map<std::string, ValueEntry> by_string;      // sorted dictionary
     std::multimap<double, NodeId> by_number;          // numeric sidecar
     std::vector<NodeId> complex_elems;                // sorted
+    // Aggregate generations for probes that read more than one key:
+    // numeric-equality probes validate num_gen (sidecar content),
+    // ordered probes validate range_gen (any dictionary or sidecar
+    // content), child-value probes additionally validate complex_gen.
+    uint64_t num_gen = 0;
+    uint64_t range_gen = 0;
+    uint64_t complex_gen = 0;
     bool empty() const {
       return by_string.empty() && by_number.empty() && complex_elems.empty();
     }
@@ -254,6 +287,9 @@ class IndexManager {
     std::vector<NodeId> owners;                       // sorted
     std::map<std::string, ValueEntry> by_string;
     std::multimap<double, NodeId> by_number;
+    uint64_t owners_gen = 0;  // owner-list content (AttrOwners probes)
+    uint64_t num_gen = 0;
+    uint64_t range_gen = 0;
     bool empty() const { return owners.empty(); }
   };
   struct AttrState {
@@ -285,25 +321,86 @@ class IndexManager {
     std::unordered_map<uint64_t, std::shared_ptr<const Postings>> paths;
   };
 
-  /// Memo of pre materializations. Entries are valid iff src_gen is the
-  /// generation of the bucket the current snapshot holds AND
-  /// structure_epoch is current. Tables are immutable once published;
-  /// readers CAS in a shallow copy with one more entry (entry objects
-  /// are shared between versions, so a retained table costs map nodes,
-  /// never pre-list copies). `prev` chains replaced tables so in-flight
+  /// Heterogeneous memo key: one namespace per probe family sharing the
+  /// per-shard table. `key` is the qname (or packed path key); value
+  /// and attr-value probes additionally carry the comparison operator
+  /// and the operand. Numeric-equality probes canonicalize the operand
+  /// to the parsed double's bit pattern, so "17" and "17.0" share one
+  /// entry; ordered probes keep the raw string (their dictionary range
+  /// is lexicographic in the literal, so two spellings of the same
+  /// number are NOT interchangeable).
+  enum class MemoNs : uint8_t {
+    kQname = 0,      // qname postings materialization
+    kPath = 1,       // (parent, self) path postings materialization
+    kValue = 2,      // ChildValueProbe results
+    kAttrOwners = 3, // AttrOwners results
+    kAttrValue = 4,  // AttrValueProbe results
+  };
+  enum class OperandClass : uint8_t { kNone = 0, kString = 1, kNumeric = 2 };
+  struct MemoKey {
+    MemoNs ns = MemoNs::kQname;
+    uint8_t op = 0;  // xpath::CmpOp for value namespaces, else 0
+    OperandClass cls = OperandClass::kNone;
+    uint64_t key = 0;       // qname or packed path key
+    uint64_t num_bits = 0;  // canonical numeric operand (cls == kNumeric)
+    std::string operand;    // raw string operand (cls == kString)
+    bool operator==(const MemoKey& o) const {
+      return ns == o.ns && op == o.op && cls == o.cls && key == o.key &&
+             num_bits == o.num_bits && operand == o.operand;
+    }
+  };
+  struct MemoKeyHash {
+    size_t operator()(const MemoKey& k) const {
+      uint64_t h = k.key * 0x9e3779b97f4a7c15ULL;
+      h ^= (static_cast<uint64_t>(k.ns) << 16) |
+           (static_cast<uint64_t>(k.op) << 8) |
+           static_cast<uint64_t>(k.cls);
+      h ^= k.num_bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h ^= std::hash<std::string>{}(k.operand) + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  /// Memo of pre materializations. Entries are valid iff src_gen (and
+  /// aux_gen for child-value entries) matches the generation of the
+  /// entry's source in the current snapshot AND structure_epoch is
+  /// current; which generation is "the source" depends on the key (see
+  /// the validation helpers in index_manager.cc). `candidates` is the
+  /// gate input, cached so a warm probe can re-run the cost gate
+  /// against the caller's current scan estimate without re-collecting
+  /// matches. Tables are immutable once published; readers CAS in a
+  /// shallow copy with one more entry (entry objects are shared
+  /// between versions, so a retained table costs map nodes, never
+  /// pre-list copies). `prev` chains replaced tables so in-flight
   /// readers of an older table stay safe; the writer prunes the chain
   /// (keeping the newest) inside the exclusive window, when no reader
   /// exists.
   struct MemoEntry {
     uint64_t src_gen = 0;
+    uint64_t aux_gen = 0;  // complex-list generation (kValue only)
     uint64_t structure_epoch = 0;
+    int64_t candidates = 0;
     std::vector<PreId> pres;
+    std::vector<PreId> complex_pres;  // kValue only
   };
   struct MemoTable {
-    std::unordered_map<uint64_t, std::shared_ptr<const MemoEntry>> by_qname;
-    std::unordered_map<uint64_t, std::shared_ptr<const MemoEntry>> by_path;
+    std::unordered_map<MemoKey, std::shared_ptr<const MemoEntry>,
+                       MemoKeyHash>
+        entries;
+    size_t value_entries = 0;  // entries outside the qname/path namespaces
     const MemoTable* prev = nullptr;
   };
+  /// Admission cap for value/attr memo keys per shard table: operands
+  /// are user-controlled, the retained chain is only pruned at commit,
+  /// and every insert copies the table — so a read-only flood of
+  /// distinct literals must stop growing the memo once the table is
+  /// full (see PublishMemo). Qname/path keys are exempt and do not
+  /// count against the cap (their space is bounded by the tag set). A
+  /// shard that hit the cap is reset wholesale in the next commit's
+  /// exclusive window (PruneMemos), so memoization of new literals
+  /// resumes — only a commitless workload keeps the full table, and
+  /// then its 256 admitted keys stay warm forever anyway.
+  static constexpr size_t kValueMemoCapPerShard = 256;
 
   struct alignas(64) Shard {
     std::atomic<const ShardSnapshot*> snap{nullptr};
@@ -338,6 +435,17 @@ class IndexManager {
   AttrBucket* MutableAttrs(std::vector<ShardBuilder>& bs, QnameId qn);
   Postings* MutablePaths(std::vector<ShardBuilder>& bs, QnameId self_qn,
                          uint64_t key);
+  // Value/attr entry maintenance, shared by the full node paths and the
+  // granular kValue/kAttrs-only refreshes. Every dictionary/sidecar/
+  // owner mutation stamps the touched generations from next_gen_.
+  void AddValueEntry(ValueBucket* vb, const storage::PagedStore& store,
+                     NodeId node, PreId pre, NodeState* st);
+  void RemoveValueEntry(ValueBucket* vb, NodeId node, const NodeState& st);
+  void AddAttrEntries(std::vector<ShardBuilder>& bs,
+                      const storage::PagedStore& store, NodeId node,
+                      NodeState* st);
+  void RemoveAttrEntries(std::vector<ShardBuilder>& bs, NodeId node,
+                         const NodeState& st);
   void RemoveNode(std::vector<ShardBuilder>& bs, NodeId node);
   void AddNode(std::vector<ShardBuilder>& bs, const storage::PagedStore& store,
                NodeId node, PreId pre, QnameId parent_qn);
@@ -348,12 +456,31 @@ class IndexManager {
   /// Swizzle a sorted NodeId postings list into a sorted pre list.
   std::vector<PreId> ToPres(const storage::PagedStore& store,
                             const std::vector<NodeId>& nodes) const;
+  // Lock-free memo plumbing shared by every probe family: a raw lookup
+  // in the shard's current table, and the CAS-chain publication of one
+  // new entry (the returned pointer stays valid until the next
+  // publication — the table chain owns the entry).
+  const MemoEntry* LookupMemo(const Shard& shard, const MemoKey& key) const;
+  const MemoEntry* PublishMemo(const Shard& shard, const MemoKey& key,
+                               std::shared_ptr<const MemoEntry> entry) const;
   /// Memoized pre materialization of one postings bucket, keyed in the
   /// qname or the path namespace (`is_path`).
   const std::vector<PreId>* MemoizedPres(const Shard& shard,
                                          const storage::PagedStore& store,
                                          bool is_path, uint64_t key,
                                          const Postings& src) const;
+  /// Memo key for a value/attr probe over (qn, op, literal); fills the
+  /// operand class (numeric equality canonicalizes to the double's bit
+  /// pattern, everything else keeps the raw string).
+  static MemoKey ValueMemoKey(MemoNs ns, QnameId qn, xpath::CmpOp op,
+                              const std::string& literal);
+  /// The generation a memoized probe of (op, operand) over this
+  /// dictionary/sidecar pair must match to be valid: the operand's own
+  /// dictionary-key generation for string equality (0 when absent —
+  /// the key appearing later moves it), num_gen for numeric equality,
+  /// range_gen for ordered operators.
+  template <typename Bucket>
+  static uint64_t SourceGenFor(const Bucket& b, const MemoKey& key);
   /// Collect matches of (op, literal) from a dictionary + sidecar pair.
   static void CollectMatches(const std::map<std::string, ValueEntry>& dict,
                              const std::multimap<double, NodeId>& sidecar,
@@ -381,10 +508,11 @@ class IndexManager {
   std::atomic<uint64_t> publish_epoch_{0};
   std::atomic<uint64_t> structure_epoch_{1};
 
-  // Hot-path counters are padded to their own cache lines; the accepted
-  // fast path touches exactly two (probes_ + memo_hits_). Hits are
-  // derived in Stats() as probes - declines so the hit path pays no
-  // second increment.
+  // Hot-path counters are padded to their own cache lines and bumped
+  // with relaxed atomics — probes are lock-free and concurrent, so a
+  // plain increment here would be a data race (TSan-visible), not just
+  // a lost count. Hits are derived in Stats() as probes - declines so
+  // the hit path pays no second increment.
   PaddedCounter probes_;
   PaddedCounter probe_declines_;
   PaddedCounter path_probes_;
@@ -392,6 +520,8 @@ class IndexManager {
   PaddedCounter child_step_hits_;
   PaddedCounter memo_hits_;
   PaddedCounter memo_misses_;
+  PaddedCounter memo_value_hits_;
+  PaddedCounter memo_value_misses_;
   PaddedCounter cross_check_mismatches_;
 };
 

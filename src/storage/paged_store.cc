@@ -897,9 +897,12 @@ Status PagedStore::SetRef(PreId pre, int32_t ref) {
     // clone, would miss a child a concurrent transaction commits first.
     idx_delta_->MarkDirty(NodeAt(pre));
     if (KindAt(pre) != NodeKind::kElement) {
-      // A text/comment/pi repoint changes the parent's string value.
+      // A text/comment/pi repoint changes the parent's string value —
+      // and ONLY its value: postings/path/attr entries are untouched,
+      // so the value-only mark lets commit keep those buckets (and
+      // their warm memoized materializations) intact.
       PreId parent = ParentOf(pre);
-      if (parent != kNullPre) idx_delta_->MarkDirty(NodeAt(parent));
+      if (parent != kNullPre) idx_delta_->MarkValueDirty(NodeAt(parent));
     }
   }
   return Status::OK();
@@ -915,7 +918,7 @@ void PagedStore::AddAttr(NodeId owner, QnameId qname, ValueId prop) {
     oplog_->attr_ops.push_back(
         {OpLog::AttrOp::Kind::kAdd, owner, qname, prop});
   }
-  if (idx_delta_ != nullptr) idx_delta_->MarkDirty(owner);
+  if (idx_delta_ != nullptr) idx_delta_->MarkAttrsDirty(owner);
 }
 
 void PagedStore::RemoveAttrsOf(NodeId owner) {
@@ -924,7 +927,7 @@ void PagedStore::RemoveAttrsOf(NodeId owner) {
     oplog_->attr_ops.push_back(
         {OpLog::AttrOp::Kind::kRemoveOwner, owner, -1, -1});
   }
-  if (idx_delta_ != nullptr) idx_delta_->MarkDirty(owner);
+  if (idx_delta_ != nullptr) idx_delta_->MarkAttrsDirty(owner);
 }
 
 Status PagedStore::RemoveAttrNamed(NodeId owner, QnameId qname) {
@@ -937,7 +940,7 @@ Status PagedStore::RemoveAttrNamed(NodeId owner, QnameId qname) {
     oplog_->attr_ops.push_back(
         {OpLog::AttrOp::Kind::kRemoveNamed, owner, qname, -1});
   }
-  if (idx_delta_ != nullptr) idx_delta_->MarkDirty(owner);
+  if (idx_delta_ != nullptr) idx_delta_->MarkAttrsDirty(owner);
   return Status::OK();
 }
 
@@ -952,7 +955,7 @@ void PagedStore::SetAttrNamed(NodeId owner, QnameId qname, ValueId prop) {
     oplog_->attr_ops.push_back(
         {OpLog::AttrOp::Kind::kSetNamed, owner, qname, prop});
   }
-  if (idx_delta_ != nullptr) idx_delta_->MarkDirty(owner);
+  if (idx_delta_ != nullptr) idx_delta_->MarkAttrsDirty(owner);
 }
 
 // ---------------------------------------------------------------------------

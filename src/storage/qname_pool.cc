@@ -6,17 +6,14 @@ QnameId QnamePool::Intern(std::string_view name) {
   auto it = index_.find(std::string(name));
   if (it != index_.end()) return it->second;
   QnameId id = static_cast<QnameId>(names_.size());
-  names_.emplace_back(name);
-  index_.emplace(names_.back(), id);
+  names_.Set(id, name);
+  index_.emplace(std::string(name), id);
   return id;
 }
 
 void QnamePool::SetAt(QnameId id, std::string_view name) {
-  if (id >= static_cast<QnameId>(names_.size())) {
-    names_.resize(static_cast<size_t>(id) + 1);
-  }
-  names_[static_cast<size_t>(id)] = std::string(name);
-  index_.emplace(names_[static_cast<size_t>(id)], id);
+  names_.Set(id, name);
+  index_.emplace(std::string(name), id);
 }
 
 QnameId QnamePool::Find(std::string_view name) const {
@@ -26,7 +23,10 @@ QnameId QnamePool::Find(std::string_view name) const {
 
 int64_t QnamePool::ByteSize() const {
   int64_t bytes = 0;
-  for (const auto& n : names_) bytes += static_cast<int64_t>(n.size()) + 8;
+  const int64_t n = names_.size();
+  for (int64_t i = 0; i < n; ++i) {
+    bytes += static_cast<int64_t>(names_.at(i).size()) + 8;
+  }
   return bytes;
 }
 

@@ -1,15 +1,21 @@
 // Qualified-name pool: the paper's `qn` table (Fig. 5/6). One tuple per
 // distinct element/attribute name; nodes reference names by dense
 // QnameId, so name tests in XPath are integer comparisons.
+//
+// Names live in pointer-stable chunked storage (see
+// storage::StableStrings): Name(id) is read lock-free by serializers
+// and index maintenance while rival transactions intern new names
+// under the ContentPools mutex — movable vector storage here was the
+// same reader-vs-realloc race the value pools had.
 #ifndef PXQ_STORAGE_QNAME_POOL_H_
 #define PXQ_STORAGE_QNAME_POOL_H_
 
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "common/types.h"
+#include "storage/value_pool.h"
 
 namespace pxq::storage {
 
@@ -22,8 +28,8 @@ class QnamePool {
   /// compilation conclude "no such element anywhere" without scanning.
   QnameId Find(std::string_view name) const;
 
-  const std::string& Name(QnameId id) const { return names_[id]; }
-  int64_t size() const { return static_cast<int64_t>(names_.size()); }
+  const std::string& Name(QnameId id) const { return names_.at(id); }
+  int64_t size() const { return names_.size(); }
 
   /// Idempotent positional write for WAL replay / snapshot load.
   void SetAt(QnameId id, std::string_view name);
@@ -31,7 +37,7 @@ class QnamePool {
   int64_t ByteSize() const;
 
  private:
-  std::vector<std::string> names_;
+  StableStrings names_;
   std::unordered_map<std::string, QnameId> index_;
 };
 

@@ -20,6 +20,10 @@ namespace pxq::storage {
 /// Pools are append-only; Intern/Add are serialized by a mutex so
 /// concurrent transactions can intern values without coordination
 /// (uncommitted appends are unreachable garbage, never incorrect).
+/// Readers (Text/Prop/QnameOf/...) take NO lock: they run concurrently
+/// with rival transactions' interning, which is safe because the
+/// backing storage is pointer-stable chunks (StableStrings) and a
+/// reader only dereferences ids published by committed store state.
 class ContentPools {
  public:
   ContentPools()

@@ -8,17 +8,14 @@ ValueId ValuePool::Add(std::string_view value) {
     if (it != index_.end()) return it->second;
   }
   ValueId id = static_cast<ValueId>(values_.size());
-  values_.emplace_back(value);
-  if (dedup_) index_.emplace(values_.back(), id);
+  values_.Set(id, value);
+  if (dedup_) index_.emplace(std::string(value), id);
   return id;
 }
 
 void ValuePool::SetAt(ValueId id, std::string_view value) {
-  if (id >= static_cast<ValueId>(values_.size())) {
-    values_.resize(static_cast<size_t>(id) + 1);
-  }
-  values_[static_cast<size_t>(id)] = std::string(value);
-  if (dedup_) index_.emplace(values_[static_cast<size_t>(id)], id);
+  values_.Set(id, value);
+  if (dedup_) index_.emplace(std::string(value), id);
 }
 
 ValueId ValuePool::Find(std::string_view value) const {
@@ -28,7 +25,10 @@ ValueId ValuePool::Find(std::string_view value) const {
 
 int64_t ValuePool::ByteSize() const {
   int64_t bytes = 0;
-  for (const auto& v : values_) bytes += static_cast<int64_t>(v.size()) + 8;
+  const int64_t n = values_.size();
+  for (int64_t i = 0; i < n; ++i) {
+    bytes += static_cast<int64_t>(values_.at(i).size()) + 8;
+  }
   return bytes;
 }
 

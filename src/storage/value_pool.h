@@ -1,17 +1,111 @@
 // Value pools: the paper's `text`, `com`, `ins` node-value tables and the
 // deduplicated `prop` table of attribute values (Fig. 5/6). Nodes and
 // attributes reference values by dense ValueId.
+//
+// Concurrency: pools are APPEND-ONLY and shared between the base store
+// and every transaction clone. Appends are serialized by the owning
+// ContentPools mutex, but readers (query evaluation under the shared
+// lock, index probes, WAL serialization inside a commit) access values
+// by id with NO lock — concurrently with a rival transaction interning
+// new values. Storage therefore has to be pointer-stable: values live
+// in fixed-size chunks that never move once allocated, reached through
+// a lazily allocated table of release-published chunk pointers. A
+// reader only ever dereferences ids it obtained from committed store
+// state, which was published after the value was fully constructed —
+// the acquire loads here pair with the writer's release stores so the
+// chunk walk itself is race-free too. (The pools used to be plain
+// std::vector<std::string>; a rival transaction's intern could
+// reallocate the vector under a reader — a use-after-free TSan caught
+// once the probe-vs-commit stress test started reading attribute
+// values while writers interned.)
 #ifndef PXQ_STORAGE_VALUE_POOL_H_
 #define PXQ_STORAGE_VALUE_POOL_H_
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "common/types.h"
 
 namespace pxq::storage {
+
+/// Append-only, pointer-stable string storage with lock-free readers.
+/// Writer calls (Slot) must be externally serialized; readers (at,
+/// size) need no lock. Capacity is kMaxChunks * kChunkCap (~33M
+/// strings) — far above any document this system targets.
+class StableStrings {
+ public:
+  StableStrings() = default;
+  ~StableStrings() {
+    std::atomic<Chunk*>* t = table_.load(std::memory_order_acquire);
+    if (t == nullptr) return;
+    for (size_t c = 0; c < kMaxChunks; ++c) {
+      delete t[c].load(std::memory_order_relaxed);
+    }
+    delete[] t;
+  }
+  StableStrings(const StableStrings&) = delete;
+  StableStrings& operator=(const StableStrings&) = delete;
+
+  const std::string& at(int64_t id) const {
+    const auto i = static_cast<size_t>(id);
+    return table_.load(std::memory_order_acquire)[i >> kChunkBits]
+        .load(std::memory_order_acquire)
+        ->vals[i & kChunkMask];
+  }
+  int64_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Writer side: install `value` at slot `id`, allocating every chunk
+  /// up to id's (resize semantics: slots below size() that were never
+  /// written read as empty strings — the idempotent positional replay
+  /// writes may leave gaps) and growing size() to cover it. size() is
+  /// published AFTER the value is fully constructed, so an unlocked
+  /// reader iterating [0, size()) never sees a string mid-assignment.
+  void Set(int64_t id, std::string_view value) {
+    const auto i = static_cast<size_t>(id);
+    const size_t c = i >> kChunkBits;
+    if (c >= kMaxChunks) {
+      // Hard stop, not an assert: release builds compile asserts out
+      // and the write below would go past the chunk table. ~33M
+      // strings per pool is far beyond the documents this system
+      // targets; a defined abort beats silent heap corruption.
+      std::fprintf(stderr,
+                   "pxq: string pool capacity exceeded (%lld values)\n",
+                   static_cast<long long>(id));
+      std::abort();
+    }
+    std::atomic<Chunk*>* t = table_.load(std::memory_order_relaxed);
+    if (t == nullptr) {
+      t = new std::atomic<Chunk*>[kMaxChunks]();
+      table_.store(t, std::memory_order_release);
+    }
+    while (allocated_chunks_ <= c) {
+      t[allocated_chunks_].store(new Chunk(), std::memory_order_release);
+      ++allocated_chunks_;
+    }
+    t[c].load(std::memory_order_relaxed)->vals[i & kChunkMask] =
+        std::string(value);
+    if (id >= size_.load(std::memory_order_relaxed)) {
+      size_.store(id + 1, std::memory_order_release);
+    }
+  }
+
+ private:
+  static constexpr size_t kChunkBits = 10;
+  static constexpr size_t kChunkCap = size_t{1} << kChunkBits;
+  static constexpr size_t kChunkMask = kChunkCap - 1;
+  static constexpr size_t kMaxChunks = size_t{1} << 15;
+  struct Chunk {
+    std::string vals[kChunkCap];
+  };
+
+  std::atomic<std::atomic<Chunk*>*> table_{nullptr};
+  size_t allocated_chunks_ = 0;  // writer-side only (dense prefix)
+  std::atomic<int64_t> size_{0};
+};
 
 /// Append-only string pool. With `dedup` (the `prop` table), identical
 /// strings share one id — MonetDB's double-elimination for attribute
@@ -21,8 +115,8 @@ class ValuePool {
   explicit ValuePool(bool dedup = false) : dedup_(dedup) {}
 
   ValueId Add(std::string_view value);
-  const std::string& Get(ValueId id) const { return values_[id]; }
-  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+  const std::string& Get(ValueId id) const { return values_.at(id); }
+  int64_t size() const { return values_.size(); }
 
   /// Id of an existing value (dedup pools only; -1 when absent or when
   /// the pool does not deduplicate). Used for value-equality predicates.
@@ -38,7 +132,7 @@ class ValuePool {
 
  private:
   bool dedup_;
-  std::vector<std::string> values_;
+  StableStrings values_;
   std::unordered_map<std::string, ValueId> index_;
 };
 

@@ -8,7 +8,14 @@
 // index), and the common predicate shapes ([@a op lit], [name op lit],
 // [name/@a op lit], and their existence forms) are answered from the
 // secondary indexes when the index's cost gate accepts, falling back
-// to the scan path otherwise. The index describes ONE specific store —
+// to the scan path otherwise. Accepted probes are memoized inside the
+// IndexManager — qname/path materializations AND value/attr probe
+// results, keyed by (qname, op, operand) — so a repeat of the same
+// step or predicate with no intervening commit touching its keys pays
+// a hash lookup + copy, not a re-collect + re-swizzle; the planner can
+// therefore keep probing the same shapes without a warm-up penalty,
+// and the gate re-checks the cached candidate count against the
+// caller's current scan estimate. The index describes ONE specific store —
 // only pass it together with that store (the committed base); a
 // transaction clone must evaluate without it. With
 // IndexConfig::cross_check set, every accepted probe is replayed on

@@ -129,7 +129,10 @@ int main() {
       while (!stop.load(std::memory_order_acquire)) {
         for (const char* q :
              {"//item", "/r/list/item", "/r/list/item/v", "//list/itemx",
-              "//item[@k>500]", "//item[v='9']", "//aux/tag"}) {
+              "//item[@k>500]", "//item[v='9']", "//aux/tag",
+              // Value/attr probe plans under churn: memoized results
+              // must never outlive the commits that invalidate them.
+              "//item[v>='50']", "//item[@k]", "//aux[tag='x']"}) {
           auto res = db->Query(q);
           if (!res.ok()) {
             std::fprintf(stderr, "read failed: %s\n",
@@ -184,17 +187,45 @@ int main() {
     auto idx = db->Query(q);
     CHECK(idx.ok());
   }
+
+  // Abort storm over VALUE mutations, against a now-quiescent index:
+  // warm value-probe memo entries must survive aborted attribute/text
+  // rewrites untouched (aborts publish nothing), stay correct
+  // (cross-check verifies every re-probe), and keep serving hits
+  // without a single re-materialization.
+  const char* warm_queries[] = {"//item[v='9']", "//item[@k>500]",
+                                "//aux[tag='x']"};
+  for (const char* q : warm_queries) CHECK(db->Query(q).ok());
+  const auto warmed = db->IndexStats();
+  for (int i = 0; i < 30; ++i) {
+    auto txn = db->Begin();
+    CHECK(txn.ok());
+    (void)txn.value()->Update(Wrap(
+        "<xupdate:update select=\"/r/list/item[1]/@k\">junk"
+        "</xupdate:update>"
+        "<xupdate:update select=\"//tag\">junk</xupdate:update>"));
+    CHECK(txn.value()->Abort().ok());
+  }
+  for (const char* q : warm_queries) CHECK(db->Query(q).ok());
+  const auto rewarmed = db->IndexStats();
+  CHECK(rewarmed.publish_epoch == warmed.publish_epoch);
+  CHECK(rewarmed.memo_value_misses == warmed.memo_value_misses);
+  CHECK(rewarmed.memo_value_hits > warmed.memo_value_hits);
+  CHECK(rewarmed.cross_check_mismatches == 0);
+
   std::printf(
       "stress OK: %lld reads (%lld overlapping commits), %lld commits, "
       "publish_epoch %lld -> %lld, "
-      "structure_epoch %lld -> %lld, %lld memo hits\n",
+      "structure_epoch %lld -> %lld, %lld memo hits, "
+      "%lld value-memo hits\n",
       static_cast<long long>(reads.load()),
       static_cast<long long>(overlapped_reads.load()),
-      static_cast<long long>(final_stats.applied_commits),
+      static_cast<long long>(rewarmed.applied_commits),
       static_cast<long long>(initial.publish_epoch),
-      static_cast<long long>(final_stats.publish_epoch),
+      static_cast<long long>(rewarmed.publish_epoch),
       static_cast<long long>(initial.structure_epoch),
-      static_cast<long long>(final_stats.structure_epoch),
-      static_cast<long long>(final_stats.memo_hits));
+      static_cast<long long>(rewarmed.structure_epoch),
+      static_cast<long long>(rewarmed.memo_hits),
+      static_cast<long long>(rewarmed.memo_value_hits));
   return 0;
 }

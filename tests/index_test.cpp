@@ -52,10 +52,33 @@ TEST(ParseNumberTest, AcceptsStrictDecimals) {
   }
 }
 
+// Satellite audit: std::from_chars rejects an explicitly positive sign,
+// so ParseNumber must strip it (for the significand AND keep accepting
+// it in the exponent, where from_chars allows it) before converting —
+// otherwise "+42" silently falls back to lexicographic comparison on
+// every path. Locked down for each grammar position of '+'.
+TEST(ParseNumberTest, AcceptsExplicitPositiveSign) {
+  const std::pair<const char*, double> cases[] = {
+      {"+42", 42},    {"+0", 0},     {"+.5", 0.5},  {"+42.", 42},
+      {"+1e3", 1000}, {"1e+3", 1000}, {"+1e+3", 1000}, {"+0.25", 0.25},
+  };
+  for (const auto& [s, want] : cases) {
+    double got = -1;
+    EXPECT_TRUE(ParseNumber(s, &got)) << s;
+    EXPECT_DOUBLE_EQ(got, want) << s;
+  }
+  // A '+'-signed value must compare numerically, not lexicographically:
+  // as strings "+42" < "9" (' +' < '9'), as numbers 42 > 9.
+  EXPECT_TRUE(CompareValues("+42", CmpOp::kGt, "9"));
+  EXPECT_TRUE(CompareValues("+17", CmpOp::kEq, "17.0"));
+}
+
 TEST(ParseNumberTest, RejectsWhitespaceInfNanHex) {
   for (const char* bad :
        {"", " 3", "3 ", "\t3", "3\n", "inf", "-inf", "INF", "nan", "NaN",
-        "0x10", "1e", "e5", ".", "+", "-", "1.2.3", "12a"}) {
+        "0x10", "1e", "e5", ".", "+", "-", "1.2.3", "12a",
+        // The sign is optional but singular, and still needs digits.
+        "++1", "+-1", "-+1", "+e3", "+.", "+ 1", "+inf"}) {
     double out;
     EXPECT_FALSE(ParseNumber(bad, &out)) << "accepted: '" << bad << "'";
   }
@@ -74,7 +97,9 @@ TEST(ParseNumberTest, OverflowAndUnderflowAreDeterministic) {
       {"1e400", kInf},        {"-1e400", -kInf},
       {"+2e308", kInf},       {"123456789e400", kInf},
       {".5e400", kInf},       {"00012e308", kInf},
+      {"+1e400", kInf},       {"+.5e400", kInf},
       {"1e-400", 0.0},        {"-1e-400", -0.0},
+      {"+1e-400", 0.0},
       {"0.0000001e-320", 0.0}, {"0e99999", 0.0},
       {"1e308", 1e308},       {"1e-308", 1e-308},
       {"17", 17.0},
@@ -283,6 +308,55 @@ TEST(IndexManagerTest, RenameRekeysChildrenFromMergedBase) {
   EXPECT_EQ(*moved, want.value());
 }
 
+// Review regression: a transaction that renames an element AND
+// value-edits one of its element children leaves the child marked
+// kValue-only in the dirty set. The rename expansion must still
+// re-enqueue that child for a FULL refresh — a granular value pass
+// alone would leave its stale (old parent, self) path-index posting,
+// and renames never bump the structure epoch to flush it.
+TEST(IndexManagerTest, RenameRekeysValueDirtyChildren) {
+  auto store = BuildStore("<r><e><c>1</c><c>2</c></e></r>");
+  index::IndexManager idx(index::IndexConfig{});
+  idx.Rebuild(*store);
+  QnameId e = store->pools().FindQname("e");
+  QnameId c = store->pools().FindQname("c");
+  const int64_t big = 1 << 20;
+  ASSERT_EQ(idx.PathPairProbe(*store, e, c, big)->size(), 2u);
+
+  index::DeltaIndex delta;
+  store->AttachIndexDelta(&delta);
+  // Text-edit the first <c> ("1" -> "9"): dirties it kValue-only.
+  auto c_pres = xpath::EvaluatePath(*store, "//c");
+  ASSERT_TRUE(c_pres.ok());
+  PreId text = store->SkipHoles(c_pres.value()[0] + 1);
+  ASSERT_EQ(store->KindAt(text), NodeKind::kText);
+  ASSERT_TRUE(store->SetRef(text, store->pools().AddText("9")).ok());
+  EXPECT_EQ(delta.KindOf(store->NodeAt(c_pres.value()[0])),
+            index::DeltaIndex::kValue);
+  // Rename <e> -> <f> in the same transaction.
+  auto e_pre = xpath::EvaluatePath(*store, "//e");
+  ASSERT_TRUE(e_pre.ok());
+  QnameId f = store->pools().InternQname("f");
+  ASSERT_TRUE(store->SetRef(e_pre.value()[0], f).ok());
+  idx.ApplyDirty(*store, delta);
+  store->AttachIndexDelta(nullptr);
+
+  // BOTH children moved from (e, c) to (f, c) — including the one the
+  // transaction had only value-dirtied.
+  EXPECT_EQ(idx.PathPairProbe(*store, e, c, big)->size(), 0u);
+  auto moved = idx.PathPairProbe(*store, f, c, big);
+  ASSERT_NE(moved, nullptr);
+  auto want = xpath::EvaluatePath(*store, "/r/f/c");
+  ASSERT_TRUE(want.ok());
+  ASSERT_EQ(want.value().size(), 2u);
+  EXPECT_EQ(*moved, want.value());
+  // The value edit itself is reflected too.
+  std::vector<PreId> simple, rest;
+  ASSERT_TRUE(idx.ChildValueProbe(*store, c, CmpOp::kEq, "9", big, &simple,
+                                  &rest));
+  EXPECT_EQ(simple.size(), 1u);
+}
+
 TEST(IndexManagerTest, MemoServesRepeatedProbes) {
   auto store = BuildStore(kDoc);
   index::IndexManager idx(index::IndexConfig{});
@@ -296,6 +370,174 @@ TEST(IndexManagerTest, MemoServesRepeatedProbes) {
   auto s = idx.Stats();
   EXPECT_EQ(s.memo_misses, 1);
   EXPECT_EQ(s.memo_hits, 1);
+}
+
+// Tentpole: value and attribute probes are memoized like qname/path
+// materializations. Repeats with no intervening commit are served from
+// the per-shard memo; numeric-equality operands canonicalize, so two
+// spellings of the same number share one entry.
+TEST(IndexManagerTest, ValueMemoServesRepeatedProbes) {
+  auto store = BuildStore(kDoc);
+  index::IndexManager idx(index::IndexConfig{});
+  idx.Rebuild(*store);
+  QnameId n = store->pools().FindQname("n");
+  QnameId id = store->pools().FindQname("id");
+  QnameId p = store->pools().FindQname("p");
+  const int64_t big = 1 << 20;
+
+  std::vector<PreId> simple, rest;
+  ASSERT_TRUE(idx.ChildValueProbe(*store, n, CmpOp::kEq, "17", big, &simple,
+                                  &rest));
+  EXPECT_EQ(simple.size(), 1u);
+  // "17.0" parses to the same number: operand-class canonicalization
+  // makes it THE SAME memo key, so this is a hit, not a second miss.
+  ASSERT_TRUE(idx.ChildValueProbe(*store, n, CmpOp::kEq, "17.0", big,
+                                  &simple, &rest));
+  EXPECT_EQ(simple.size(), 1u);
+  {
+    auto s = idx.Stats();
+    EXPECT_EQ(s.memo_value_misses, 1);
+    EXPECT_EQ(s.memo_value_hits, 1);
+  }
+
+  // Range probes memoize on the raw literal (their dictionary range is
+  // lexicographic in the spelling).
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(idx.ChildValueProbe(*store, n, CmpOp::kGt, "4", big,
+                                    &simple, &rest));
+    EXPECT_EQ(simple.size(), 3u);
+  }
+  // Attribute owners and attribute values memoize too.
+  for (int i = 0; i < 2; ++i) {
+    auto owners = idx.AttrOwners(*store, id, big);
+    ASSERT_TRUE(owners.has_value());
+    EXPECT_EQ(owners->size(), 2u);
+    auto range = idx.AttrValueProbe(*store, p, CmpOp::kGe, "2", big);
+    ASSERT_TRUE(range.has_value());
+    EXPECT_EQ(range->size(), 2u);
+  }
+  auto s = idx.Stats();
+  EXPECT_EQ(s.memo_value_misses, 4);  // one per distinct probe
+  EXPECT_EQ(s.memo_value_hits, 4);    // one per repeat
+}
+
+// Tentpole: a value-only commit invalidates ONLY the dictionary keys it
+// touched. Untouched keys of the same tag, numeric-sidecar entries, and
+// qname postings materializations all stay warm across the commit.
+TEST(IndexManagerTest, ValueMemoInvalidatesPerTouchedKey) {
+  auto store = BuildStore(kDoc);
+  index::IndexManager idx(index::IndexConfig{});
+  idx.Rebuild(*store);
+  QnameId n = store->pools().FindQname("n");
+  QnameId c = store->pools().FindQname("c");
+  const int64_t big = 1 << 20;
+
+  std::vector<PreId> simple, rest;
+  // Warm: numeric-eq under <n>, string-eq "x" and "y" under <c>, and
+  // the qname materialization of <n>.
+  ASSERT_TRUE(idx.ChildValueProbe(*store, n, CmpOp::kEq, "17", big, &simple,
+                                  &rest));
+  ASSERT_TRUE(idx.ChildValueProbe(*store, c, CmpOp::kEq, "x", big, &simple,
+                                  &rest));
+  EXPECT_EQ(simple.size(), 1u);
+  ASSERT_TRUE(idx.ChildValueProbe(*store, c, CmpOp::kEq, "y", big, &simple,
+                                  &rest));
+  EXPECT_EQ(simple.size(), 1u);
+  const std::vector<PreId>* n_pres =
+      idx.ElementsByQname(*store, n, big);
+  ASSERT_NE(n_pres, nullptr);
+  const auto warm = idx.Stats();
+
+  // Value-only commit: rewrite the first <c>'s text "x" -> "q" through
+  // the store primitive, exactly as a transaction would.
+  index::DeltaIndex delta;
+  store->AttachIndexDelta(&delta);
+  auto c_pres = xpath::EvaluatePath(*store, "//c");
+  ASSERT_TRUE(c_pres.ok());
+  PreId text = store->SkipHoles(c_pres.value()[0] + 1);
+  ASSERT_EQ(store->KindAt(text), NodeKind::kText);
+  ASSERT_TRUE(store->SetRef(text, store->pools().AddText("q")).ok());
+  EXPECT_FALSE(delta.structural());
+  idx.ApplyDirty(*store, delta);
+  store->AttachIndexDelta(nullptr);
+
+  // Untouched keys are still warm: numeric-eq under <n> (different
+  // tag), "y" under <c> (same tag, untouched dictionary key), and the
+  // <n> postings materialization (same pointer — its bucket and the
+  // structure epoch are unchanged).
+  ASSERT_TRUE(idx.ChildValueProbe(*store, n, CmpOp::kEq, "17", big, &simple,
+                                  &rest));
+  EXPECT_EQ(simple.size(), 1u);
+  ASSERT_TRUE(idx.ChildValueProbe(*store, c, CmpOp::kEq, "y", big, &simple,
+                                  &rest));
+  EXPECT_EQ(simple.size(), 1u);
+  EXPECT_EQ(idx.ElementsByQname(*store, n, big), n_pres);
+  {
+    auto s = idx.Stats();
+    EXPECT_EQ(s.memo_value_misses, warm.memo_value_misses);
+    EXPECT_EQ(s.memo_value_hits, warm.memo_value_hits + 2);
+    EXPECT_EQ(s.memo_misses, warm.memo_misses);
+    EXPECT_EQ(s.structure_epoch, warm.structure_epoch);
+  }
+  // The touched keys re-derive: "x" is gone, "q" is found.
+  ASSERT_TRUE(idx.ChildValueProbe(*store, c, CmpOp::kEq, "x", big, &simple,
+                                  &rest));
+  EXPECT_TRUE(simple.empty());
+  ASSERT_TRUE(idx.ChildValueProbe(*store, c, CmpOp::kEq, "q", big, &simple,
+                                  &rest));
+  EXPECT_EQ(simple.size(), 1u);
+  EXPECT_GT(idx.Stats().memo_value_misses, warm.memo_value_misses);
+}
+
+// Satellite regression: replacing an attribute's value must invalidate
+// BOTH the old and the new value-dictionary keys — not just re-derive
+// the owner — while sibling keys of the same attribute stay warm.
+TEST(IndexManagerTest, AttrReplaceInvalidatesOldAndNewValueKeys) {
+  auto store = BuildStore(kDoc);
+  index::IndexManager idx(index::IndexConfig{});
+  idx.Rebuild(*store);
+  QnameId id = store->pools().FindQname("id");
+  const int64_t big = 1 << 20;
+
+  // Warm the old value, the future value (exact empty), an unrelated
+  // sibling key, and the owner list.
+  EXPECT_EQ(idx.AttrValueProbe(*store, id, CmpOp::kEq, "a1", big)->size(),
+            1u);
+  EXPECT_EQ(idx.AttrValueProbe(*store, id, CmpOp::kEq, "zz", big)->size(),
+            0u);
+  EXPECT_EQ(idx.AttrValueProbe(*store, id, CmpOp::kEq, "a2", big)->size(),
+            1u);
+  EXPECT_EQ(idx.AttrOwners(*store, id, big)->size(), 2u);
+  const auto warm = idx.Stats();
+
+  // Replace @id on the first <a>: "a1" -> "zz", marked the way the
+  // store primitive marks it (attr-only dirt on the owner).
+  index::DeltaIndex delta;
+  store->AttachIndexDelta(&delta);
+  auto a_pres = xpath::EvaluatePath(*store, "//a");
+  ASSERT_TRUE(a_pres.ok());
+  NodeId owner = store->NodeAt(a_pres.value()[0]);
+  store->SetAttrNamed(owner, id, store->pools().AddProp("zz"));
+  EXPECT_EQ(delta.KindOf(owner), index::DeltaIndex::kAttrs);
+  idx.ApplyDirty(*store, delta);
+  store->AttachIndexDelta(nullptr);
+
+  // Probing the OLD value after commit must see the removal, and the
+  // new value must be found — both keys' generations moved.
+  EXPECT_EQ(idx.AttrValueProbe(*store, id, CmpOp::kEq, "a1", big)->size(),
+            0u);
+  EXPECT_EQ(idx.AttrValueProbe(*store, id, CmpOp::kEq, "zz", big)->size(),
+            1u);
+  // The sibling key "a2" is untouched and stays warm — and so does
+  // the owner list: a value replacement leaves the owner set
+  // byte-identical, so its pre-commit generation is restored.
+  EXPECT_EQ(idx.AttrValueProbe(*store, id, CmpOp::kEq, "a2", big)->size(),
+            1u);
+  EXPECT_EQ(idx.AttrOwners(*store, id, big)->size(), 2u);
+  auto s = idx.Stats();
+  EXPECT_EQ(s.memo_value_hits, warm.memo_value_hits + 2);  // a2 + owners
+  EXPECT_EQ(s.memo_value_misses, warm.memo_value_misses + 2);
+  EXPECT_EQ(s.structure_epoch, warm.structure_epoch);
 }
 
 TEST(IndexManagerTest, CostGateDeclinesUnselectiveProbes) {
@@ -379,6 +621,31 @@ TEST(IndexedQueryTest, MatchesReferenceOnXmark) {
   EXPECT_GT(stats.path_hits, 0);        // chain prefixes answered
   EXPECT_GT(stats.child_step_hits, 0);  // child-axis steps answered
   EXPECT_EQ(stats.cross_check_mismatches, 0);
+}
+
+// Satellite regression through the full Database stack: replace an
+// attribute value, then probe the OLD value after commit with
+// cross-check on — a stale old-value dictionary key (or a stale memo
+// entry for it) would diverge from the scan and fail the query.
+TEST(IndexedQueryTest, AttrReplacementOldValueProbeStaysExact) {
+  auto db_or = Database::CreateFromXml(kDoc, CrossCheckedOptions());
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(db_or).value();
+
+  // Warm both value keys' memo entries before the replacement.
+  ASSERT_EQ(db->Query("//a[@id='a1']").value().size(), 1u);
+  ASSERT_EQ(db->Query("//a[@id='zz']").value().size(), 0u);
+
+  ASSERT_TRUE(db->Update(
+                    "<xupdate:modifications version=\"1.0\" "
+                    "xmlns:xupdate=\"http://www.xmldb.org/xupdate\">"
+                    "<xupdate:update select=\"//a[1]/@id\">zz"
+                    "</xupdate:update></xupdate:modifications>")
+                  .ok());
+
+  EXPECT_EQ(db->Query("//a[@id='a1']").value().size(), 0u);
+  EXPECT_EQ(db->Query("//a[@id='zz']").value().size(), 1u);
+  EXPECT_EQ(db->IndexStats().cross_check_mismatches, 0);
 }
 
 // Cross-check failures must say WHICH step diverged and which node ids
@@ -490,6 +757,32 @@ TEST(IndexAbortTest, AbortStormKeepsEpochAndMemoryBounded) {
     return static_cast<int64_t>(r.value().size());
   };
   EXPECT_EQ(after.node_states, count_elems());
+
+  // Satellite: aborted transactions that staged VALUE mutations must
+  // leave warm value-probe memo entries intact and correct — nothing
+  // published means nothing invalidated.
+  const char* warm_queries[] = {"//a[@id='zz']", "//b[c='z']",
+                                "//c[@p>='2']"};
+  for (const char* q : warm_queries) ASSERT_TRUE(db->Query(q).ok());
+  const auto warmed = db->IndexStats();
+  for (int i = 0; i < 25; ++i) {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn.ok());
+    auto stats = txn.value()->Update(doc);  // attr rewrite + append
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    ASSERT_TRUE(txn.value()->Abort().ok());
+  }
+  for (const char* q : warm_queries) {
+    auto res = db->Query(q);  // cross-check mode verifies correctness
+    ASSERT_TRUE(res.ok()) << q << ": " << res.status().ToString();
+  }
+  const auto rewarmed = db->IndexStats();
+  EXPECT_EQ(rewarmed.publish_epoch, warmed.publish_epoch);
+  // Every value probe was served from the still-valid memo: hits grew,
+  // misses did not.
+  EXPECT_EQ(rewarmed.memo_value_misses, warmed.memo_value_misses);
+  EXPECT_GT(rewarmed.memo_value_hits, warmed.memo_value_hits);
+  EXPECT_EQ(rewarmed.cross_check_mismatches, 0);
 }
 
 // A scan-vs-index smoke check with a deliberately enormous margin: a
