@@ -455,8 +455,8 @@ void BM_AttrOwnersProbeWarm(benchmark::State& state) {
 }
 BENCHMARK(BM_AttrOwnersProbeWarm)->DenseRange(0, 2);
 
-// Multi-step path prefix (/a/b/c/d/e): one path-index pair probe + an
-// ancestor-chain verification per candidate, vs stepwise child walks.
+// Multi-step path prefix (/a/b/c/d/e) via the path-chain cascade, vs
+// stepwise child walks.
 constexpr const char* kChainQuery =
     "/site/open_auctions/open_auction/bidder/increase";
 
@@ -471,6 +471,61 @@ void BM_PathPrefixIndexed(benchmark::State& state) {
            /*use_index=*/true);
 }
 BENCHMARK(BM_PathPrefixIndexed)->DenseRange(0, 2);
+
+// Deep-path cascade shootout: pairwise (path_chain_depth = 2, the PR 2
+// plan — one probe per level) vs depth-3 chains (the default — each
+// probe consumes two levels). For the depth-5 XMark chain query that
+// is 4 vs 2 cascade probes; `cascade_probes` reports the measured
+// per-query probe count so the ceil((d-1)/(k-1)) claim is visible in
+// the bench output, not just the latency delta.
+const IndexedFixture& DeepPathFixtureAt(int scale_idx, int chain_depth) {
+  static IndexedFixture fixtures[2][3];
+  IndexedFixture& f = fixtures[chain_depth == 2 ? 0 : 1][scale_idx];
+  if (!f.store) {
+    f.store = BuildUp(XmarkXml(kIndexScales[scale_idx]));
+    index::IndexConfig cfg;
+    cfg.gate_ratio = 0.5;
+    cfg.path_chain_depth = chain_depth;
+    f.index = std::make_unique<index::IndexManager>(cfg);
+    f.index->Rebuild(*f.store);
+  }
+  return f;
+}
+
+void DeepPathBench(benchmark::State& state, int chain_depth) {
+  const IndexedFixture& f =
+      DeepPathFixtureAt(static_cast<int>(state.range(0)), chain_depth);
+  xpath::Evaluator<storage::PagedStore> ev(*f.store, f.index.get());
+  auto path = xpath::ParsePath(kChainQuery).value();
+  const auto before = f.index->Stats();
+  int64_t results = 0;
+  for (auto _ : state) {
+    auto r = ev.Eval(path);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    results = static_cast<int64_t>(r.value().size());
+    benchmark::DoNotOptimize(r);
+  }
+  const auto after = f.index->Stats();
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["cascade_probes"] =
+      static_cast<double>(after.chain_probes + after.path_probes -
+                          before.chain_probes - before.path_probes) /
+      static_cast<double>(state.iterations());
+  ReportIndexCounters(state, f);
+}
+
+void BM_DeepPathPairwiseK2(benchmark::State& state) {
+  DeepPathBench(state, /*chain_depth=*/2);
+}
+BENCHMARK(BM_DeepPathPairwiseK2)->DenseRange(0, 2);
+
+void BM_DeepPathChainK3(benchmark::State& state) {
+  DeepPathBench(state, /*chain_depth=*/3);
+}
+BENCHMARK(BM_DeepPathChainK3)->DenseRange(0, 2);
 
 // Child-axis name step below a descendant step: `europe` elements are
 // found via postings, then `item` children via the child-step plan.

@@ -123,6 +123,9 @@ int main(int argc, char** argv) {
                 static_cast<long long>(ix.value_keys),
                 static_cast<long long>(ix.attr_value_keys),
                 static_cast<long long>(ix.bytes));
+    std::printf("path chains:    %lld keys, %lld postings (len > 2)\n",
+                static_cast<long long>(ix.chain_keys),
+                static_cast<long long>(ix.chain_postings));
     std::printf("index shards:   %lld (publish epoch %lld, structure "
                 "epoch %lld)\n",
                 static_cast<long long>(ix.shards),

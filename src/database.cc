@@ -17,6 +17,18 @@ bool ForcedCrossCheck() {
   const char* e = std::getenv("PXQ_FORCE_CROSS_CHECK");
   return e != nullptr && e[0] != '\0' && e[0] != '0';
 }
+
+/// PXQ_PATH_CHAIN_DEPTH=<k> overrides IndexConfig::path_chain_depth for
+/// every database in the process — the fuzz/bench CI legs A-B the
+/// pairwise (k=2) and chain (k>=3) cascades over the same suite without
+/// a rebuild. IndexManager clamps to its supported range.
+void ApplyIndexEnvOverrides(index::IndexConfig* cfg) {
+  if (ForcedCrossCheck()) cfg->cross_check = true;
+  if (const char* e = std::getenv("PXQ_PATH_CHAIN_DEPTH");
+      e != nullptr && e[0] != '\0') {
+    cfg->path_chain_depth = std::atoi(e);
+  }
+}
 }  // namespace
 
 std::string Database::SnapshotPath() const {
@@ -30,7 +42,7 @@ StatusOr<std::unique_ptr<Database>> Database::CreateFromXml(
     std::string_view xml, Options options) {
   auto db = std::unique_ptr<Database>(new Database());
   db->options_ = std::move(options);
-  if (ForcedCrossCheck()) db->options_.index.cross_check = true;
+  ApplyIndexEnvOverrides(&db->options_.index);
   PXQ_ASSIGN_OR_RETURN(storage::DenseDocument dense, storage::ShredXml(xml));
   PXQ_ASSIGN_OR_RETURN(
       std::unique_ptr<storage::PagedStore> store,
@@ -57,7 +69,7 @@ StatusOr<std::unique_ptr<Database>> Database::Open(Options options) {
   }
   auto db = std::unique_ptr<Database>(new Database());
   db->options_ = std::move(options);
-  if (ForcedCrossCheck()) db->options_.index.cross_check = true;
+  ApplyIndexEnvOverrides(&db->options_.index);
   PXQ_ASSIGN_OR_RETURN(
       db->store_,
       txn::TransactionManager::Recover(db->SnapshotPath(), db->WalPath()));

@@ -38,13 +38,17 @@ class Database {
     std::string name = "pxq";
     txn::TxnOptions txn;
     /// Secondary indexes (qname postings + value/attribute dictionaries
-    /// + the (parent, self) qname path index) consulted by
+    /// + the depth-k qname path-chain index) consulted by
     /// Query/QueryStrings; maintained through commits, rebuilt on
     /// Open(). Probes read sharded immutable snapshots lock-free;
-    /// `index.shards` tunes the shard count. Disable to always scan.
-    /// The environment variable PXQ_FORCE_CROSS_CHECK=1 overrides
-    /// `index.cross_check` to true for every database in the process
-    /// (CI leg: the whole suite runs with divergence detection on).
+    /// `index.shards` tunes the shard count and
+    /// `index.path_chain_depth` the chain depth k (deep absolute paths
+    /// cascade in ceil((d-1)/(k-1)) probes). Disable to always scan.
+    /// Environment overrides applied at Create/Open:
+    /// PXQ_FORCE_CROSS_CHECK=1 flips `index.cross_check` on for every
+    /// database in the process (CI leg: the whole suite runs with
+    /// divergence detection), and PXQ_PATH_CHAIN_DEPTH=<k> overrides
+    /// `index.path_chain_depth` (bench/CI A-B runs without a rebuild).
     index::IndexConfig index;
   };
 

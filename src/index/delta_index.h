@@ -28,6 +28,14 @@
 //           key comes from the index's reverse map, the new one from
 //           the merged base, so both dictionary keys' generations move
 //           and both memoized probes invalidate.
+//   kPath   the element's ANCESTOR tag chain changed (an ancestor
+//           within IndexConfig::path_chain_depth - 1 levels was
+//           renamed): only the path-chain keys need re-deriving — the
+//           node's own qname postings, value dictionary, and attribute
+//           entries are provably untouched, so their buckets (and warm
+//           memo entries) must survive. Set only commit-side by
+//           IndexManager::ApplyDirty's rename expansion, never by the
+//           store primitives.
 //
 // Dirtying rules (enforced in storage::PagedStore):
 //   insert subtree  -> every inserted node + the insertion parent (kAll)
@@ -66,7 +74,8 @@ class DeltaIndex {
     kEntry = 0x1,  // qname postings / path membership (or liveness)
     kValue = 0x2,  // string value (value dictionary + sidecar)
     kAttrs = 0x4,  // attribute owners/dictionaries
-    kAll = kEntry | kValue | kAttrs,
+    kPath = 0x8,   // ancestor tag chain (path-chain keys only)
+    kAll = kEntry | kValue | kAttrs | kPath,
   };
 
   void MarkDirty(NodeId node) { Mark(node, kAll); }

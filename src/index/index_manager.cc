@@ -66,16 +66,13 @@ Derived DeriveValue(const storage::PagedStore& store, PreId pre) {
   return d;
 }
 
-QnameId ParentQnameOf(const storage::PagedStore& store, PreId pre) {
-  PreId parent = store.ParentOf(pre);
-  return parent == kNullPre ? -1 : store.RefAt(parent);
-}
-
 }  // namespace
 
 IndexManager::IndexManager(IndexConfig config)
     : config_(config), nshards_(RoundShards(std::max(1, config.shards))) {
   config_.shards = nshards_;
+  config_.path_chain_depth =
+      std::clamp(config_.path_chain_depth, 2, kMaxChainDepth);
   shards_ = std::make_unique<Shard[]>(static_cast<size_t>(nshards_));
   owned_snaps_.resize(static_cast<size_t>(nshards_));
   for (int i = 0; i < nshards_; ++i) {
@@ -155,8 +152,8 @@ IndexManager::AttrBucket* IndexManager::MutableAttrs(
 }
 
 IndexManager::Postings* IndexManager::MutablePaths(
-    std::vector<ShardBuilder>& bs, QnameId self_qn, uint64_t key) {
-  ShardBuilder& b = BuilderFor(bs, self_qn);  // path keys shard by self qname
+    std::vector<ShardBuilder>& bs, const ChainKey& key) {
+  ShardBuilder& b = BuilderFor(bs, key.qn[0]);  // chains shard by self qname
   auto it = b.path.find(key);
   if (it == b.path.end()) {
     auto cur = b.next->paths.find(key);
@@ -167,6 +164,43 @@ IndexManager::Postings* IndexManager::MutablePaths(
     it = b.path.emplace(key, std::move(fresh)).first;
   }
   return it->second.get();
+}
+
+std::array<QnameId, IndexManager::kMaxChainDepth - 1> IndexManager::AncTagsOf(
+    const storage::PagedStore& store, PreId pre) const {
+  std::array<QnameId, kMaxChainDepth - 1> anc;
+  anc.fill(-1);
+  // AncestorChain returns root..parent; ancestor at distance i+1 is the
+  // (i+1)-th element from the back.
+  std::vector<PreId> chain = store.AncestorChain(pre);
+  const int depth = config_.path_chain_depth - 1;
+  for (int i = 0; i < depth && i < static_cast<int>(chain.size()); ++i) {
+    anc[static_cast<size_t>(i)] =
+        store.RefAt(chain[chain.size() - 1 - static_cast<size_t>(i)]);
+  }
+  return anc;
+}
+
+void IndexManager::AddChainEntries(std::vector<ShardBuilder>& bs, NodeId node,
+                                   const NodeState& st) {
+  ChainKey key;
+  key.qn[0] = st.qn;
+  for (int len = 2; len <= config_.path_chain_depth; ++len) {
+    key.qn[static_cast<size_t>(len - 1)] = st.anc[static_cast<size_t>(len - 2)];
+    key.len = static_cast<uint8_t>(len);
+    SortedInsert(&MutablePaths(bs, key)->nodes, node);
+  }
+}
+
+void IndexManager::RemoveChainEntries(std::vector<ShardBuilder>& bs,
+                                      NodeId node, const NodeState& st) {
+  ChainKey key;
+  key.qn[0] = st.qn;
+  for (int len = 2; len <= config_.path_chain_depth; ++len) {
+    key.qn[static_cast<size_t>(len - 1)] = st.anc[static_cast<size_t>(len - 2)];
+    key.len = static_cast<uint8_t>(len);
+    SortedErase(&MutablePaths(bs, key)->nodes, node);
+  }
 }
 
 void IndexManager::AddValueEntry(ValueBucket* vb,
@@ -276,13 +310,13 @@ void IndexManager::RemoveAttrEntries(std::vector<ShardBuilder>& bs,
 
 void IndexManager::AddNode(std::vector<ShardBuilder>& bs,
                            const storage::PagedStore& store, NodeId node,
-                           PreId pre, QnameId parent_qn) {
+                           PreId pre,
+                           const std::array<QnameId, kMaxChainDepth - 1>& anc) {
   NodeState st;
   st.qn = store.RefAt(pre);
-  st.parent_qn = parent_qn;
+  st.anc = anc;
   SortedInsert(&MutablePostings(bs, st.qn)->nodes, node);
-  SortedInsert(&MutablePaths(bs, st.qn, PathKeyOf(parent_qn, st.qn))->nodes,
-               node);
+  AddChainEntries(bs, node, st);
   AddValueEntry(MutableValues(bs, st.qn), store, node, pre, &st);
   AddAttrEntries(bs, store, node, &st);
   node_state_[node] = std::move(st);
@@ -294,8 +328,7 @@ void IndexManager::RemoveNode(std::vector<ShardBuilder>& bs, NodeId node) {
   const NodeState& st = it->second;
 
   SortedErase(&MutablePostings(bs, st.qn)->nodes, node);
-  SortedErase(&MutablePaths(bs, st.qn, PathKeyOf(st.parent_qn, st.qn))->nodes,
-              node);
+  RemoveChainEntries(bs, node, st);
   RemoveValueEntry(MutableValues(bs, st.qn), node, st);
   RemoveAttrEntries(bs, node, st);
   node_state_.erase(it);
@@ -383,8 +416,16 @@ void IndexManager::Rebuild(const storage::PagedStore& store) {
     for (PreId p = store.SkipHoles(0); p < end; p = store.SkipHoles(p + 1)) {
       while (!stack.empty() && p > stack.back().end) stack.pop_back();
       if (store.KindAt(p) != NodeKind::kElement) continue;
-      const QnameId parent_qn = stack.empty() ? -1 : stack.back().qn;
-      AddNode(bs, store, store.NodeAt(p), p, parent_qn);
+      // The enclosing-element stack IS the ancestor chain: the nearest
+      // k-1 tags come off its back, no per-node store walk.
+      std::array<QnameId, kMaxChainDepth - 1> anc;
+      anc.fill(-1);
+      const int depth = config_.path_chain_depth - 1;
+      for (int i = 0; i < depth && i < static_cast<int>(stack.size()); ++i) {
+        anc[static_cast<size_t>(i)] =
+            stack[stack.size() - 1 - static_cast<size_t>(i)].qn;
+      }
+      AddNode(bs, store, store.NodeAt(p), p, anc);
       stack.push_back({p + store.SizeAt(p), store.RefAt(p)});
     }
   }
@@ -415,17 +456,30 @@ void IndexManager::ApplyDirty(const storage::PagedStore& store,
     auto st = node_state_.find(n);
     const bool known = st != node_state_.end();
 
-    // Granular path for value-/attr-only dirt: the node's postings and
-    // path entries are provably unchanged, so leave those buckets (and
-    // every warm memo entry sourced from them) alone and refresh just
-    // the value/attribute side. Falls through to the full path on any
-    // surprise (unknown node, vanished node, rival rename) — the full
-    // re-derive is always correct, just coarser.
+    // Granular path for value-/attr-/chain-only dirt: the node's qname
+    // postings membership is provably unchanged, so leave that bucket
+    // (and every warm memo entry sourced from it) alone and refresh
+    // just the sides the kind mask names. Falls through to the full
+    // path on any surprise (unknown node, vanished node, rival
+    // rename) — the full re-derive is always correct, just coarser.
     if ((kind & DeltaIndex::kEntry) == 0 && known &&
         store.PosOfNode(n) != kNullPos) {
       auto gpre = store.PreOfNode(n);
       if (gpre.ok() && store.KindAt(gpre.value()) == NodeKind::kElement &&
           store.RefAt(gpre.value()) == st->second.qn) {
+        if ((kind & DeltaIndex::kPath) != 0) {
+          // An ancestor within k-1 levels was renamed: re-key the
+          // chain entries from the merged base. Skipped when the
+          // recomputed ancestor tags match the reverse map — a
+          // duplicate expansion (nested renames) must not bump bucket
+          // generations and shoot down warm chain memos for nothing.
+          auto anc = AncTagsOf(store, gpre.value());
+          if (anc != st->second.anc) {
+            RemoveChainEntries(bs, n, st->second);
+            st->second.anc = anc;
+            AddChainEntries(bs, n, st->second);
+          }
+        }
         if ((kind & DeltaIndex::kValue) != 0) {
           ValueBucket* vb = MutableValues(bs, st->second.qn);
           RemoveValueEntry(vb, n, st->second);
@@ -465,12 +519,12 @@ void IndexManager::ApplyDirty(const storage::PagedStore& store,
     }
 
     // Detect renames against the reverse map BEFORE removal: the
-    // transaction marks only the renamed node, but the (parent, self)
-    // path keys of its element children changed with it. Enumerating
-    // those children from the MERGED base (not the transaction's
-    // clone) keeps concurrent commits convergent — a child inserted by
-    // a rival commit is re-keyed here even though the renamer's clone
-    // never saw it.
+    // transaction marks only the renamed node, but the chain keys of
+    // every element descendant within k-1 levels changed with it.
+    // Enumerating that neighborhood from the MERGED base (not the
+    // transaction's clone) keeps concurrent commits convergent — a
+    // descendant inserted by a rival commit is re-keyed here even
+    // though the renamer's clone never saw it.
     QnameId old_qn = -1;
     if (known) old_qn = st->second.qn;
     RemoveNode(bs, n);
@@ -479,22 +533,36 @@ void IndexManager::ApplyDirty(const storage::PagedStore& store,
     if (!pre.ok()) continue;
     if (store.KindAt(pre.value()) != NodeKind::kElement) continue;
     if (known && old_qn != store.RefAt(pre.value())) {
-      const PreId end = pre.value() + store.SizeAt(pre.value());
-      for (PreId c = store.SkipHoles(pre.value() + 1); c <= end;
-           c = store.SkipHoles(c + store.SizeAt(c) + 1)) {
-        if (store.KindAt(c) != NodeKind::kElement) continue;
-        // Re-enqueue with kAll even when the child is already in the
-        // dirty set: its own mark may be kValue/kAttrs-only (e.g. the
-        // same transaction rewrote its text), and a granular pass —
-        // before or after this point — leaves its (parent, self) path
-        // key stale. A second full pass is idempotent (re-derivation
-        // is a pure function of the merged base) and cannot recurse:
-        // after it, the child's reverse-map qname matches the store.
-        work.push_back(store.NodeAt(c));
-        kinds.push_back(DeltaIndex::kAll);  // path re-key: full refresh
+      // Re-enqueue the k-1-deep element neighborhood with kPath-only
+      // dirt: exactly the chain entries mention the renamed tag, so
+      // the descendants' postings/value/attr buckets (and their warm
+      // memos) must survive the re-key. Works regardless of the
+      // descendant's own marks or processing order — a kPath pass is
+      // idempotent (it re-derives the ancestor tags from the merged
+      // base and no-ops when they already match the reverse map), so
+      // duplicates from nested renames are cheap, and a descendant the
+      // same transaction also value-edited or renamed keeps its other
+      // kind bits on its own work item.
+      const int reach = config_.path_chain_depth - 1;
+      const PreId self = pre.value();
+      const PreId end = self + store.SizeAt(self);
+      const int32_t base_level = store.LevelAt(self);
+      for (PreId c = store.SkipHoles(self + 1); c <= end;) {
+        const bool is_elem = store.KindAt(c) == NodeKind::kElement;
+        const int32_t rel = store.LevelAt(c) - base_level;
+        if (is_elem && rel <= reach) {
+          work.push_back(store.NodeAt(c));
+          kinds.push_back(DeltaIndex::kPath);
+        }
+        if (is_elem && rel >= reach) {
+          // Deeper elements are out of chain reach: skip the subtree.
+          c = store.SkipHoles(c + store.SizeAt(c) + 1);
+        } else {
+          c = store.SkipHoles(c + 1);
+        }
       }
     }
-    AddNode(bs, store, n, pre.value(), ParentQnameOf(store, pre.value()));
+    AddNode(bs, store, n, pre.value(), AncTagsOf(store, pre.value()));
   }
   Publish(bs, delta.structural());
   maintenance_ops_ += static_cast<int64_t>(work.size());
@@ -546,12 +614,13 @@ const IndexManager::MemoEntry* IndexManager::PublishMemo(
   // commit window, which a read-only workload never opens. A full
   // table therefore stops admitting NEW value keys (existing keys may
   // still be refreshed in place: same map size), bounding both the
-  // retained chain and the per-insert copy cost. Qname/path keys are
-  // exempt: their space is bounded by the document's tag set, and
-  // MemoizedPres relies on publication to keep its returned pointer
-  // alive.
+  // retained chain and the per-insert copy cost. Qname/path/chain keys
+  // are exempt: their space is bounded by the document's tag
+  // structure, and MemoizedPres relies on publication to keep its
+  // returned pointer alive.
   const MemoEntry* raw = entry.get();
-  const bool value_ns = key.ns != MemoNs::kQname && key.ns != MemoNs::kPath;
+  const bool value_ns = key.ns != MemoNs::kQname &&
+                        key.ns != MemoNs::kPath && key.ns != MemoNs::kChain;
   const MemoTable* cur = shard.memo.load(std::memory_order_acquire);
   for (;;) {
     const bool fresh_key =
@@ -574,12 +643,9 @@ const IndexManager::MemoEntry* IndexManager::PublishMemo(
 }
 
 const std::vector<PreId>* IndexManager::MemoizedPres(
-    const Shard& shard, const storage::PagedStore& store, bool is_path,
-    uint64_t key, const Postings& src) const {
+    const Shard& shard, const storage::PagedStore& store, const MemoKey& mk,
+    const Postings& src) const {
   const uint64_t sepoch = structure_epoch_.load(std::memory_order_acquire);
-  MemoKey mk;
-  mk.ns = is_path ? MemoNs::kPath : MemoNs::kQname;
-  mk.key = key;
   if (const MemoEntry* e = LookupMemo(shard, mk);
       e != nullptr && e->src_gen == src.gen &&
       e->structure_epoch == sepoch) {
@@ -655,29 +721,62 @@ const std::vector<PreId>* IndexManager::ElementsByQname(
     return nullptr;
   }
   if (it == snap->postings.end()) return &kEmptyPres;
-  return MemoizedPres(shard, store, /*is_path=*/false,
-                      static_cast<uint64_t>(static_cast<uint32_t>(qn)),
-                      *it->second);
+  MemoKey mk;
+  mk.ns = MemoNs::kQname;
+  mk.key = static_cast<uint64_t>(static_cast<uint32_t>(qn));
+  return MemoizedPres(shard, store, mk, *it->second);
 }
 
 const std::vector<PreId>* IndexManager::PathPairProbe(
     const storage::PagedStore& store, QnameId parent_qn, QnameId self_qn,
     int64_t scan_cost) const {
-  if (!config_.enabled || self_qn < 0) return nullptr;
-  path_probes_.v.fetch_add(1, std::memory_order_relaxed);
-  const Shard& shard = shards_[ShardOf(self_qn)];
+  if (self_qn < 0) return nullptr;
+  return PathChainProbe(store, {parent_qn, self_qn}, scan_cost);
+}
+
+const std::vector<PreId>* IndexManager::PathChainProbe(
+    const storage::PagedStore& store, const std::vector<QnameId>& chain,
+    int64_t scan_cost) const {
+  const size_t len = chain.size();
+  if (!config_.enabled || len < 2 ||
+      len > static_cast<size_t>(config_.path_chain_depth)) {
+    return nullptr;
+  }
+  if (chain.back() < 0) return nullptr;  // self must be a real tag
+  const PaddedCounter& probes = len == 2 ? path_probes_ : chain_probes_;
+  const PaddedCounter& declines = len == 2 ? path_declines_ : chain_declines_;
+  probes.v.fetch_add(1, std::memory_order_relaxed);
+  // chain is in PATH order (farthest ancestor first); the key stores
+  // self first.
+  ChainKey key;
+  key.len = static_cast<uint8_t>(len);
+  for (size_t i = 0; i < len; ++i) key.qn[i] = chain[len - 1 - i];
+  const Shard& shard = shards_[ShardOf(key.qn[0])];
   const ShardSnapshot* snap = shard.snap.load(std::memory_order_acquire);
-  const uint64_t key = PathKeyOf(parent_qn, self_qn);
   auto it = snap->paths.find(key);
   const int64_t k = it == snap->paths.end()
                         ? 0
                         : static_cast<int64_t>(it->second->nodes.size());
   if (!Gate(k, scan_cost)) {
-    path_declines_.v.fetch_add(1, std::memory_order_relaxed);
+    declines.v.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   if (it == snap->paths.end()) return &kEmptyPres;
-  return MemoizedPres(shard, store, /*is_path=*/true, key, *it->second);
+  MemoKey mk;
+  if (len == 2) {
+    mk.ns = MemoNs::kPath;
+    mk.key = PackedPairOf(key);
+  } else {
+    // Longer chains carry the raw key bytes as the operand; the chain
+    // space is bounded by the document's tag structure, so these keys
+    // are exempt from the value-memo admission cap like qname/pair
+    // keys.
+    mk.ns = MemoNs::kChain;
+    mk.cls = OperandClass::kString;
+    mk.operand.assign(reinterpret_cast<const char*>(key.qn.data()),
+                      len * sizeof(QnameId));
+  }
+  return MemoizedPres(shard, store, mk, *it->second);
 }
 
 void IndexManager::CollectMatches(
@@ -779,17 +878,29 @@ bool IndexManager::ChildValueProbe(const storage::PagedStore& store,
   MemoKey mk;
   if (config_.memo_values) {
     mk = ValueMemoKey(MemoNs::kValue, qn, op, literal);
+    // Count-only (negative-cache) entries validate on generations
+    // alone: a candidate COUNT depends only on dictionary content,
+    // never on pre ranks, so structural commits that touched other
+    // keys leave a warm decline warm.
     if (const MemoEntry* e = LookupMemo(shard, mk);
         e != nullptr && e->src_gen == SourceGenFor(vb, mk) &&
-        e->aux_gen == vb.complex_gen && e->structure_epoch == sepoch) {
+        e->aux_gen == vb.complex_gen &&
+        (!e->materialized || e->structure_epoch == sepoch)) {
       if (!Gate(e->candidates, scan_cost)) {
+        // Warm decline: the gate ran off the cached count — no
+        // CollectMatches, no dictionary walk.
+        value_neg_hits_.v.fetch_add(1, std::memory_order_relaxed);
         probe_declines_.v.fetch_add(1, std::memory_order_relaxed);
         return false;
       }
-      memo_value_hits_.v.fetch_add(1, std::memory_order_relaxed);
-      *simple = e->pres;
-      *complex_rest = e->complex_pres;
-      return true;
+      if (e->materialized) {
+        memo_value_hits_.v.fetch_add(1, std::memory_order_relaxed);
+        *simple = e->pres;
+        *complex_rest = e->complex_pres;
+        return true;
+      }
+      // Count-only entry, but the caller's scan estimate now passes
+      // the gate: fall through and materialize.
     }
   }
   std::vector<NodeId> matches;
@@ -797,9 +908,20 @@ bool IndexManager::ChildValueProbe(const storage::PagedStore& store,
   const int64_t k = static_cast<int64_t>(matches.size()) +
                     static_cast<int64_t>(vb.complex_elems.size());
   if (!Gate(k, scan_cost)) {
-    // Declined probes are not memoized: nothing was materialized, and a
-    // repeat with the same scan estimate re-declines just as cheaply.
     probe_declines_.v.fetch_add(1, std::memory_order_relaxed);
+    if (config_.memo_values) {
+      // Negative cache (ROADMAP): remember the candidate count so the
+      // key's next warm decline skips CollectMatches entirely. The
+      // entry invalidates like any other when a commit re-stamps the
+      // key's generation.
+      auto entry = std::make_shared<MemoEntry>();
+      entry->src_gen = SourceGenFor(vb, mk);
+      entry->aux_gen = vb.complex_gen;
+      entry->structure_epoch = sepoch;
+      entry->candidates = k;
+      entry->materialized = false;
+      PublishMemo(shard, mk, std::move(entry));
+    }
     return false;
   }
   *simple = ToPres(store, matches);
@@ -873,15 +995,20 @@ std::optional<std::vector<PreId>> IndexManager::AttrValueProbe(
   MemoKey mk;
   if (config_.memo_values) {
     mk = ValueMemoKey(MemoNs::kAttrValue, qn, op, literal);
+    // Same negative-cache protocol as ChildValueProbe: count-only
+    // entries validate on the key generation alone.
     if (const MemoEntry* e = LookupMemo(shard, mk);
         e != nullptr && e->src_gen == SourceGenFor(ab, mk) &&
-        e->structure_epoch == sepoch) {
+        (!e->materialized || e->structure_epoch == sepoch)) {
       if (!Gate(e->candidates, scan_cost)) {
+        value_neg_hits_.v.fetch_add(1, std::memory_order_relaxed);
         probe_declines_.v.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
       }
-      memo_value_hits_.v.fetch_add(1, std::memory_order_relaxed);
-      return e->pres;
+      if (e->materialized) {
+        memo_value_hits_.v.fetch_add(1, std::memory_order_relaxed);
+        return e->pres;
+      }
     }
   }
   std::vector<NodeId> matches;
@@ -889,6 +1016,14 @@ std::optional<std::vector<PreId>> IndexManager::AttrValueProbe(
   const int64_t k = static_cast<int64_t>(matches.size());
   if (!Gate(k, scan_cost)) {
     probe_declines_.v.fetch_add(1, std::memory_order_relaxed);
+    if (config_.memo_values) {
+      auto entry = std::make_shared<MemoEntry>();
+      entry->src_gen = SourceGenFor(ab, mk);
+      entry->structure_epoch = sepoch;
+      entry->candidates = k;
+      entry->materialized = false;
+      PublishMemo(shard, mk, std::move(entry));
+    }
     return std::nullopt;
   }
   std::vector<PreId> pres = ToPres(store, matches);
@@ -915,6 +1050,10 @@ IndexStats IndexManager::Stats() const {
   s.path_probes = path_probes_.v.load(std::memory_order_relaxed);
   s.path_hits =
       s.path_probes - path_declines_.v.load(std::memory_order_relaxed);
+  s.chain_probes = chain_probes_.v.load(std::memory_order_relaxed);
+  s.chain_hits =
+      s.chain_probes - chain_declines_.v.load(std::memory_order_relaxed);
+  s.value_neg_hits = value_neg_hits_.v.load(std::memory_order_relaxed);
   s.child_step_hits = child_step_hits_.v.load(std::memory_order_relaxed);
   s.memo_hits = memo_hits_.v.load(std::memory_order_relaxed);
   s.memo_misses = memo_misses_.v.load(std::memory_order_relaxed);
@@ -945,13 +1084,19 @@ IndexStats IndexManager::Stats() const {
   for (const auto& owned : owned_snaps_) {
     const ShardSnapshot& snap = *owned;
     s.qname_keys += static_cast<int64_t>(snap.postings.size());
-    s.path_keys += static_cast<int64_t>(snap.paths.size());
     for (const auto& [qn, p] : snap.postings) {
       s.postings_entries += static_cast<int64_t>(p->nodes.size());
       bytes += static_cast<int64_t>(p->nodes.size()) * 8;
     }
     for (const auto& [key, p] : snap.paths) {
-      bytes += static_cast<int64_t>(p->nodes.size()) * 8 + 16;
+      if (key.len == 2) {
+        s.path_keys += 1;
+      } else {
+        s.chain_keys += 1;
+        s.chain_postings += static_cast<int64_t>(p->nodes.size());
+      }
+      bytes += static_cast<int64_t>(p->nodes.size()) * 8 +
+               static_cast<int64_t>(sizeof(ChainKey));
     }
     for (const auto& [qn, vbp] : snap.values) {
       const ValueBucket& vb = *vbp;

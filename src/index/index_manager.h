@@ -32,15 +32,24 @@
 //                       values (attribute values are atomic, so probes
 //                       are exact with no complex remainder).
 //
-//   4. Path index       (parent qname, self qname) chain key -> sorted
-//                       NodeId postings of every element whose tag and
-//                       parent tag match the pair. A multi-step
-//                       absolute path (/site/people/person) becomes a
-//                       cascade of pair probes staircase-merged level
-//                       by level — see xpath::Evaluator. Element
-//                       renames dirty the renamed node AND its element
-//                       children (their parent-qname key changed) —
-//                       see PagedStore::SetRef.
+//   4. Path index       qname *chain* key -> sorted NodeId postings of
+//                       every element whose tag and nearest-ancestor
+//                       tags match the chain. Chains of every length in
+//                       [2, IndexConfig::path_chain_depth] are indexed
+//                       (length 2 is the classic (parent, self) pair;
+//                       positions above the document root key as -1),
+//                       so a multi-step absolute path
+//                       (/site/people/person/...) becomes a cascade of
+//                       MAXIMAL chain probes — each probe consumes up
+//                       to k-1 steps instead of one, i.e.
+//                       ceil((d-1)/(k-1)) cascade levels for a d-step
+//                       path — see xpath::Evaluator. The trade-off is
+//                       rename fan-out: renaming an element re-keys
+//                       the chains of every element DESCENDANT within
+//                       k-1 levels; ApplyDirty expands that
+//                       neighborhood commit-side with kPath-only dirty
+//                       marks so the descendants' value/attr entries
+//                       (and their warm memos) survive the re-key.
 //
 // Postings store immutable NodeIds, not pre ranks: structural edits
 // shift pre values wholesale (within-page shifts, page stitching), but
@@ -70,8 +79,8 @@
 //   LIFETIME CONTRACT: probes must run either under the database's
 //   shared (read) lock, or while no Rebuild/ApplyDirty can run (e.g.
 //   a quiescent index in tests and benchmarks). Pointers returned by
-//   ElementsByQname / PathPairProbe stay valid until the next
-//   publication.
+//   ElementsByQname / PathPairProbe / PathChainProbe stay valid until
+//   the next publication.
 //
 //   Pre materializations are memoized per shard in a lock-free side
 //   table: readers CAS-publish a new table version whose predecessor
@@ -95,6 +104,7 @@
 #ifndef PXQ_INDEX_INDEX_MANAGER_H_
 #define PXQ_INDEX_INDEX_MANAGER_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -132,14 +142,23 @@ struct IndexConfig {
   /// re-swizzle on every probe, the pre-memo behavior — kept as a knob
   /// so benchmarks can measure the warm/cold gap directly.
   bool memo_values = true;
+  /// Path-chain key depth k (clamped to [2, 6]): chains of every length
+  /// in [2, k] are indexed, so the evaluator's cascade answers a d-step
+  /// absolute path in ceil((d-1)/(k-1)) probes instead of d-1. Higher k
+  /// = fewer cascade levels on deep paths, but (k-1) path entries per
+  /// element and a k-1-level descendant re-key fan-out on renames. 2
+  /// reproduces the pairwise (parent, self) index exactly.
+  int path_chain_depth = 3;
 };
 
 struct IndexStats {
   int64_t qname_keys = 0;        // distinct element tags indexed
   int64_t value_keys = 0;        // distinct (qname, string value) keys
   int64_t attr_value_keys = 0;   // distinct (attr qname, value) keys
-  int64_t path_keys = 0;         // distinct (parent qname, qname) keys
+  int64_t path_keys = 0;         // distinct (parent qname, qname) pair keys
+  int64_t chain_keys = 0;        // distinct chain keys of length > 2
   int64_t postings_entries = 0;  // NodeIds across qname postings
+  int64_t chain_postings = 0;    // NodeIds across length-(>2) chain buckets
   int64_t complex_entries = 0;   // elements excluded from the value index
   int64_t node_states = 0;       // reverse-map entries (== live elements)
   int64_t bytes = 0;             // rough structure footprint
@@ -148,13 +167,17 @@ struct IndexStats {
   int64_t applied_commits = 0;   // ApplyDirty calls (one per commit)
   int64_t probes = 0;            // planner consultations
   int64_t probe_hits = 0;        // probes the gate accepted
-  int64_t path_probes = 0;       // path-index (pair) consultations
-  int64_t path_hits = 0;         // accepted path-index probes
+  int64_t path_probes = 0;       // path-index pair (length-2) consultations
+  int64_t path_hits = 0;         // accepted pair probes
+  int64_t chain_probes = 0;      // chain (length > 2) consultations
+  int64_t chain_hits = 0;        // accepted chain probes
   int64_t child_step_hits = 0;   // child-axis name steps answered
   int64_t memo_hits = 0;         // qname/path materializations from memo
   int64_t memo_misses = 0;       // ... recomputed (cold or invalidated)
   int64_t memo_value_hits = 0;   // value/attr probes served from memo
   int64_t memo_value_misses = 0; // ... recomputed (cold or invalidated)
+  int64_t value_neg_hits = 0;    // warm declines served by the negative
+                                 // cache (no CollectMatches re-run)
   int64_t cross_check_mismatches = 0;
   // --- snapshot publication counters ---------------------------------
   int64_t shards = 0;            // configured shard count
@@ -207,10 +230,26 @@ class IndexManager {
 
   /// All elements tagged `self_qn` whose parent element is tagged
   /// `parent_qn` (path index), in document order. Pass parent_qn = -1
-  /// for root elements (no parent).
+  /// for root elements (no parent). Equivalent to a length-2
+  /// PathChainProbe.
   const std::vector<PreId>* PathPairProbe(const storage::PagedStore& store,
                                           QnameId parent_qn, QnameId self_qn,
                                           int64_t scan_cost) const;
+
+  /// Chain probe: all elements whose tag is `chain.back()` and whose
+  /// nearest ancestors carry the remaining tags in order (chain[0] is
+  /// the FARTHEST ancestor, at distance chain.size()-1; -1 entries
+  /// match "above the document root"). Supported lengths are
+  /// [2, config().path_chain_depth]; anything else declines. The
+  /// returned pres are NOT level-anchored — a /a/b/c plan must still
+  /// filter by level (and region-containment against survivors) on the
+  /// caller side, exactly like the pair cascade.
+  const std::vector<PreId>* PathChainProbe(const storage::PagedStore& store,
+                                           const std::vector<QnameId>& chain,
+                                           int64_t scan_cost) const;
+
+  /// Configured chain depth k (>= 2) after clamping.
+  int chain_depth() const { return config_.path_chain_depth; }
 
   /// Value probe for elements tagged `qn` whose string value satisfies
   /// (`op`, `literal`). Fills `simple` with exact matches and `complex`
@@ -250,12 +289,52 @@ class IndexManager {
     std::vector<NodeId> nodes;  // sorted
     uint64_t gen = 0;
   };
-  /// Path-index key: (parent qname, self qname) packed into 64 bits.
-  /// parent_qn = -1 (root) packs to 0xFFFFFFFF, which no interned qname
-  /// collides with.
-  static uint64_t PathKeyOf(QnameId parent_qn, QnameId self_qn) {
-    return (static_cast<uint64_t>(static_cast<uint32_t>(parent_qn)) << 32) |
-           static_cast<uint32_t>(self_qn);
+  /// Hard ceiling on the configurable chain depth: bounds the fixed
+  /// chain-key width and the per-element path-entry count (k-1).
+  static constexpr int kMaxChainDepth = 6;
+  /// Sentinel for chain-key slots beyond the key's length. Distinct
+  /// from -1, which is a REAL chain element ("above the document
+  /// root") so a root-anchored pair key (-1, self) stays probeable.
+  static constexpr QnameId kUnusedSlot = -2;
+
+  /// Path-index key: the element's own tag (qn[0]) plus its nearest
+  /// ancestors' tags outward (qn[1] = parent, qn[2] = grandparent, ...)
+  /// for `len` positions total; -1 marks positions above the document
+  /// root, kUnusedSlot pads beyond `len` so equality is a plain member
+  /// compare. One element owns k-1 keys (lengths 2..k), all sharded by
+  /// qn[0].
+  struct ChainKey {
+    std::array<QnameId, kMaxChainDepth> qn;
+    uint8_t len = 0;
+    ChainKey() { qn.fill(kUnusedSlot); }
+    bool operator==(const ChainKey& o) const {
+      return len == o.len && qn == o.qn;
+    }
+  };
+  struct ChainKeyHash {
+    size_t operator()(const ChainKey& k) const {
+      uint64_t h = 0x9e3779b97f4a7c15ULL ^ k.len;
+      for (int i = 0; i < k.len; ++i) {
+        h ^= static_cast<uint64_t>(static_cast<uint32_t>(k.qn[i])) +
+             0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+  /// The classic (parent, self) pair as a chain key of length 2.
+  static ChainKey PairKeyOf(QnameId parent_qn, QnameId self_qn) {
+    ChainKey k;
+    k.len = 2;
+    k.qn[0] = self_qn;
+    k.qn[1] = parent_qn;
+    return k;
+  }
+  /// Pair keys keep the PR 2 packed-64-bit memo key (allocation-free on
+  /// the hot tail-probe path); longer chains memoize in MemoNs::kChain
+  /// with the chain bytes as the operand.
+  static uint64_t PackedPairOf(const ChainKey& k) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(k.qn[1])) << 32) |
+           static_cast<uint32_t>(k.qn[0]);
   }
 
   /// Value-dictionary entry, generation-stamped like Postings: `gen`
@@ -303,7 +382,12 @@ class IndexManager {
   /// pre-edit store state. Writer-only (commit window).
   struct NodeState {
     QnameId qn = -1;
-    QnameId parent_qn = -1;  // path-index key component
+    /// Nearest-ancestor tags outward (anc[0] = parent, anc[1] =
+    /// grandparent, ...), -1 above the document root; only the first
+    /// path_chain_depth - 1 slots are meaningful. Together with `qn`
+    /// this reconstructs every chain key the node owns, so removal
+    /// never re-reads pre-edit store state.
+    std::array<QnameId, kMaxChainDepth - 1> anc{-1, -1, -1, -1, -1};
     bool simple = false;
     bool numeric = false;
     double num = 0;
@@ -318,7 +402,9 @@ class IndexManager {
     std::unordered_map<QnameId, std::shared_ptr<const Postings>> postings;
     std::unordered_map<QnameId, std::shared_ptr<const ValueBucket>> values;
     std::unordered_map<QnameId, std::shared_ptr<const AttrBucket>> attrs;
-    std::unordered_map<uint64_t, std::shared_ptr<const Postings>> paths;
+    std::unordered_map<ChainKey, std::shared_ptr<const Postings>,
+                       ChainKeyHash>
+        paths;
   };
 
   /// Heterogeneous memo key: one namespace per probe family sharing the
@@ -331,10 +417,11 @@ class IndexManager {
   /// number are NOT interchangeable).
   enum class MemoNs : uint8_t {
     kQname = 0,      // qname postings materialization
-    kPath = 1,       // (parent, self) path postings materialization
+    kPath = 1,       // (parent, self) pair postings materialization
     kValue = 2,      // ChildValueProbe results
     kAttrOwners = 3, // AttrOwners results
     kAttrValue = 4,  // AttrValueProbe results
+    kChain = 5,      // length-(>2) chain postings materialization
   };
   enum class OperandClass : uint8_t { kNone = 0, kString = 1, kNumeric = 2 };
   struct MemoKey {
@@ -380,6 +467,11 @@ class IndexManager {
     uint64_t aux_gen = 0;  // complex-list generation (kValue only)
     uint64_t structure_epoch = 0;
     int64_t candidates = 0;
+    /// Negative-cache entries (a gate decline) cache only `candidates`:
+    /// a warm repeat re-gates and declines without re-running
+    /// CollectMatches, but a repeat whose scan estimate now passes the
+    /// gate must re-materialize (pres were never built).
+    bool materialized = true;
     std::vector<PreId> pres;
     std::vector<PreId> complex_pres;  // kValue only
   };
@@ -394,8 +486,9 @@ class IndexManager {
   /// are user-controlled, the retained chain is only pruned at commit,
   /// and every insert copies the table — so a read-only flood of
   /// distinct literals must stop growing the memo once the table is
-  /// full (see PublishMemo). Qname/path keys are exempt and do not
-  /// count against the cap (their space is bounded by the tag set). A
+  /// full (see PublishMemo). Qname/path/chain keys are exempt and do
+  /// not count against the cap (their space is bounded by the
+  /// document's tag structure, not by user-supplied operands). A
   /// shard that hit the cap is reset wholesale in the next commit's
   /// exclusive window (PruneMemos), so memoization of new literals
   /// resumes — only a commitless workload keeps the full table, and
@@ -416,7 +509,8 @@ class IndexManager {
     std::unordered_map<QnameId, std::shared_ptr<Postings>> post;
     std::unordered_map<QnameId, std::shared_ptr<ValueBucket>> val;
     std::unordered_map<QnameId, std::shared_ptr<AttrBucket>> attr;
-    std::unordered_map<uint64_t, std::shared_ptr<Postings>> path;
+    std::unordered_map<ChainKey, std::shared_ptr<Postings>, ChainKeyHash>
+        path;
     bool touched = false;
   };
 
@@ -433,8 +527,7 @@ class IndexManager {
   Postings* MutablePostings(std::vector<ShardBuilder>& bs, QnameId qn);
   ValueBucket* MutableValues(std::vector<ShardBuilder>& bs, QnameId qn);
   AttrBucket* MutableAttrs(std::vector<ShardBuilder>& bs, QnameId qn);
-  Postings* MutablePaths(std::vector<ShardBuilder>& bs, QnameId self_qn,
-                         uint64_t key);
+  Postings* MutablePaths(std::vector<ShardBuilder>& bs, const ChainKey& key);
   // Value/attr entry maintenance, shared by the full node paths and the
   // granular kValue/kAttrs-only refreshes. Every dictionary/sidecar/
   // owner mutation stamps the touched generations from next_gen_.
@@ -448,7 +541,18 @@ class IndexManager {
                          const NodeState& st);
   void RemoveNode(std::vector<ShardBuilder>& bs, NodeId node);
   void AddNode(std::vector<ShardBuilder>& bs, const storage::PagedStore& store,
-               NodeId node, PreId pre, QnameId parent_qn);
+               NodeId node, PreId pre,
+               const std::array<QnameId, kMaxChainDepth - 1>& anc);
+  /// Insert/erase the node's chain keys (lengths 2..k) derived from
+  /// (st.qn, st.anc) — the shared piece of full re-derivation and the
+  /// granular kPath-only refresh.
+  void AddChainEntries(std::vector<ShardBuilder>& bs, NodeId node,
+                       const NodeState& st);
+  void RemoveChainEntries(std::vector<ShardBuilder>& bs, NodeId node,
+                          const NodeState& st);
+  /// Nearest-ancestor tags of `pre` outward, -1-padded (store walk).
+  std::array<QnameId, kMaxChainDepth - 1> AncTagsOf(
+      const storage::PagedStore& store, PreId pre) const;
   void Publish(std::vector<ShardBuilder>& bs, bool structural);
   void PruneMemos();
 
@@ -463,11 +567,11 @@ class IndexManager {
   const MemoEntry* LookupMemo(const Shard& shard, const MemoKey& key) const;
   const MemoEntry* PublishMemo(const Shard& shard, const MemoKey& key,
                                std::shared_ptr<const MemoEntry> entry) const;
-  /// Memoized pre materialization of one postings bucket, keyed in the
-  /// qname or the path namespace (`is_path`).
+  /// Memoized pre materialization of one postings bucket, keyed by the
+  /// caller-built MemoKey (qname, pair, or chain namespace).
   const std::vector<PreId>* MemoizedPres(const Shard& shard,
                                          const storage::PagedStore& store,
-                                         bool is_path, uint64_t key,
+                                         const MemoKey& mk,
                                          const Postings& src) const;
   /// Memo key for a value/attr probe over (qn, op, literal); fills the
   /// operand class (numeric equality canonicalizes to the double's bit
@@ -517,6 +621,9 @@ class IndexManager {
   PaddedCounter probe_declines_;
   PaddedCounter path_probes_;
   PaddedCounter path_declines_;
+  PaddedCounter chain_probes_;
+  PaddedCounter chain_declines_;
+  PaddedCounter value_neg_hits_;
   PaddedCounter child_step_hits_;
   PaddedCounter memo_hits_;
   PaddedCounter memo_misses_;

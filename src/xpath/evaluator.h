@@ -4,8 +4,10 @@
 //
 // When constructed with an index::IndexManager the evaluator plans
 // index-aware: descendant name steps, child-axis name steps, leading
-// multi-step absolute path prefixes (/site/people/person via the path
-// index), and the common predicate shapes ([@a op lit], [name op lit],
+// multi-step absolute path prefixes (/site/people/person/... via the
+// path-chain index: maximal depth-k chain probes, so a d-step prefix
+// costs ceil((d-1)/(k-1)) cascade levels instead of d-1 — see
+// IndexPathPrefix), and the common predicate shapes ([@a op lit], [name op lit],
 // [name/@a op lit], and their existence forms) are answered from the
 // secondary indexes when the index's cost gate accepts, falling back
 // to the scan path otherwise. Accepted probes are memoized inside the
@@ -611,15 +613,21 @@ class Evaluator {
     }
   }
 
-  /// Leading qname-chain prefix of an absolute path via the path index:
-  /// a cascade of (parent, self) pair probes staircase-merged level by
-  /// level — level i's candidates are pair postings kept only when they
-  /// lie in a level-(i-1) survivor's region exactly one level down,
-  /// which (the pair already fixes the parent TAG) pins their parent to
-  /// a survivor. No per-candidate ancestor walk. Consumes the longest
-  /// run of plain child-name steps (>= 2, no predicates). Returns false
-  /// when the index declines; on success *ctx holds the prefix result
-  /// and *consumed the step count.
+  /// Leading qname-chain prefix of an absolute path via the path-chain
+  /// index: a cascade of MAXIMAL chain probes. With chain depth k, the
+  /// leading probe consumes min(k, m) steps at once (its postings pin
+  /// the candidate's nearest min(k,m)-1 ancestor tags; anchoring to
+  /// the document root is a level filter — the only element at level 0
+  /// is the root, and the chain key fixes its tag). Each later probe
+  /// consumes up to k-1 more steps: its postings are kept only when
+  /// they lie in a survivor's region exactly t levels down, which (the
+  /// chain already fixes the intervening t-1 tags AND the anchor tag,
+  /// and same-level regions are disjoint) pins the candidate's
+  /// distance-t ancestor to a survivor. No per-candidate ancestor
+  /// walk; ceil((m-1)/(k-1)) probes for an m-step prefix. Consumes the
+  /// longest run of plain child-name steps (>= 2, no predicates).
+  /// Returns false when the index declines; on success *ctx holds the
+  /// prefix result and *consumed the step count.
   StatusOr<bool> IndexPathPrefix(const Path& path, std::vector<PreId>* ctx,
                                  size_t* consumed) const {
     if constexpr (kIndexable) {
@@ -642,24 +650,40 @@ class Evaluator {
       }
       std::vector<PreId> res;
       if (!missing) {
-        // Level 0: elements tagged q0 with no parent — the root or
-        // nothing. Gate against the document span (the scan
-        // alternative for an absolute step).
-        auto l0 = index_->PathPairProbe(store_, -1, qns[0],
-                                        store_.SizeAt(store_.Root()) + 1);
-        if (!l0) return false;
-        res = *l0;
-        for (size_t i = 1; i < m && !res.empty(); ++i) {
-          // Deeper levels gate against the surviving regions' span —
+        const auto k = static_cast<size_t>(index_->chain_depth());
+        // Leading probe: the longest chain that fits, gated against
+        // the document span (the scan alternative for an absolute
+        // step). Chain postings are not level-anchored, so keep only
+        // candidates at the absolute level the prefix demands — their
+        // whole ancestor chain up to the root is then pinned by the
+        // chain key.
+        const size_t l0 = std::min(k, m);
+        std::vector<QnameId> chain(qns.begin(),
+                                   qns.begin() + static_cast<long>(l0));
+        auto c0 = index_->PathChainProbe(store_, chain,
+                                         store_.SizeAt(store_.Root()) + 1);
+        if (!c0) return false;
+        const auto root_level = static_cast<int32_t>(l0) - 1;
+        for (PreId p : *c0) {
+          if (store_.LevelAt(p) == root_level) res.push_back(p);
+        }
+        size_t pos = l0;
+        while (pos < m && !res.empty()) {
+          // Deeper probes gate against the surviving regions' span —
           // the walk a scan of the REMAINING steps would actually do —
           // so an unselective tag deep in the chain falls back instead
-          // of materializing near-document-sized pair postings.
+          // of materializing near-document-sized chain postings. The
+          // chain re-anchors on the last consumed tag (overlap of 1),
+          // consuming up to k-1 new steps per probe.
+          const size_t t = std::min(k - 1, m - pos);
+          chain.assign(qns.begin() + static_cast<long>(pos - 1),
+                       qns.begin() + static_cast<long>(pos + t));
           int64_t span = 0;
           for (PreId c : res) span += store_.SizeAt(c) + 1;
-          auto li =
-              index_->PathPairProbe(store_, qns[i - 1], qns[i], span);
+          auto li = index_->PathChainProbe(store_, chain, span);
           if (!li) return false;
-          res = KeepChildrenOf(*li, res);
+          res = KeepDescendantsAtDepth(*li, res, static_cast<int32_t>(t));
+          pos += t;
         }
       }
       // A never-interned tag means no node matches the prefix: the
@@ -836,16 +860,27 @@ class Evaluator {
   /// `parents`: inside a parent's region, exactly one level below it.
   std::vector<PreId> KeepChildrenOf(const std::vector<PreId>& cand,
                                     const std::vector<PreId>& parents) const {
+    return KeepDescendantsAtDepth(cand, parents, 1);
+  }
+
+  /// Candidates (sorted pres) lying in some ancestor's region exactly
+  /// `depth` levels below it — the chain-cascade generalization of the
+  /// child filter. Two distinct elements at the same level can never
+  /// contain each other, so region + level containment identifies the
+  /// candidate's distance-`depth` ancestor uniquely among `parents`.
+  std::vector<PreId> KeepDescendantsAtDepth(
+      const std::vector<PreId>& cand, const std::vector<PreId>& parents,
+      int32_t depth) const {
     std::vector<PreId> out;
     for (PreId c : parents) {
       if (store_.KindAt(c) != NodeKind::kElement) continue;
       const PreId end = c + store_.SizeAt(c);
-      const int32_t child_level = store_.LevelAt(c) + 1;
+      const int32_t want_level = store_.LevelAt(c) + depth;
       // Parent regions may nest (arbitrary contexts), so each region
       // scans independently; Normalize dedups.
       for (auto it = std::upper_bound(cand.begin(), cand.end(), c);
            it != cand.end() && *it <= end; ++it) {
-        if (store_.LevelAt(*it) == child_level) out.push_back(*it);
+        if (store_.LevelAt(*it) == want_level) out.push_back(*it);
       }
     }
     Normalize(&out);

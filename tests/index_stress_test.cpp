@@ -88,7 +88,7 @@ int main() {
       for (int i = 0; i < kCommitsPerWriter; ++i) {
         const int v = w * 1000 + i;
         std::string body;
-        switch (i % 5) {
+        switch (i % 6) {
           case 0:
             body = "<xupdate:append select=\"/r/list\"><item k=\"" +
                    std::to_string(v) + "\"><v>" + std::to_string(v) +
@@ -105,9 +105,21 @@ int main() {
           case 3:
             body = "<xupdate:remove select=\"/r/list/item[2]\"/>";
             break;
-          default:  // rename an element with element children
+          case 4:  // rename an element with element children
             body = "<xupdate:rename select=\"/r/list/item[1]\">itemx"
                    "</xupdate:rename>";
+            break;
+          default:
+            // Chain-churn phase: flip-rename the INTERIOR <list>
+            // element while readers run depth-4 chain cascades below
+            // it — the k-deep descendant re-key (items at distance 1,
+            // <v> leaves at distance 2 with k=3) races lock-free chain
+            // probes and their memoized materializations.
+            body = (i % 2 == 0)
+                       ? "<xupdate:rename select=\"//list[1]\">listx"
+                         "</xupdate:rename>"
+                       : "<xupdate:rename select=\"//listx[1]\">list"
+                         "</xupdate:rename>";
             break;
         }
         if (i % 7 == 6) {
@@ -132,7 +144,10 @@ int main() {
               "//item[@k>500]", "//item[v='9']", "//aux/tag",
               // Value/attr probe plans under churn: memoized results
               // must never outlive the commits that invalidate them.
-              "//item[v>='50']", "//item[@k]", "//aux[tag='x']"}) {
+              "//item[v>='50']", "//item[@k]", "//aux[tag='x']",
+              // Depth-4 cascades under BOTH spellings of the flipping
+              // interior tag: chain probes race the k-deep re-key.
+              "/r/listx/item/v", "//listx/item"}) {
           auto res = db->Query(q);
           if (!res.ok()) {
             std::fprintf(stderr, "read failed: %s\n",

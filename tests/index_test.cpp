@@ -357,6 +357,328 @@ TEST(IndexManagerTest, RenameRekeysValueDirtyChildren) {
   EXPECT_EQ(simple.size(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Tentpole: configurable-depth path-chain index (k > 2)
+// ---------------------------------------------------------------------------
+
+// A depth-5 document exercising chains deeper than the pair index:
+// /site/a/b/c/d with fanout at every level.
+constexpr const char* kDeepDoc =
+    "<site>"
+    "<a><b><c><d>1</d><d>2</d></c><c><d>3</d></c></b>"
+    "<b><c><d>4</d></c></b></a>"
+    "<a><b><c><d>5</d></c></b></a>"
+    "<x><b><c><d>99</d></c></b></x>"  // same (b,c,d) chain, other root arm
+    "</site>";
+
+TEST(IndexManagerTest, ChainProbeMatchesScan) {
+  auto store = BuildStore(kDeepDoc);
+  index::IndexManager idx(index::IndexConfig{});  // default k = 3
+  ASSERT_EQ(idx.chain_depth(), 3);
+  idx.Rebuild(*store);
+  const int64_t big = 1 << 20;
+  QnameId a = store->pools().FindQname("a");
+  QnameId b = store->pools().FindQname("b");
+  QnameId c = store->pools().FindQname("c");
+  QnameId d = store->pools().FindQname("d");
+
+  // (b, c, d): every <d> under a <c> under a <b> — BOTH root arms.
+  auto pres = idx.PathChainProbe(*store, {b, c, d}, big);
+  ASSERT_NE(pres, nullptr);
+  auto want = xpath::EvaluatePath(*store, "//b/c/d");
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(*pres, want.value());
+  EXPECT_EQ(pres->size(), 6u);
+
+  // (a, b, c): excludes the <x> arm's <c>.
+  auto abc = idx.PathChainProbe(*store, {a, b, c}, big);
+  ASSERT_NE(abc, nullptr);
+  EXPECT_EQ(*abc, xpath::EvaluatePath(*store, "//a/b/c").value());
+
+  // A chain that never occurs is exactly empty; lengths outside
+  // [2, k] decline.
+  auto none = idx.PathChainProbe(*store, {c, b, d}, big);
+  ASSERT_NE(none, nullptr);
+  EXPECT_TRUE(none->empty());
+  EXPECT_EQ(idx.PathChainProbe(*store, {d}, big), nullptr);
+  EXPECT_EQ(idx.PathChainProbe(*store, {a, b, c, d}, big), nullptr);
+
+  auto s = idx.Stats();
+  EXPECT_EQ(s.chain_probes, 3);  // the len-3 probes (declines don't count)
+  EXPECT_EQ(s.chain_hits, 3);
+  EXPECT_GT(s.chain_keys, 0);
+  EXPECT_GT(s.chain_postings, 0);
+}
+
+// Acceptance: a depth-d absolute path is answered in
+// ceil((d-1)/(k-1)) cascade probes. d=5, k=3 -> 2 chain probes (and no
+// pair probes); the pairwise cascade (k=2) needs 4.
+TEST(IndexManagerTest, DeepPathCascadeProbeCount) {
+  auto store = BuildStore(kDeepDoc);
+  auto want = xpath::EvaluatePath(*store, "/site/a/b/c/d");
+  ASSERT_TRUE(want.ok());
+  ASSERT_EQ(want.value().size(), 5u);  // the <x> arm is excluded
+
+  {
+    index::IndexManager idx(index::IndexConfig{});  // k = 3
+    idx.Rebuild(*store);
+    auto res = xpath::EvaluatePath(*store, "/site/a/b/c/d", &idx);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.value(), want.value());
+    auto s = idx.Stats();
+    EXPECT_EQ(s.chain_probes, 2);  // ceil(4/2)
+    EXPECT_EQ(s.chain_hits, 2);
+    EXPECT_EQ(s.path_probes, 0);  // no pair-probe tail needed
+  }
+  {
+    index::IndexConfig cfg;
+    cfg.path_chain_depth = 2;  // pairwise: PR 2 behavior exactly
+    index::IndexManager idx(cfg);
+    idx.Rebuild(*store);
+    auto res = xpath::EvaluatePath(*store, "/site/a/b/c/d", &idx);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.value(), want.value());
+    auto s = idx.Stats();
+    EXPECT_EQ(s.path_probes, 4);  // one per level
+    EXPECT_EQ(s.chain_probes, 0);
+  }
+  {
+    index::IndexConfig cfg;
+    cfg.path_chain_depth = 5;  // whole path in ONE probe
+    index::IndexManager idx(cfg);
+    idx.Rebuild(*store);
+    auto res = xpath::EvaluatePath(*store, "/site/a/b/c/d", &idx);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.value(), want.value());
+    auto s = idx.Stats();
+    EXPECT_EQ(s.chain_probes, 1);
+    EXPECT_EQ(s.path_probes, 0);
+  }
+}
+
+// Deep-path rename fan-out: renaming an element re-keys the chain
+// entries of every element descendant within k-1 levels — from the
+// MERGED base, with a dirty set holding only the renamed node — while
+// descendants' value/attr buckets (and their warm memos) survive.
+TEST(IndexManagerTest, DeepRenameRekeysChainNeighborhood) {
+  auto store = BuildStore("<r><g><p><c>1</c><c>2</c></p></g></r>");
+  index::IndexManager idx(index::IndexConfig{});  // k = 3
+  idx.Rebuild(*store);
+  const int64_t big = 1 << 20;
+  QnameId r = store->pools().FindQname("r");
+  QnameId g = store->pools().FindQname("g");
+  QnameId p = store->pools().FindQname("p");
+  QnameId c = store->pools().FindQname("c");
+
+  ASSERT_EQ(idx.PathChainProbe(*store, {r, g, p}, big)->size(), 1u);
+  ASSERT_EQ(idx.PathChainProbe(*store, {g, p, c}, big)->size(), 2u);
+  // Warm a value probe under <c>: the rename below must NOT invalidate
+  // it (kPath-only re-key leaves the value bucket untouched).
+  std::vector<PreId> simple, rest;
+  ASSERT_TRUE(idx.ChildValueProbe(*store, c, CmpOp::kEq, "1", big, &simple,
+                                  &rest));
+  EXPECT_EQ(simple.size(), 1u);
+  const auto warm = idx.Stats();
+
+  // Rename <g> to <h> with a dirty set holding ONLY the renamed node.
+  auto g_pre = xpath::EvaluatePath(*store, "//g");
+  ASSERT_TRUE(g_pre.ok());
+  NodeId g_node = store->NodeAt(g_pre.value()[0]);
+  QnameId h = store->pools().InternQname("h");
+  ASSERT_TRUE(store->SetRef(g_pre.value()[0], h).ok());
+  index::DeltaIndex delta;
+  delta.MarkDirty(g_node);
+  idx.ApplyDirty(*store, delta);
+
+  // Distance-1 descendant <p>: pair AND chain keys moved.
+  EXPECT_EQ(idx.PathPairProbe(*store, g, p, big)->size(), 0u);
+  EXPECT_EQ(idx.PathPairProbe(*store, h, p, big)->size(), 1u);
+  EXPECT_EQ(idx.PathChainProbe(*store, {r, g, p}, big)->size(), 0u);
+  EXPECT_EQ(idx.PathChainProbe(*store, {r, h, p}, big)->size(), 1u);
+  // Distance-2 descendants <c>: chain keys moved (the pair (p, c) is
+  // untouched — its parent tag did not change).
+  EXPECT_EQ(idx.PathChainProbe(*store, {g, p, c}, big)->size(), 0u);
+  EXPECT_EQ(idx.PathChainProbe(*store, {h, p, c}, big)->size(), 2u);
+  EXPECT_EQ(idx.PathPairProbe(*store, p, c, big)->size(), 2u);
+
+  // The warm value probe under <c> survived the fan-out: served from
+  // memo, no re-materialization, same result.
+  ASSERT_TRUE(idx.ChildValueProbe(*store, c, CmpOp::kEq, "1", big, &simple,
+                                  &rest));
+  EXPECT_EQ(simple.size(), 1u);
+  auto s = idx.Stats();
+  EXPECT_EQ(s.memo_value_misses, warm.memo_value_misses);
+  EXPECT_EQ(s.memo_value_hits, warm.memo_value_hits + 1);
+  EXPECT_EQ(s.structure_epoch, warm.structure_epoch);  // rename: no shift
+
+  // End-to-end: the chain cascade sees the renamed path.
+  EXPECT_EQ(xpath::EvaluatePath(*store, "/r/h/p/c", &idx).value().size(),
+            2u);
+}
+
+// Same-transaction rename + descendant edit: the grandchild's own dirt
+// is kValue-only, the rename expansion adds kPath — both sides must
+// apply (new chain key AND new value), regardless of processing order.
+TEST(IndexManagerTest, RenameWithDescendantEditSameTxn) {
+  auto store = BuildStore("<r><g><p><c>1</c><c>2</c></p></g></r>");
+  index::IndexManager idx(index::IndexConfig{});  // k = 3
+  idx.Rebuild(*store);
+  const int64_t big = 1 << 20;
+  QnameId g = store->pools().FindQname("g");
+  QnameId p = store->pools().FindQname("p");
+  QnameId c = store->pools().FindQname("c");
+
+  index::DeltaIndex delta;
+  store->AttachIndexDelta(&delta);
+  // Text-edit the first <c> ("1" -> "9"): dirties it kValue-only.
+  auto c_pres = xpath::EvaluatePath(*store, "//c");
+  ASSERT_TRUE(c_pres.ok());
+  PreId text = store->SkipHoles(c_pres.value()[0] + 1);
+  ASSERT_EQ(store->KindAt(text), NodeKind::kText);
+  ASSERT_TRUE(store->SetRef(text, store->pools().AddText("9")).ok());
+  EXPECT_EQ(delta.KindOf(store->NodeAt(c_pres.value()[0])),
+            index::DeltaIndex::kValue);
+  // Rename the grandparent <g> -> <h> in the same transaction.
+  auto g_pre = xpath::EvaluatePath(*store, "//g");
+  ASSERT_TRUE(g_pre.ok());
+  QnameId h = store->pools().InternQname("h");
+  ASSERT_TRUE(store->SetRef(g_pre.value()[0], h).ok());
+  idx.ApplyDirty(*store, delta);
+  store->AttachIndexDelta(nullptr);
+
+  // Chain re-key applied to BOTH <c> grandchildren...
+  EXPECT_EQ(idx.PathChainProbe(*store, {g, p, c}, big)->size(), 0u);
+  EXPECT_EQ(idx.PathChainProbe(*store, {h, p, c}, big)->size(), 2u);
+  // ...and the value edit is visible.
+  std::vector<PreId> simple, rest;
+  ASSERT_TRUE(idx.ChildValueProbe(*store, c, CmpOp::kEq, "9", big, &simple,
+                                  &rest));
+  EXPECT_EQ(simple.size(), 1u);
+  ASSERT_TRUE(idx.ChildValueProbe(*store, c, CmpOp::kEq, "1", big, &simple,
+                                  &rest));
+  EXPECT_TRUE(simple.empty());
+}
+
+// Chain-memo per-bucket invalidation: a warm chain materialization
+// survives value-only commits on other keys, and invalidates exactly
+// when ITS bucket is re-keyed or pre ranks shift.
+TEST(IndexManagerTest, ChainMemoPerBucketInvalidation) {
+  auto store = BuildStore("<r><g><p><c>1</c></p></g><u>5</u></r>");
+  index::IndexManager idx(index::IndexConfig{});  // k = 3
+  idx.Rebuild(*store);
+  const int64_t big = 1 << 20;
+  QnameId r = store->pools().FindQname("r");
+  QnameId g = store->pools().FindQname("g");
+  QnameId p = store->pools().FindQname("p");
+  QnameId u = store->pools().FindQname("u");
+
+  const std::vector<PreId>* warm_ptr =
+      idx.PathChainProbe(*store, {r, g, p}, big);
+  ASSERT_NE(warm_ptr, nullptr);
+  ASSERT_EQ(warm_ptr->size(), 1u);
+  // Repeat: served from memo, same pointer.
+  EXPECT_EQ(idx.PathChainProbe(*store, {r, g, p}, big), warm_ptr);
+  const auto warm = idx.Stats();
+  EXPECT_GE(warm.memo_hits, 1);
+
+  // Value-only commit on an unrelated tag (<u>'s text): the chain
+  // bucket and the structure epoch are untouched, so the memoized
+  // materialization stays warm (same pointer).
+  {
+    index::DeltaIndex delta;
+    store->AttachIndexDelta(&delta);
+    auto u_pre = xpath::EvaluatePath(*store, "//u");
+    ASSERT_TRUE(u_pre.ok());
+    PreId text = store->SkipHoles(u_pre.value()[0] + 1);
+    ASSERT_TRUE(store->SetRef(text, store->pools().AddText("6")).ok());
+    EXPECT_FALSE(delta.structural());
+    idx.ApplyDirty(*store, delta);
+    store->AttachIndexDelta(nullptr);
+  }
+  EXPECT_EQ(idx.PathChainProbe(*store, {r, g, p}, big), warm_ptr);
+  EXPECT_EQ(idx.Stats().memo_misses, warm.memo_misses);
+
+  // Rename <g> -> <h>: the (r, g, p) bucket vanishes and (r, h, p)
+  // appears under a fresh generation — the stale materialization must
+  // not serve either probe.
+  {
+    index::DeltaIndex delta;
+    store->AttachIndexDelta(&delta);
+    auto g_pre = xpath::EvaluatePath(*store, "//g");
+    ASSERT_TRUE(g_pre.ok());
+    QnameId h = store->pools().InternQname("h");
+    ASSERT_TRUE(store->SetRef(g_pre.value()[0], h).ok());
+    idx.ApplyDirty(*store, delta);
+    store->AttachIndexDelta(nullptr);
+    EXPECT_EQ(idx.PathChainProbe(*store, {r, g, p}, big)->size(), 0u);
+    EXPECT_EQ(idx.PathChainProbe(*store, {r, h, p}, big)->size(), 1u);
+  }
+}
+
+// Satellite (ROADMAP): negative cache for declined value probes — a
+// warm decline is served from the cached candidate count without
+// re-running CollectMatches, and invalidates on the key's next dirty
+// commit.
+TEST(IndexManagerTest, NegativeCacheServesWarmDeclines) {
+  auto store = BuildStore(kDoc);
+  index::IndexManager idx(index::IndexConfig{});  // gate_ratio 0.5
+  idx.Rebuild(*store);
+  QnameId n = store->pools().FindQname("n");
+  std::vector<PreId> simple, rest;
+
+  // Tiny scan estimate: 1 candidate > 0.5 * 1 -> decline. The first
+  // decline collects matches (cold), the repeat is served negatively.
+  ASSERT_FALSE(idx.ChildValueProbe(*store, n, CmpOp::kEq, "17", 1, &simple,
+                                   &rest));
+  EXPECT_EQ(idx.Stats().value_neg_hits, 0);
+  ASSERT_FALSE(idx.ChildValueProbe(*store, n, CmpOp::kEq, "17", 1, &simple,
+                                   &rest));
+  EXPECT_EQ(idx.Stats().value_neg_hits, 1);
+
+  // A generous scan estimate upgrades the count-only entry to a real
+  // materialization (the cached count feeds the gate, then the probe
+  // materializes).
+  ASSERT_TRUE(idx.ChildValueProbe(*store, n, CmpOp::kEq, "17", 1 << 20,
+                                  &simple, &rest));
+  EXPECT_EQ(simple.size(), 1u);
+
+  // Dirty the key: rewrite the 17 to 18. The negative/warm entries for
+  // "17" must re-derive (the first post-commit decline is cold again).
+  index::DeltaIndex delta;
+  store->AttachIndexDelta(&delta);
+  auto pres = xpath::EvaluatePath(*store, "//a/n");
+  ASSERT_TRUE(pres.ok());
+  PreId seventeen = kNullPre;
+  for (PreId q : pres.value()) {
+    PreId text = store->SkipHoles(q + 1);
+    if (store->KindAt(text) == NodeKind::kText &&
+        store->pools().Text(store->RefAt(text)) == std::string("17")) {
+      seventeen = text;
+    }
+  }
+  ASSERT_NE(seventeen, kNullPre);
+  ASSERT_TRUE(store->SetRef(seventeen, store->pools().AddText("18")).ok());
+  idx.ApplyDirty(*store, delta);
+  store->AttachIndexDelta(nullptr);
+
+  const auto before = idx.Stats();
+  ASSERT_FALSE(idx.ChildValueProbe(*store, n, CmpOp::kEq, "18", 1, &simple,
+                                   &rest));  // cold: the new key
+  EXPECT_EQ(idx.Stats().value_neg_hits, before.value_neg_hits);
+  ASSERT_FALSE(idx.ChildValueProbe(*store, n, CmpOp::kEq, "18", 1, &simple,
+                                   &rest));  // warm again
+  EXPECT_EQ(idx.Stats().value_neg_hits, before.value_neg_hits + 1);
+
+  // Attribute probes share the protocol.
+  QnameId id = store->pools().FindQname("id");
+  ASSERT_FALSE(idx.AttrValueProbe(*store, id, CmpOp::kEq, "a2", 1)
+                   .has_value());
+  const auto a0 = idx.Stats().value_neg_hits;
+  ASSERT_FALSE(idx.AttrValueProbe(*store, id, CmpOp::kEq, "a2", 1)
+                   .has_value());
+  EXPECT_EQ(idx.Stats().value_neg_hits, a0 + 1);
+}
+
 TEST(IndexManagerTest, MemoServesRepeatedProbes) {
   auto store = BuildStore(kDoc);
   index::IndexManager idx(index::IndexConfig{});
@@ -566,6 +888,10 @@ TEST(IndexManagerTest, StatsReportStructure) {
   EXPECT_GT(s.value_keys, 0);
   EXPECT_GT(s.attr_value_keys, 0);
   EXPECT_EQ(s.path_keys, 5);          // (-,r) (r,a) (a,n) (r,b) (b,c)
+  // Default k = 3 adds one length-3 chain key per distinct tag chain:
+  // (r,-,-) (a,r,-) (n,a,r) (b,r,-) (c,b,r).
+  EXPECT_EQ(s.chain_keys, 5);
+  EXPECT_EQ(s.chain_postings, 10);    // every element owns one len-3 key
   EXPECT_EQ(s.node_states, 10);
   EXPECT_GT(s.bytes, 0);
   EXPECT_GE(s.build_micros, 0);
