@@ -541,6 +541,53 @@ void BM_ChildStepIndexed(benchmark::State& state) {
 }
 BENCHMARK(BM_ChildStepIndexed)->DenseRange(0, 2);
 
+// Compile-once plan cache: repeated evaluation of the SAME query text.
+// "Cold" is the per-call pipeline (parse + compile + execute every
+// iteration — what every query paid before the plan cache); "warm"
+// attaches a PlanCache, so after the first iteration every call is a
+// cache hit: pool-generation validation + executing the cached plan.
+// The acceptance bar is warm >= 2x cold on the depth-5 chain query at
+// the smallest scale (index 0), where the per-call parse + compile
+// overhead is visible; at larger scales result materialization
+// dominates both variants and the ratio tapers off.
+void BM_PlanCacheCold(benchmark::State& state) {
+  const IndexedFixture& f = IndexedAt(static_cast<int>(state.range(0)));
+  xpath::Evaluator<storage::PagedStore> ev(*f.store, f.index.get());
+  int64_t results = 0;
+  for (auto _ : state) {
+    auto r = ev.Eval(kChainQuery);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    results = static_cast<int64_t>(r.value().size());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["results"] = static_cast<double>(results);
+}
+BENCHMARK(BM_PlanCacheCold)->DenseRange(0, 2);
+
+void BM_PlanCacheWarm(benchmark::State& state) {
+  const IndexedFixture& f = IndexedAt(static_cast<int>(state.range(0)));
+  xpath::PlanCache cache;
+  xpath::Evaluator<storage::PagedStore> ev(*f.store, f.index.get(),
+                                           &cache);
+  int64_t results = 0;
+  for (auto _ : state) {
+    auto r = ev.Eval(kChainQuery);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    results = static_cast<int64_t>(r.value().size());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["plan_hits"] =
+      static_cast<double>(cache.stats().hits);
+}
+BENCHMARK(BM_PlanCacheWarm)->DenseRange(0, 2);
+
 // Concurrent probes over one shared index at the mid scale. PR 1
 // serialized every probe on a single IndexManager mutex (throughput
 // flatlined with threads); probes now acquire-load an immutable shard

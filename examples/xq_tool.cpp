@@ -3,9 +3,12 @@
 // against (here the file is a real database: updates are transactional,
 // not full rewrites).
 //
-//   xq query  <file.xml> <xpath>            print matching subtrees
+//   xq query  [--explain] <file.xml> <xpath>  print matching subtrees
 //   xq values <file.xml> <xpath>            print string/attribute values
 //   xq count  <file.xml> <xpath>            print match count
+//   xq explain <file.xml> <xpath>           print the compiled plan
+//                                           (operator list, strategies
+//                                           taken, cache hit/miss)
 //   xq update <file.xml> <xupdate.xml>      apply updates, print document
 //   xq stats  <file.xml>                    storage statistics
 #include <cstdio>
@@ -19,7 +22,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: xq query|values|count <file.xml> <xpath>\n"
+               "usage: xq query [--explain] <file.xml> <xpath>\n"
+               "       xq values|count|explain <file.xml> <xpath>\n"
                "       xq update <file.xml> <xupdate.xml>\n"
                "       xq stats <file.xml>\n");
   return 2;
@@ -39,9 +43,16 @@ bool ReadFile(const std::string& path, std::string* out) {
 int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   std::string cmd = argv[1];
+  bool explain = false;
+  int file_arg = 2;
+  if (cmd == "query" && std::string(argv[2]) == "--explain") {
+    explain = true;
+    file_arg = 3;
+    if (argc < 4) return Usage();
+  }
   std::string xml;
-  if (!ReadFile(argv[2], &xml)) {
-    std::fprintf(stderr, "cannot read %s\n", argv[2]);
+  if (!ReadFile(argv[file_arg], &xml)) {
+    std::fprintf(stderr, "cannot read %s\n", argv[file_arg]);
     return 1;
   }
   auto db_or = pxq::Database::CreateFromXml(xml);
@@ -53,11 +64,18 @@ int main(int argc, char** argv) {
   auto db = std::move(db_or).value();
 
   if (cmd == "query" || cmd == "count") {
-    if (argc != 4) return Usage();
-    auto nodes = db->Query(argv[3]);
+    if (argc != file_arg + 2) return Usage();
+    const char* xpath = argv[file_arg + 1];
+    auto nodes = db->Query(xpath);
     if (!nodes.ok()) {
       std::fprintf(stderr, "%s\n", nodes.status().ToString().c_str());
       return 1;
+    }
+    if (explain) {
+      // After the query above, the plan is cached: the explain shows
+      // the warm path (cache: hit) and the strategies actually taken.
+      auto e = db->Explain(xpath);
+      if (e.ok()) std::fprintf(stderr, "%s", e.value().c_str());
     }
     if (cmd == "count") {
       std::printf("%zu\n", nodes->size());
@@ -67,6 +85,16 @@ int main(int argc, char** argv) {
       auto s = db->Serialize(p);
       if (s.ok()) std::printf("%s\n", s.value().c_str());
     }
+    return 0;
+  }
+  if (cmd == "explain") {
+    if (argc != 4) return Usage();
+    auto e = db->Explain(argv[3]);
+    if (!e.ok()) {
+      std::fprintf(stderr, "%s\n", e.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", e.value().c_str());
     return 0;
   }
   if (cmd == "values") {
@@ -131,6 +159,17 @@ int main(int argc, char** argv) {
                 static_cast<long long>(ix.shards),
                 static_cast<long long>(ix.publish_epoch),
                 static_cast<long long>(ix.structure_epoch));
+    std::printf("plan cache:     %lld hits, %lld misses, %lld evictions\n",
+                static_cast<long long>(ix.plan_hits),
+                static_cast<long long>(ix.plan_misses),
+                static_cast<long long>(ix.plan_evictions));
+    auto lk = db->LockStats();
+    std::printf("global lock:    readers %lld acquires / %lld waits, "
+                "writers %lld acquires / %lld waits\n",
+                static_cast<long long>(lk.reader_acquires),
+                static_cast<long long>(lk.reader_waits),
+                static_cast<long long>(lk.writer_acquires),
+                static_cast<long long>(lk.writer_waits));
     return 0;
   }
   return Usage();

@@ -97,7 +97,7 @@ StatusOr<std::unique_ptr<Database>> Database::Open(Options options) {
 
 StatusOr<std::vector<PreId>> Database::Query(std::string_view xpath) {
   return txns_->Read([&](const storage::PagedStore& s) {
-    return xpath::EvaluatePath(s, xpath, index_.get());
+    return xpath::EvaluatePath(s, xpath, index_.get(), &plan_cache_);
   });
 }
 
@@ -106,9 +106,18 @@ StatusOr<std::vector<std::string>> Database::QueryStrings(
   return txns_->Read(
       [&](const storage::PagedStore& s)
           -> StatusOr<std::vector<std::string>> {
-        PXQ_ASSIGN_OR_RETURN(xpath::Path path, xpath::ParsePath(xpath));
-        xpath::Evaluator<storage::PagedStore> ev(s, index_.get());
-        return ev.EvalStrings(path);
+        xpath::Evaluator<storage::PagedStore> ev(s, index_.get(),
+                                                 &plan_cache_);
+        return ev.EvalStrings(xpath);
+      });
+}
+
+StatusOr<std::string> Database::Explain(std::string_view xpath) {
+  return txns_->Read(
+      [&](const storage::PagedStore& s) -> StatusOr<std::string> {
+        xpath::Evaluator<storage::PagedStore> ev(s, index_.get(),
+                                                 &plan_cache_);
+        return ev.Explain(xpath);
       });
 }
 
@@ -146,7 +155,8 @@ StatusOr<xupdate::ApplyStats> Database::Update(std::string_view xupdate_doc,
 
 StatusOr<std::unique_ptr<DbTransaction>> Database::Begin() {
   PXQ_ASSIGN_OR_RETURN(std::unique_ptr<txn::Transaction> t, txns_->Begin());
-  return std::unique_ptr<DbTransaction>(new DbTransaction(std::move(t)));
+  return std::unique_ptr<DbTransaction>(
+      new DbTransaction(std::move(t), &plan_cache_, index_.get()));
 }
 
 Status Database::Checkpoint() {
@@ -156,15 +166,22 @@ Status Database::Checkpoint() {
   return txns_->Checkpoint(SnapshotPath());
 }
 
+// Transaction queries share the database's compiled plans: the clone
+// shares the qname pool (ids are globally consistent) and the cache's
+// epoch validation catches names this or any transaction interned. The
+// index stays detached — it describes the committed base, so indexed
+// operators take their scan fallbacks here, exactly as before.
 StatusOr<std::vector<PreId>> DbTransaction::Query(std::string_view xpath) {
-  return xpath::EvaluatePath(*txn_->store(), xpath);
+  xpath::Evaluator<storage::PagedStore> ev(*txn_->store(), nullptr,
+                                           plan_cache_, plan_env_);
+  return ev.Eval(xpath);
 }
 
 StatusOr<std::vector<std::string>> DbTransaction::QueryStrings(
     std::string_view xpath) {
-  PXQ_ASSIGN_OR_RETURN(xpath::Path path, xpath::ParsePath(xpath));
-  xpath::Evaluator<storage::PagedStore> ev(*txn_->store());
-  return ev.EvalStrings(path);
+  xpath::Evaluator<storage::PagedStore> ev(*txn_->store(), nullptr,
+                                           plan_cache_, plan_env_);
+  return ev.EvalStrings(xpath);
 }
 
 StatusOr<xupdate::ApplyStats> DbTransaction::Update(

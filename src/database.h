@@ -22,6 +22,7 @@
 #include "index/index_manager.h"
 #include "storage/paged_store.h"
 #include "txn/txn_manager.h"
+#include "xpath/plan_cache.h"
 #include "xupdate/apply.h"
 
 namespace pxq {
@@ -65,8 +66,16 @@ class Database {
   static StatusOr<std::unique_ptr<Database>> Open(Options options);
 
   // --- queries (run under the global read lock) -----------------------
+  // Queries ride the compile-once pipeline: the text is compiled to a
+  // plan (xpath/plan.h) exactly once and cached process-wide in this
+  // database's plan cache, epoch-validated against the qname pool —
+  // repeated queries pay a hash lookup, not a re-parse + re-plan.
   StatusOr<std::vector<PreId>> Query(std::string_view xpath);
   StatusOr<std::vector<std::string>> QueryStrings(std::string_view xpath);
+  /// Observability: the compiled plan's operator list with the strategy
+  /// the executor actually took per operator, and whether the plan came
+  /// from the cache. Executes the query (with tracing) to do so.
+  StatusOr<std::string> Explain(std::string_view xpath);
   /// Serialize the whole document (or a subtree rooted at `root`).
   StatusOr<std::string> Serialize(PreId root = kNullPre,
                                   bool pretty = false);
@@ -87,11 +96,22 @@ class Database {
   txn::TransactionManager& txn_manager() { return *txns_; }
 
   /// Secondary-index observability (zeroed stats when disabled) —
-  /// includes shard/snapshot publication counters and planner hit
-  /// counters for the child-step and path-prefix plans.
+  /// includes shard/snapshot publication counters, planner hit counters
+  /// for the child-step and path-prefix plans, and the plan-cache
+  /// counters (plan_hits / plan_misses / plan_evictions, live even
+  /// with the index disabled — the plan cache is independent of it).
   index::IndexStats IndexStats() const {
-    return index_ ? index_->Stats() : index::IndexStats{};
+    index::IndexStats s = index_ ? index_->Stats() : index::IndexStats{};
+    const xpath::PlanCache::Stats ps = plan_cache_.stats();
+    s.plan_hits = ps.hits;
+    s.plan_misses = ps.misses;
+    s.plan_evictions = ps.evictions;
+    return s;
   }
+  /// Global-lock acquire/contention counters (reader vs writer waits).
+  txn::GlobalLock::Stats LockStats() const { return txns_->lock_stats(); }
+  /// The compiled-plan cache shared by queries and transactions.
+  xpath::PlanCache& plan_cache() { return plan_cache_; }
   /// The database's index (nullptr when disabled). Probes are only
   /// valid against the committed base store under the global read lock.
   index::IndexManager* index_manager() { return index_.get(); }
@@ -105,6 +125,13 @@ class Database {
   std::shared_ptr<storage::PagedStore> store_;
   std::unique_ptr<index::IndexManager> index_;
   std::unique_ptr<txn::TransactionManager> txns_;
+  /// Compiled-plan cache: shared across reader threads AND transactions
+  /// (plans compiled against the indexed base execute correctly on an
+  /// index-less transaction clone — every operator carries a scan
+  /// fallback). Entries are epoch-validated against the shared qname
+  /// pool, so a transaction interning new names invalidates exactly the
+  /// plans that baked a missing name.
+  xpath::PlanCache plan_cache_;
 };
 
 /// Explicit transaction wrapper: queries and updates against the
@@ -119,9 +146,20 @@ class DbTransaction {
 
  private:
   friend class Database;
-  explicit DbTransaction(std::unique_ptr<txn::Transaction> txn)
-      : txn_(std::move(txn)) {}
+  DbTransaction(std::unique_ptr<txn::Transaction> txn,
+                xpath::PlanCache* plan_cache,
+                const index::IndexManager* plan_env)
+      : txn_(std::move(txn)),
+        plan_cache_(plan_cache),
+        plan_env_(plan_env) {}
   std::unique_ptr<txn::Transaction> txn_;
+  /// The owning database's plan cache: transaction queries share the
+  /// compiled plans (executed without the index — it describes the
+  /// committed base, not this clone — so indexed operators take their
+  /// scan fallbacks). `plan_env_` is the database's compile
+  /// environment, so lookups and compiles agree on the fingerprint.
+  xpath::PlanCache* plan_cache_ = nullptr;
+  const index::IndexManager* plan_env_ = nullptr;
 };
 
 }  // namespace pxq

@@ -179,6 +179,12 @@ struct IndexStats {
   int64_t value_neg_hits = 0;    // warm declines served by the negative
                                  // cache (no CollectMatches re-run)
   int64_t cross_check_mismatches = 0;
+  // --- plan-cache counters (filled by the Database layer, which owns
+  // the process-wide compiled-plan cache; zero when queried straight
+  // off an IndexManager) ----------------------------------------------
+  int64_t plan_hits = 0;         // queries served from a cached plan
+  int64_t plan_misses = 0;       // cold compiles + epoch-invalidated
+  int64_t plan_evictions = 0;    // LRU capacity evictions
   // --- snapshot publication counters ---------------------------------
   int64_t shards = 0;            // configured shard count
   int64_t publish_epoch = 0;     // snapshot publications, monotone

@@ -62,9 +62,26 @@ class PageLockManager {
 /// Writers are serialized amongst themselves by writer_active_.
 class GlobalLock {
  public:
+  /// Acquire-contention counters (see stats()): `*_waits` counts
+  /// acquires that found the lock unavailable and blocked, `*_acquires`
+  /// every acquire. waits/acquires is the contention ratio the ROADMAP
+  /// per-core-reader-slots question needs: only when reader acquires
+  /// themselves contend (reader_waits high with no writer traffic)
+  /// would sharded reader slots (a la folly::SharedMutex) pay off.
+  struct Stats {
+    int64_t reader_acquires = 0;
+    int64_t reader_waits = 0;
+    int64_t writer_acquires = 0;
+    int64_t writer_waits = 0;
+  };
+
   void LockShared() {
     std::unique_lock<std::mutex> l(m_);
-    cv_.wait(l, [&] { return writers_waiting_ == 0 && !writer_active_; });
+    ++reader_acquires_;
+    if (writers_waiting_ != 0 || writer_active_) {
+      ++reader_waits_;
+      cv_.wait(l, [&] { return writers_waiting_ == 0 && !writer_active_; });
+    }
     ++readers_;
   }
   void UnlockShared() {
@@ -73,8 +90,12 @@ class GlobalLock {
   }
   void LockExclusive() {
     std::unique_lock<std::mutex> l(m_);
+    ++writer_acquires_;
     ++writers_waiting_;
-    cv_.wait(l, [&] { return readers_ == 0 && !writer_active_; });
+    if (readers_ != 0 || writer_active_) {
+      ++writer_waits_;
+      cv_.wait(l, [&] { return readers_ == 0 && !writer_active_; });
+    }
     --writers_waiting_;
     writer_active_ = true;
   }
@@ -82,6 +103,12 @@ class GlobalLock {
     std::unique_lock<std::mutex> l(m_);
     writer_active_ = false;
     cv_.notify_all();
+  }
+
+  Stats stats() const {
+    std::unique_lock<std::mutex> l(m_);
+    return {reader_acquires_, reader_waits_, writer_acquires_,
+            writer_waits_};
   }
 
   /// RAII reader guard for query execution.
@@ -99,11 +126,15 @@ class GlobalLock {
   };
 
  private:
-  std::mutex m_;
+  mutable std::mutex m_;
   std::condition_variable cv_;
   int64_t readers_ = 0;
   int64_t writers_waiting_ = 0;
   bool writer_active_ = false;
+  int64_t reader_acquires_ = 0;
+  int64_t reader_waits_ = 0;
+  int64_t writer_acquires_ = 0;
+  int64_t writer_waits_ = 0;
 };
 
 }  // namespace pxq::txn

@@ -89,6 +89,10 @@ class TransactionManager {
   storage::PagedStore& base() { return *base_; }
   uint64_t commit_lsn() const { return commit_lsn_.load(); }
 
+  /// Global-lock acquire/contention counters (reader vs writer waits):
+  /// the profiling input for the per-core-reader-slots question.
+  GlobalLock::Stats lock_stats() const { return global_.stats(); }
+
  private:
   friend class Transaction;
   TransactionManager(std::shared_ptr<storage::PagedStore> base,

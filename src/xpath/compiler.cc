@@ -1,0 +1,285 @@
+#include "xpath/compiler.h"
+
+#include <algorithm>
+
+#include "index/index_manager.h"
+#include "xpath/parser.h"
+
+namespace pxq::xpath {
+namespace {
+
+/// Resolve a node-test name. A miss is baked as "matches nothing" and
+/// taints the plan: the name may be interned later, so the PlanCache
+/// must recompile once the pool generation moves.
+QnameId Resolve(const storage::ContentPools& pools, const std::string& name,
+                Plan* plan) {
+  QnameId qn = pools.FindQname(name);
+  if (qn < 0) plan->fully_resolved = false;
+  return qn;
+}
+
+bool PlainName(const Step& s, Axis axis) {
+  return s.axis == axis && s.test.kind == NodeTest::Kind::kName &&
+         s.predicates.empty();
+}
+
+class Compiler {
+ public:
+  Compiler(const storage::ContentPools& pools,
+           const index::IndexManager* index)
+      : pools_(pools), index_(index) {}
+
+  Plan Run(Path path) {
+    Plan plan;
+    plan.pool_gen = static_cast<uint64_t>(pools_.qname_count());
+    plan.env_fp = PlanEnvFingerprint(index_);
+    // Split a trailing attribute step off (EvalStrings semantics); node
+    // evaluation of such a plan reports the error at Run().
+    if (!path.steps.empty() &&
+        path.steps.back().axis == Axis::kAttribute) {
+      plan.trailing_attr = path.steps.back();
+      path.steps.pop_back();
+    }
+    plan.path = std::move(path);
+    const auto& steps = plan.path.steps;
+    size_t first = 0;
+    if (plan.path.absolute) {
+      if (steps.empty()) {
+        // Programmatic "/" (the parser rejects it as text): the root.
+        PlanOp op;
+        op.kind = OpKind::kRootSeed;
+        op.from_root = true;
+        plan.ops.push_back(std::move(op));
+        return plan;
+      }
+      first = CompileLeading(&plan);
+      if (!plan.invalid_reason.empty()) return plan;
+    }
+    for (size_t i = first; i < steps.size(); ++i) {
+      CompileStep(&plan, i);
+    }
+    return plan;
+  }
+
+ private:
+  /// Leading step(s) of an absolute path. Returns the number of steps
+  /// consumed (the whole chain prefix, or just step 0).
+  size_t CompileLeading(Plan* plan) {
+    const auto& steps = plan->path.steps;
+    // A run of >= 2 leading plain child-name steps compiles to the
+    // maximal chain-probe cascade when an index environment exists;
+    // the decomposition depends only on the configured chain depth k,
+    // so it bakes here. The gate still decides per execution.
+    size_t m = 0;
+    while (m < steps.size() && PlainName(steps[m], Axis::kChild)) ++m;
+    if (index_ != nullptr && m >= 2) {
+      PlanOp op;
+      op.kind = OpKind::kChainProbe;
+      op.from_root = true;
+      op.consumed = m;
+      std::vector<QnameId> qns(m);
+      for (size_t i = 0; i < m; ++i) {
+        qns[i] = Resolve(pools_, steps[i].test.name, plan);
+        if (qns[i] < 0) op.missing_name = true;
+      }
+      if (!op.missing_name) {
+        const auto k = static_cast<size_t>(index_->chain_depth());
+        const size_t l0 = std::min(k, m);
+        ChainProbeSpec lead;
+        lead.chain.assign(qns.begin(), qns.begin() + static_cast<long>(l0));
+        lead.from_step = 0;
+        lead.n_steps = l0;
+        lead.anchor_level = static_cast<int32_t>(l0) - 1;
+        op.probes.push_back(std::move(lead));
+        size_t pos = l0;
+        while (pos < m) {
+          // Continuations re-anchor on the last consumed tag (overlap
+          // of 1) and consume up to k-1 new steps each.
+          const size_t t = std::min(k - 1, m - pos);
+          ChainProbeSpec cont;
+          cont.chain.assign(qns.begin() + static_cast<long>(pos - 1),
+                            qns.begin() + static_cast<long>(pos + t));
+          cont.from_step = pos;
+          cont.n_steps = t;
+          cont.rel_depth = static_cast<int32_t>(t);
+          op.probes.push_back(std::move(cont));
+          pos += t;
+        }
+      }
+      plan->ops.push_back(std::move(op));
+      return m;
+    }
+    const Step& s0 = steps[0];
+    switch (s0.axis) {
+      case Axis::kChild:
+      case Axis::kSelf: {
+        PlanOp op;
+        op.kind = OpKind::kRootSeed;
+        op.step = 0;
+        op.from_root = true;
+        if (s0.test.kind == NodeTest::Kind::kName) {
+          op.qn = Resolve(pools_, s0.test.name, plan);
+        }
+        plan->ops.push_back(std::move(op));
+        break;
+      }
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf: {
+        // From the conceptual document node, both descendant flavors
+        // may select the root element itself (or_self).
+        PlanOp op;
+        op.kind = s0.test.kind == NodeTest::Kind::kName
+                      ? OpKind::kQnamePostings
+                      : OpKind::kDescendantStaircase;
+        op.step = 0;
+        op.from_root = true;
+        op.or_self = true;
+        if (s0.test.kind == NodeTest::Kind::kName) {
+          op.qn = Resolve(pools_, s0.test.name, plan);
+        }
+        plan->ops.push_back(std::move(op));
+        break;
+      }
+      default:
+        plan->invalid_reason =
+            "unsupported leading axis for an absolute path";
+        return 1;
+    }
+    CompilePredicates(plan, 0, /*leading=*/true);
+    return 1;
+  }
+
+  void CompileStep(Plan* plan, size_t i) {
+    const Step& s = plan->path.steps[i];
+    if (s.axis == Axis::kAttribute) {
+      // Mid-path attribute step: executes to the same Unsupported error
+      // the interpreter reported.
+      PlanOp op;
+      op.kind = OpKind::kAxisScan;
+      op.step = static_cast<int32_t>(i);
+      plan->ops.push_back(std::move(op));
+      return;
+    }
+    bool positional = false;
+    for (const Predicate& p : s.predicates) {
+      if (p.kind == Predicate::Kind::kPosition ||
+          p.kind == Predicate::Kind::kLast) {
+        positional = true;
+      }
+    }
+    if (positional) {
+      // Positional predicates are relative to each origin's result
+      // list: the whole step (axis + every predicate) is one
+      // per-origin operator.
+      PlanOp op;
+      op.kind = OpKind::kPositionFilter;
+      op.step = static_cast<int32_t>(i);
+      op.per_origin = true;
+      plan->ops.push_back(std::move(op));
+      return;
+    }
+    PlanOp op;
+    op.step = static_cast<int32_t>(i);
+    switch (s.axis) {
+      case Axis::kChild:
+        op.kind = OpKind::kChildStep;
+        if (s.test.kind == NodeTest::Kind::kName) {
+          op.qn = Resolve(pools_, s.test.name, plan);
+        }
+        break;
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf:
+        op.or_self = s.axis == Axis::kDescendantOrSelf;
+        if (s.test.kind == NodeTest::Kind::kName) {
+          op.kind = OpKind::kQnamePostings;
+          op.qn = Resolve(pools_, s.test.name, plan);
+        } else {
+          op.kind = OpKind::kDescendantStaircase;
+        }
+        break;
+      default:
+        op.kind = OpKind::kAxisScan;
+        if (s.test.kind == NodeTest::Kind::kName) {
+          op.qn = Resolve(pools_, s.test.name, plan);
+        }
+        break;
+    }
+    plan->ops.push_back(std::move(op));
+    CompilePredicates(plan, i, /*leading=*/false);
+  }
+
+  /// Predicate operators for a non-positional (or leading) step. The
+  /// leading absolute step applies positional predicates to the whole
+  /// candidate list (single conceptual origin), so they compile to
+  /// list-position filters here instead of the per-origin operator.
+  void CompilePredicates(Plan* plan, size_t i, bool leading) {
+    const Step& s = plan->path.steps[i];
+    for (size_t j = 0; j < s.predicates.size(); ++j) {
+      const Predicate& p = s.predicates[j];
+      PlanOp op;
+      op.step = static_cast<int32_t>(i);
+      op.pred = static_cast<int32_t>(j);
+      if (p.kind == Predicate::Kind::kPosition ||
+          p.kind == Predicate::Kind::kLast) {
+        (void)leading;  // only reachable for the leading step
+        op.kind = OpKind::kPositionFilter;
+        op.per_origin = false;
+        plan->ops.push_back(std::move(op));
+        continue;
+      }
+      // Index-supported shapes (mirrors the probe families): detected
+      // once here; the gate decides acceptance per execution.
+      const std::vector<Step>& rel = p.rel;
+      if (rel.size() == 1 && PlainName(rel[0], Axis::kAttribute)) {
+        op.kind = OpKind::kValueProbeGate;
+        op.shape = PredShape::kAttr;
+        op.attr_qn = Resolve(pools_, rel[0].test.name, plan);
+      } else if (rel.size() == 1 && PlainName(rel[0], Axis::kChild)) {
+        op.kind = OpKind::kValueProbeGate;
+        op.shape = PredShape::kChildValue;
+        op.child_qn = Resolve(pools_, rel[0].test.name, plan);
+      } else if (rel.size() == 2 && PlainName(rel[0], Axis::kChild) &&
+                 PlainName(rel[1], Axis::kAttribute)) {
+        op.kind = OpKind::kValueProbeGate;
+        op.shape = PredShape::kChildAttr;
+        op.child_qn = Resolve(pools_, rel[0].test.name, plan);
+        op.attr_qn = Resolve(pools_, rel[1].test.name, plan);
+      } else {
+        op.kind = OpKind::kExistsFilter;
+      }
+      plan->ops.push_back(std::move(op));
+    }
+  }
+
+  const storage::ContentPools& pools_;
+  const index::IndexManager* index_;
+};
+
+}  // namespace
+
+Plan Compile(Path path, const storage::ContentPools& pools,
+             const index::IndexManager* index) {
+  return Compiler(pools, index).Run(std::move(path));
+}
+
+StatusOr<Plan> CompileText(std::string_view text,
+                           const storage::ContentPools& pools,
+                           const index::IndexManager* index) {
+  PXQ_ASSIGN_OR_RETURN(Path path, ParsePath(text));
+  Plan plan = Compile(std::move(path), pools, index);
+  plan.text = std::string(text);
+  return plan;
+}
+
+uint64_t PlanEnvFingerprint(const index::IndexManager* index) {
+  if (index == nullptr) return 0;
+  // Chain depth shapes the baked cascade; enabled/disabled flips the
+  // whole planning posture. Everything else (gate ratio, memo knobs,
+  // cross-check) is a run-time decision and shares plans.
+  uint64_t fp = 0x100;
+  if (index->config().enabled) fp |= 0x200;
+  fp |= static_cast<uint64_t>(static_cast<uint32_t>(index->chain_depth()));
+  return fp;
+}
+
+}  // namespace pxq::xpath

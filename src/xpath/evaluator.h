@@ -1,902 +1,229 @@
-// XPath evaluator, templated on the store type so both schemas execute
-// identical plans (see staircase.h). Loop-lifted: every step maps a
-// sorted context sequence to a sorted result sequence.
+// XPath evaluation façade over the compile-once query pipeline:
 //
-// When constructed with an index::IndexManager the evaluator plans
-// index-aware: descendant name steps, child-axis name steps, leading
-// multi-step absolute path prefixes (/site/people/person/... via the
-// path-chain index: maximal depth-k chain probes, so a d-step prefix
-// costs ceil((d-1)/(k-1)) cascade levels instead of d-1 — see
-// IndexPathPrefix), and the common predicate shapes ([@a op lit], [name op lit],
-// [name/@a op lit], and their existence forms) are answered from the
-// secondary indexes when the index's cost gate accepts, falling back
-// to the scan path otherwise. Accepted probes are memoized inside the
-// IndexManager — qname/path materializations AND value/attr probe
-// results, keyed by (qname, op, operand) — so a repeat of the same
-// step or predicate with no intervening commit touching its keys pays
-// a hash lookup + copy, not a re-collect + re-swizzle; the planner can
-// therefore keep probing the same shapes without a warm-up penalty,
-// and the gate re-checks the cached candidate count against the
-// caller's current scan estimate. The index describes ONE specific store —
-// only pass it together with that store (the committed base); a
-// transaction clone must evaluate without it. With
-// IndexConfig::cross_check set, every accepted probe is replayed on
-// the scan path and a divergence fails the query with Corruption,
-// reporting the diverging step and the node ids only one side found.
+//   ParsePath (parser.h)  ->  Compile (compiler.h)  ->  Plan (plan.h)
+//                                                        |
+//                                    Executor (executor.h) runs the plan
+//
+// Evaluator is a thin wrapper that compiles a query (or fetches the
+// compiled Plan from a PlanCache when one is attached — the Database
+// layer shares one cache across all reader threads and transactions)
+// and hands it to the Executor. Every entry point — Database queries,
+// transaction queries, XUpdate select expressions, the reference
+// cross-check harness, tools and benches — therefore rides the same
+// compiled path; there is exactly one evaluation engine.
+//
+// Index-awareness, the cost gate, per-operator cross-checking, and the
+// scan fallbacks live in the Executor; strategy selection (chain
+// decomposition, qname resolution, predicate shape detection) lives in
+// the Compiler and is baked into the Plan once per query text instead
+// of being re-derived per call. The index describes ONE specific store
+// — only pass it together with that store (the committed base); a
+// transaction clone must evaluate without it (a cached plan compiled
+// for the indexed base still executes correctly there: every operator
+// carries a scan fallback).
 #ifndef PXQ_XPATH_EVALUATOR_H_
 #define PXQ_XPATH_EVALUATOR_H_
 
-#include <algorithm>
-#include <iterator>
+#include <memory>
 #include <optional>
 #include <string>
-#include <type_traits>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
-#include "index/index_manager.h"
-#include "storage/attr_table.h"
-#include "xpath/ast.h"
+#include "xpath/compiler.h"
+#include "xpath/executor.h"
 #include "xpath/parser.h"
-#include "xpath/staircase.h"
-#include "xpath/value_compare.h"
+#include "xpath/plan.h"
+#include "xpath/plan_cache.h"
 
 namespace pxq::xpath {
 
 template <typename Store>
 class Evaluator {
  public:
-  static constexpr bool kIndexable =
-      std::is_same_v<Store, storage::PagedStore>;
+  static constexpr bool kIndexable = Executor<Store>::kIndexable;
 
-  explicit Evaluator(const Store& store) : store_(store) {}
-  Evaluator(const Store& store, const index::IndexManager* index)
-      : store_(store), index_(index) {}
+  /// `index` is the execution index (may be null: scan fallbacks).
+  /// `plan_env` is the COMPILE environment when it differs from the
+  /// execution index: a transaction clone executes without the index
+  /// (it describes the committed base) but must compile — and look up
+  /// cached plans — under the owning database's environment, or the
+  /// shared cache would thrash between fingerprints. Defaults to
+  /// `index` itself.
+  explicit Evaluator(const Store& store) : exec_(store, nullptr) {}
+  Evaluator(const Store& store, const index::IndexManager* index,
+            PlanCache* cache = nullptr,
+            const index::IndexManager* plan_env = nullptr)
+      : exec_(store, index),
+        env_(plan_env != nullptr ? plan_env : index),
+        cache_(cache) {}
 
   /// Evaluate a path from the document root.
   StatusOr<std::vector<PreId>> Eval(const Path& path) const {
-    return Eval(path, {store_.Root()});
+    return Eval(path, {store().Root()});
   }
   StatusOr<std::vector<PreId>> Eval(std::string_view path_text) const {
-    PXQ_ASSIGN_OR_RETURN(Path path, ParsePath(path_text));
-    return Eval(path);
+    PXQ_ASSIGN_OR_RETURN(std::shared_ptr<const Plan> plan,
+                         PlanForText(path_text, nullptr));
+    return RunNodes(*plan, SeedFor(*plan));
   }
 
   /// Evaluate a path from an explicit (sorted, deduped) context.
   StatusOr<std::vector<PreId>> Eval(const Path& path,
                                     std::vector<PreId> ctx) const {
-    size_t first = 0;
-    if (path.absolute) {
-      // Absolute paths conceptually start at a document node above the
-      // root element (which we do not store): /site matches the root
-      // element itself; //x scans root + descendants.
-      if (path.steps.empty()) return std::vector<PreId>{store_.Root()};
-      // A run of >= 2 leading plain child-name steps is a qname chain:
-      // the path index answers it in one probe + chain verification.
-      size_t consumed = 0;
-      PXQ_ASSIGN_OR_RETURN(bool chained, IndexPathPrefix(path, &ctx,
-                                                         &consumed));
-      if (chained) {
-        first = consumed;
-      } else {
-        const Step& s0 = path.steps[0];
-        QnameId qn = -1;
-        if (s0.test.kind == NodeTest::Kind::kName) {
-          qn = store_.pools().FindQname(s0.test.name);
-        }
-        std::vector<PreId> cand;
-        switch (s0.axis) {
-          case Axis::kChild:
-          case Axis::kSelf:
-            if (MatchTest(s0.test, store_.Root(), qn)) {
-              cand.push_back(store_.Root());
-            }
-            break;
-          case Axis::kDescendant:
-          case Axis::kDescendantOrSelf: {
-            PreId root = store_.Root();
-            // `//tag` from the document node selects every element with
-            // that tag — exactly a qname postings materialization.
-            bool answered = false;
-            if constexpr (kIndexable) {
-              if (index_ != nullptr &&
-                  s0.test.kind == NodeTest::Kind::kName) {
-                auto pres =
-                    index_->ElementsByQname(store_, qn, store_.used_count());
-                if (pres) {
-                  cand = *pres;
-                  answered = true;
-                }
-              }
-            }
-            if (!answered) {
-              cand = ScanDescendants(s0.test, qn, {root}, /*or_self=*/true);
-            } else if (CrossChecking()) {
-              PXQ_RETURN_IF_ERROR(VerifyCrossCheck(
-                  ScanDescendants(s0.test, qn, {root}, /*or_self=*/true),
-                  cand, "absolute step /" + DescribeStep(s0)));
-            }
-            break;
-          }
-          default:
-            return Status::Unsupported(
-                "unsupported leading axis for an absolute path");
-        }
-        PXQ_RETURN_IF_ERROR(FilterPredicates(path.steps[0], &cand));
-        ctx = std::move(cand);
-        first = 1;
-      }
-    }
-    for (size_t i = first; i < path.steps.size(); ++i) {
-      const Step& step = path.steps[i];
-      if (step.axis == Axis::kAttribute) {
-        return Status::Unsupported(
-            "attribute axis yields no nodes; use EvalStrings");
-      }
-      if (ctx.empty()) break;
-      PXQ_ASSIGN_OR_RETURN(ctx, EvalStep(step, ctx));
-    }
-    return ctx;
+    Plan plan = Compile(path, store().pools(), env_);
+    return RunNodes(plan, std::move(ctx));
   }
 
   /// Evaluate a path whose final step may be an attribute step; returns
   /// string values (attribute values, or node string-values otherwise).
   StatusOr<std::vector<std::string>> EvalStrings(const Path& path) const {
-    return EvalStrings(path, {store_.Root()});
+    return EvalStrings(path, {store().Root()});
   }
   StatusOr<std::vector<std::string>> EvalStrings(
       const Path& path, std::vector<PreId> ctx) const {
-    Path prefix = path;
-    std::optional<Step> attr_step;
-    if (!prefix.steps.empty() &&
-        prefix.steps.back().axis == Axis::kAttribute) {
-      attr_step = prefix.steps.back();
-      prefix.steps.pop_back();
+    Plan plan = Compile(path, store().pools(), env_);
+    return RunStrings(plan, std::move(ctx));
+  }
+  StatusOr<std::vector<std::string>> EvalStrings(
+      std::string_view path_text) const {
+    PXQ_ASSIGN_OR_RETURN(std::shared_ptr<const Plan> plan,
+                         PlanForText(path_text, nullptr));
+    return RunStrings(*plan, SeedFor(*plan));
+  }
+
+  /// Compiled-plan observability: the operator list with the strategy
+  /// the executor ACTUALLY took per operator (the plan is executed with
+  /// tracing), plus whether the plan came from the cache. The printed
+  /// operators match the executed ones by construction.
+  StatusOr<std::string> Explain(std::string_view path_text) const {
+    bool cache_hit = false;
+    PXQ_ASSIGN_OR_RETURN(std::shared_ptr<const Plan> plan,
+                         PlanForText(path_text, &cache_hit));
+    std::string out = "plan for " + std::string(path_text) + "\n";
+    out += std::string("  cache: ") +
+           (cache_ == nullptr ? "detached" : (cache_hit ? "hit" : "miss")) +
+           "\n";
+    if (!plan->invalid_reason.empty()) {
+      return out + "  invalid: " + plan->invalid_reason + "\n";
     }
-    PXQ_ASSIGN_OR_RETURN(ctx, Eval(prefix, std::move(ctx)));
-    std::vector<std::string> out;
-    for (PreId p : ctx) {
-      if (attr_step) {
-        auto v = AttrValue(p, attr_step->test);
-        if (v) out.push_back(*v);
-      } else {
-        out.push_back(StringValue(p));
-      }
+    std::vector<OpTrace> trace;
+    auto res = exec_.RunOps(*plan, {store().Root()}, &trace);
+    for (const OpTrace& t : trace) {
+      out += "  " + std::to_string(t.op + 1) + ". " +
+             plan->DescribeOp(t.op) + " -> " + t.strategy + ", " +
+             std::to_string(t.out) + " nodes\n";
+    }
+    if (trace.size() < plan->ops.size()) {
+      out += "  (" + std::to_string(plan->ops.size() - trace.size()) +
+             " operators skipped: empty context)\n";
+    }
+    if (plan->trailing_attr) {
+      out += "  then attribute " +
+             std::string(plan->trailing_attr->test.kind ==
+                                 NodeTest::Kind::kName
+                             ? plan->trailing_attr->test.name
+                             : "*") +
+             " extraction (EvalStrings)\n";
+    }
+    if (!res.ok()) {
+      out += "  execution error: " + res.status().ToString() + "\n";
+    } else {
+      out += "  result: " + std::to_string(res.value().size()) + " nodes\n";
     }
     return out;
+  }
+
+  /// One step over a context sequence (interpretive; predicate relative
+  /// paths and tests use this directly).
+  StatusOr<std::vector<PreId>> EvalStep(const Step& step,
+                                        const std::vector<PreId>& ctx) const {
+    return exec_.EvalStep(step, ctx);
   }
 
   /// XPath string-value: text content for value nodes, concatenated
   /// descendant text for elements.
-  std::string StringValue(PreId pre) const {
-    switch (store_.KindAt(pre)) {
-      case NodeKind::kText:
-      case NodeKind::kComment:
-      case NodeKind::kPi:
-        return store_.pools().ValueOf(store_.KindAt(pre),
-                                      store_.RefAt(pre));
-      case NodeKind::kElement: {
-        std::string out;
-        PreId end = pre + store_.SizeAt(pre);
-        for (PreId p = store_.SkipHoles(pre + 1); p <= end;
-             p = store_.SkipHoles(p + 1)) {
-          if (store_.KindAt(p) == NodeKind::kText) {
-            out += store_.pools().Text(store_.RefAt(p));
-          }
-        }
-        return out;
-      }
-      default:
-        return {};
-    }
-  }
+  std::string StringValue(PreId pre) const { return exec_.StringValue(pre); }
 
   /// Value of the attribute matching `test` on element `pre`.
   std::optional<std::string> AttrValue(PreId pre,
                                        const NodeTest& test) const {
-    if (store_.KindAt(pre) != NodeKind::kElement) return std::nullopt;
-    if (test.kind == NodeTest::Kind::kName) {
-      QnameId qn = store_.pools().FindQname(test.name);
-      if (qn < 0) return std::nullopt;
-      int32_t row = store_.attrs().FindByName(store_.AttrOwnerOf(pre), qn);
-      if (row < 0) return std::nullopt;
-      return store_.pools().Prop(store_.attrs().row(row).prop);
-    }
-    // @* : first attribute, if any.
-    std::vector<int32_t> rows;
-    store_.attrs().Lookup(store_.AttrOwnerOf(pre), &rows);
-    if (rows.empty()) return std::nullopt;
-    return store_.pools().Prop(store_.attrs().row(rows[0]).prop);
-  }
-
-  /// One step over a context sequence.
-  StatusOr<std::vector<PreId>> EvalStep(const Step& step,
-                                        const std::vector<PreId>& ctx) const {
-    bool positional = false;
-    for (const Predicate& p : step.predicates) {
-      if (p.kind == Predicate::Kind::kPosition ||
-          p.kind == Predicate::Kind::kLast) {
-        positional = true;
-      }
-    }
-    std::vector<PreId> out;
-    if (positional) {
-      // Positional predicates are relative to each origin's result list.
-      for (PreId c : ctx) {
-        PXQ_ASSIGN_OR_RETURN(std::vector<PreId> cand,
-                             AxisNodes(step, {c}));
-        PXQ_RETURN_IF_ERROR(FilterPredicates(step, &cand));
-        out.insert(out.end(), cand.begin(), cand.end());
-      }
-      Normalize(&out);
-    } else {
-      PXQ_ASSIGN_OR_RETURN(out, AxisNodes(step, ctx));
-      PXQ_RETURN_IF_ERROR(FilterPredicates(step, &out));
-    }
-    return out;
+    return exec_.AttrValue(pre, test);
   }
 
  private:
-  bool MatchTest(const NodeTest& test, PreId p, QnameId qn) const {
-    switch (test.kind) {
-      case NodeTest::Kind::kName:
-        return qn >= 0 && store_.KindAt(p) == NodeKind::kElement &&
-               store_.RefAt(p) == qn;
-      case NodeTest::Kind::kAnyName:
-        return store_.KindAt(p) == NodeKind::kElement;
-      case NodeTest::Kind::kText:
-        return store_.KindAt(p) == NodeKind::kText;
-      case NodeTest::Kind::kComment:
-        return store_.KindAt(p) == NodeKind::kComment;
-      case NodeTest::Kind::kAnyNode:
-        return true;
-    }
-    return false;
+  const Store& store() const { return exec_.store(); }
+
+  /// Initial context for a root evaluation. Absolute plans ignore the
+  /// incoming context (their leading operator seeds from the root), so
+  /// skip the one-element allocation on that hot path.
+  std::vector<PreId> SeedFor(const Plan& plan) const {
+    if (plan.path.absolute) return {};
+    return {store().Root()};
   }
 
-  /// Axis + node test (no predicates), sorted/dedup output.
-  StatusOr<std::vector<PreId>> AxisNodes(
-      const Step& step, const std::vector<PreId>& ctx) const {
-    QnameId qn = -1;
-    if (step.test.kind == NodeTest::Kind::kName) {
-      qn = store_.pools().FindQname(step.test.name);
-      if (qn < 0) return std::vector<PreId>{};  // name never interned
+  /// Cached compile of a query text. `cache_hit` (optional) reports
+  /// whether the plan was served from the cache.
+  StatusOr<std::shared_ptr<const Plan>> PlanForText(std::string_view text,
+                                                    bool* cache_hit) const {
+    if (cache_hit != nullptr) *cache_hit = false;
+    const auto pool_gen =
+        static_cast<uint64_t>(store().pools().qname_count());
+    const uint64_t env_fp = PlanEnvFingerprint(env_);
+    if (cache_ != nullptr) {
+      if (auto plan = cache_->Lookup(text, pool_gen, env_fp)) {
+        if (cache_hit != nullptr) *cache_hit = true;
+        return plan;
+      }
     }
-    std::vector<PreId> out;
-    auto keep = [&](PreId p) {
-      if (MatchTest(step.test, p, qn)) out.push_back(p);
-    };
-    switch (step.axis) {
-      case Axis::kChild: {
-        PXQ_ASSIGN_OR_RETURN(bool answered,
-                             IndexChildStep(step, ctx, qn, &out));
-        if (!answered) out = ScanChildren(step.test, qn, ctx);
-        break;
-      }
-      case Axis::kDescendant:
-      case Axis::kDescendantOrSelf: {
-        const bool or_self = step.axis == Axis::kDescendantOrSelf;
-        PXQ_ASSIGN_OR_RETURN(bool answered,
-                             IndexDescendantStep(step, ctx, qn, or_self,
-                                                 &out));
-        if (!answered) out = ScanDescendants(step.test, qn, ctx, or_self);
-        break;
-      }
-      case Axis::kSelf:
-        for (PreId c : ctx) keep(c);
-        break;
-      case Axis::kParent: {
-        for (PreId c : ctx) {
-          auto chain = DescendToAncestors(store_, c);
-          if (!chain.empty()) keep(chain.back());
-        }
-        Normalize(&out);
-        break;
-      }
-      case Axis::kAncestor:
-      case Axis::kAncestorOrSelf: {
-        for (PreId c : ctx) {
-          for (PreId a : DescendToAncestors(store_, c)) keep(a);
-          if (step.axis == Axis::kAncestorOrSelf) keep(c);
-        }
-        Normalize(&out);
-        break;
-      }
-      case Axis::kFollowing:
-        for (PreId p : StaircaseFollowing(store_, ctx)) keep(p);
-        break;
-      case Axis::kPreceding:
-        for (PreId p : StaircasePreceding(store_, ctx)) keep(p);
-        break;
-      case Axis::kFollowingSibling:
-        for (PreId c : ctx) ForEachFollowingSibling(store_, c, keep);
-        Normalize(&out);
-        break;
-      case Axis::kPrecedingSibling: {
-        for (PreId c : ctx) {
-          auto chain = DescendToAncestors(store_, c);
-          if (chain.empty()) continue;
-          ForEachChild(store_, chain.back(), [&](PreId s) {
-            if (s < c) keep(s);
-          });
-        }
-        Normalize(&out);
-        break;
-      }
-      case Axis::kAttribute:
-        return Status::Unsupported("attribute axis inside a node step");
-    }
-    return out;
+    PXQ_ASSIGN_OR_RETURN(Plan compiled,
+                         CompileText(text, store().pools(), env_));
+    auto plan = std::make_shared<const Plan>(std::move(compiled));
+    if (cache_ != nullptr) cache_->Insert(text, plan);
+    return plan;
   }
 
-  Status FilterPredicates(const Step& step, std::vector<PreId>* nodes) const {
-    for (const Predicate& pred : step.predicates) {
-      PXQ_ASSIGN_OR_RETURN(bool answered, IndexFilterPredicate(pred, nodes));
-      if (answered) continue;
-      PXQ_ASSIGN_OR_RETURN(std::vector<PreId> kept,
-                           ScanFilterOne(pred, *nodes));
-      *nodes = std::move(kept);
+  StatusOr<std::vector<PreId>> RunNodes(const Plan& plan,
+                                        std::vector<PreId> ctx) const {
+    if (plan.trailing_attr) {
+      return Status::Unsupported(
+          "attribute axis yields no nodes; use EvalStrings");
     }
-    return Status::OK();
+    return exec_.RunOps(plan, std::move(ctx));
   }
 
-  /// One predicate over a candidate list, scan path (also the
-  /// cross-check oracle for the index path).
-  StatusOr<std::vector<PreId>> ScanFilterOne(
-      const Predicate& pred, const std::vector<PreId>& nodes) const {
-    std::vector<PreId> kept;
-    const auto last = static_cast<int64_t>(nodes.size());
-    for (int64_t i = 0; i < last; ++i) {
-      PreId p = nodes[static_cast<size_t>(i)];
-      bool ok = false;
-      switch (pred.kind) {
-        case Predicate::Kind::kPosition:
-          ok = (i + 1 == pred.position);
-          break;
-        case Predicate::Kind::kLast:
-          ok = (i + 1 == last);
-          break;
-        case Predicate::Kind::kExists:
-        case Predicate::Kind::kCompare: {
-          PXQ_ASSIGN_OR_RETURN(bool r, EvalValuePredicate(pred, p));
-          ok = r;
-          break;
-        }
-      }
-      if (ok) kept.push_back(p);
-    }
-    return kept;
-  }
-
-  StatusOr<bool> EvalValuePredicate(const Predicate& pred, PreId node) const {
-    // Split the relative steps into node steps + optional attr tail.
-    Path rel;
-    rel.absolute = false;
-    rel.steps = pred.rel;
-    std::optional<Step> attr_step;
-    if (!rel.steps.empty() && rel.steps.back().axis == Axis::kAttribute) {
-      attr_step = rel.steps.back();
-      rel.steps.pop_back();
-    }
-    PXQ_ASSIGN_OR_RETURN(std::vector<PreId> nodes, Eval(rel, {node}));
-    if (pred.kind == Predicate::Kind::kExists) {
-      if (!attr_step) return !nodes.empty();
-      for (PreId p : nodes) {
-        if (AttrValue(p, attr_step->test)) return true;
-      }
-      return false;
-    }
-    // kCompare: existential comparison.
-    for (PreId p : nodes) {
-      std::string v;
-      if (attr_step) {
-        auto a = AttrValue(p, attr_step->test);
-        if (!a) continue;
-        v = *a;
+  StatusOr<std::vector<std::string>> RunStrings(const Plan& plan,
+                                                std::vector<PreId> ctx) const {
+    PXQ_ASSIGN_OR_RETURN(ctx, exec_.RunOps(plan, std::move(ctx)));
+    std::vector<std::string> out;
+    for (PreId p : ctx) {
+      if (plan.trailing_attr) {
+        auto v = exec_.AttrValue(p, plan.trailing_attr->test);
+        if (v) out.push_back(*v);
       } else {
-        v = StringValue(p);
-      }
-      if (detail::CompareValues(v, pred.op, pred.value)) return true;
-    }
-    return false;
-  }
-
-  /// Scan-path descendant(-or-self) name/test matching over a context:
-  /// the fallback when the index declines AND the cross-check oracle —
-  /// one implementation so the two can never drift apart. With
-  /// `or_self` the context nodes themselves are also tested (for the
-  /// leading step of an absolute path the conceptual context is the
-  /// document node, so pass the root with or_self=true).
-  std::vector<PreId> ScanDescendants(const NodeTest& test, QnameId qn,
-                                     const std::vector<PreId>& ctx,
-                                     bool or_self) const {
-    std::vector<PreId> out;
-    if (or_self) {
-      for (PreId c : ctx) {
-        if (MatchTest(test, c, qn)) out.push_back(c);
+        out.push_back(exec_.StringValue(p));
       }
     }
-    for (PreId p : StaircaseDescendant(store_, ctx)) {
-      if (MatchTest(test, p, qn)) out.push_back(p);
-    }
-    Normalize(&out);
     return out;
   }
 
-  /// Scan-path child step: the fallback when the index declines AND the
-  /// cross-check oracle for IndexChildStep.
-  std::vector<PreId> ScanChildren(const NodeTest& test, QnameId qn,
-                                  const std::vector<PreId>& ctx) const {
-    std::vector<PreId> out;
-    auto keep = [&](PreId p) {
-      if (MatchTest(test, p, qn)) out.push_back(p);
-    };
-    for (PreId c : ctx) {
-      if (store_.KindAt(c) != NodeKind::kElement) continue;
-      ForEachChild(store_, c, keep);
-    }
-    Normalize(&out);
-    return out;
-  }
-
-  // --- index-aware planning -------------------------------------------
-
-  bool CrossChecking() const {
-    if constexpr (kIndexable) {
-      return index_ != nullptr && index_->config().cross_check;
-    }
-    return false;
-  }
-
-  static std::string DescribeStep(const Step& s) {
-    const char* axis = "";
-    switch (s.axis) {
-      case Axis::kChild: axis = "child"; break;
-      case Axis::kDescendant: axis = "descendant"; break;
-      case Axis::kDescendantOrSelf: axis = "descendant-or-self"; break;
-      case Axis::kSelf: axis = "self"; break;
-      case Axis::kParent: axis = "parent"; break;
-      case Axis::kAncestor: axis = "ancestor"; break;
-      case Axis::kAncestorOrSelf: axis = "ancestor-or-self"; break;
-      case Axis::kFollowing: axis = "following"; break;
-      case Axis::kPreceding: axis = "preceding"; break;
-      case Axis::kFollowingSibling: axis = "following-sibling"; break;
-      case Axis::kPrecedingSibling: axis = "preceding-sibling"; break;
-      case Axis::kAttribute: axis = "attribute"; break;
-    }
-    std::string test;
-    switch (s.test.kind) {
-      case NodeTest::Kind::kName: test = s.test.name; break;
-      case NodeTest::Kind::kAnyName: test = "*"; break;
-      case NodeTest::Kind::kText: test = "text()"; break;
-      case NodeTest::Kind::kComment: test = "comment()"; break;
-      case NodeTest::Kind::kAnyNode: test = "node()"; break;
-    }
-    return std::string(axis) + "::" + test;
-  }
-
-  /// Cross-check failure report: which step diverged and which node ids
-  /// only one side produced, so a mismatch is debuggable from the
-  /// Status alone instead of reproducing the query under a debugger.
-  Status VerifyCrossCheck(const std::vector<PreId>& scan,
-                          const std::vector<PreId>& indexed,
-                          const std::string& what) const {
-    if constexpr (kIndexable) {
-      if (scan != indexed) {
-        index_->NoteCrossCheckMismatch();
-        auto list_only = [&](const std::vector<PreId>& a,
-                             const std::vector<PreId>& b) {
-          std::vector<PreId> only;
-          std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
-                              std::back_inserter(only));
-          std::string s;
-          const size_t show = std::min<size_t>(only.size(), 4);
-          for (size_t i = 0; i < show; ++i) {
-            if (i > 0) s += ", ";
-            s += "pre " + std::to_string(only[i]) + " (node " +
-                 std::to_string(store_.NodeAt(only[i])) + ")";
-          }
-          if (only.size() > show) {
-            s += ", +" + std::to_string(only.size() - show) + " more";
-          }
-          return s.empty() ? std::string("none") : s;
-        };
-        return Status::Corruption(
-            "index/scan divergence on " + what + ": scan=" +
-            std::to_string(scan.size()) + " nodes, index=" +
-            std::to_string(indexed.size()) + " nodes; scan-only=[" +
-            list_only(scan, indexed) + "]; index-only=[" +
-            list_only(indexed, scan) + "]");
-      }
-    }
-    return Status::OK();
-  }
-
-  /// descendant / descendant-or-self name step via the qname postings:
-  /// swizzle the postings into pre order, then a staircase merge against
-  /// the context regions. Returns false when the index declines.
-  StatusOr<bool> IndexDescendantStep(const Step& step,
-                                     const std::vector<PreId>& ctx,
-                                     QnameId qn, bool or_self,
-                                     std::vector<PreId>* out) const {
-    if constexpr (kIndexable) {
-      if (index_ == nullptr || step.test.kind != NodeTest::Kind::kName) {
-        return false;
-      }
-      // Scan cost: the span the staircase scan would walk.
-      int64_t span = 0;
-      PreId scanned_to = -1;
-      for (PreId c : ctx) {
-        PreId end = c + store_.SizeAt(c);
-        if (end <= scanned_to) continue;
-        span += end - std::max(c, scanned_to);
-        scanned_to = end;
-      }
-      auto pres = index_->ElementsByQname(store_, qn, span);
-      if (!pres) return false;
-      std::vector<PreId> res;
-      scanned_to = -1;
-      auto it = pres->begin();
-      for (PreId c : ctx) {
-        const PreId end = c + store_.SizeAt(c);
-        if (end <= scanned_to) continue;  // covered: staircase pruning
-        const PreId from = std::max(c + 1, scanned_to + 1);
-        it = std::lower_bound(it, pres->end(), from);
-        for (; it != pres->end() && *it <= end; ++it) res.push_back(*it);
-        scanned_to = end;
-      }
-      if (or_self) {
-        for (PreId c : ctx) {
-          if (MatchTest(step.test, c, qn)) res.push_back(c);
-        }
-        Normalize(&res);
-      }
-      if (CrossChecking()) {
-        PXQ_RETURN_IF_ERROR(VerifyCrossCheck(
-            ScanDescendants(step.test, qn, ctx, or_self), res,
-            "step " + DescribeStep(step)));
-      }
-      *out = std::move(res);
-      return true;
-    } else {
-      (void)step;
-      (void)ctx;
-      (void)qn;
-      (void)or_self;
-      (void)out;
-      return false;
-    }
-  }
-
-  /// child name step via the qname postings: swizzle the postings into
-  /// pre order, then keep candidates lying in a context region exactly
-  /// one level below the region's root. Returns false when the index
-  /// declines.
-  StatusOr<bool> IndexChildStep(const Step& step,
-                                const std::vector<PreId>& ctx, QnameId qn,
-                                std::vector<PreId>* out) const {
-    if constexpr (kIndexable) {
-      if (index_ == nullptr || step.test.kind != NodeTest::Kind::kName) {
-        return false;
-      }
-      // Scan cost: the deduplicated region span is an upper bound on
-      // the child walk (ForEachChild skips subtrees, so the true cost
-      // is the child count; the gate errs toward probing only when the
-      // postings are small relative to the regions).
-      int64_t span = 0;
-      PreId scanned_to = -1;
-      for (PreId c : ctx) {
-        if (store_.KindAt(c) != NodeKind::kElement) continue;
-        PreId end = c + store_.SizeAt(c);
-        if (end <= scanned_to) continue;
-        span += end - std::max(c, scanned_to);
-        scanned_to = end;
-      }
-      auto pres = index_->ElementsByQname(store_, qn, span);
-      if (!pres) return false;
-      std::vector<PreId> res = KeepChildrenOf(*pres, ctx);
-      index_->NoteChildStepHit();
-      if (CrossChecking()) {
-        PXQ_RETURN_IF_ERROR(
-            VerifyCrossCheck(ScanChildren(step.test, qn, ctx), res,
-                             "step " + DescribeStep(step)));
-      }
-      *out = std::move(res);
-      return true;
-    } else {
-      (void)step;
-      (void)ctx;
-      (void)qn;
-      (void)out;
-      return false;
-    }
-  }
-
-  /// Leading qname-chain prefix of an absolute path via the path-chain
-  /// index: a cascade of MAXIMAL chain probes. With chain depth k, the
-  /// leading probe consumes min(k, m) steps at once (its postings pin
-  /// the candidate's nearest min(k,m)-1 ancestor tags; anchoring to
-  /// the document root is a level filter — the only element at level 0
-  /// is the root, and the chain key fixes its tag). Each later probe
-  /// consumes up to k-1 more steps: its postings are kept only when
-  /// they lie in a survivor's region exactly t levels down, which (the
-  /// chain already fixes the intervening t-1 tags AND the anchor tag,
-  /// and same-level regions are disjoint) pins the candidate's
-  /// distance-t ancestor to a survivor. No per-candidate ancestor
-  /// walk; ceil((m-1)/(k-1)) probes for an m-step prefix. Consumes the
-  /// longest run of plain child-name steps (>= 2, no predicates).
-  /// Returns false when the index declines; on success *ctx holds the
-  /// prefix result and *consumed the step count.
-  StatusOr<bool> IndexPathPrefix(const Path& path, std::vector<PreId>* ctx,
-                                 size_t* consumed) const {
-    if constexpr (kIndexable) {
-      if (index_ == nullptr) return false;
-      size_t m = 0;
-      while (m < path.steps.size()) {
-        const Step& s = path.steps[m];
-        if (s.axis != Axis::kChild ||
-            s.test.kind != NodeTest::Kind::kName || !s.predicates.empty()) {
-          break;
-        }
-        ++m;
-      }
-      if (m < 2) return false;  // single steps use the existing plans
-      std::vector<QnameId> qns(m);
-      bool missing = false;
-      for (size_t i = 0; i < m; ++i) {
-        qns[i] = store_.pools().FindQname(path.steps[i].test.name);
-        if (qns[i] < 0) missing = true;
-      }
-      std::vector<PreId> res;
-      if (!missing) {
-        const auto k = static_cast<size_t>(index_->chain_depth());
-        // Leading probe: the longest chain that fits, gated against
-        // the document span (the scan alternative for an absolute
-        // step). Chain postings are not level-anchored, so keep only
-        // candidates at the absolute level the prefix demands — their
-        // whole ancestor chain up to the root is then pinned by the
-        // chain key.
-        const size_t l0 = std::min(k, m);
-        std::vector<QnameId> chain(qns.begin(),
-                                   qns.begin() + static_cast<long>(l0));
-        auto c0 = index_->PathChainProbe(store_, chain,
-                                         store_.SizeAt(store_.Root()) + 1);
-        if (!c0) return false;
-        const auto root_level = static_cast<int32_t>(l0) - 1;
-        for (PreId p : *c0) {
-          if (store_.LevelAt(p) == root_level) res.push_back(p);
-        }
-        size_t pos = l0;
-        while (pos < m && !res.empty()) {
-          // Deeper probes gate against the surviving regions' span —
-          // the walk a scan of the REMAINING steps would actually do —
-          // so an unselective tag deep in the chain falls back instead
-          // of materializing near-document-sized chain postings. The
-          // chain re-anchors on the last consumed tag (overlap of 1),
-          // consuming up to k-1 new steps per probe.
-          const size_t t = std::min(k - 1, m - pos);
-          chain.assign(qns.begin() + static_cast<long>(pos - 1),
-                       qns.begin() + static_cast<long>(pos + t));
-          int64_t span = 0;
-          for (PreId c : res) span += store_.SizeAt(c) + 1;
-          auto li = index_->PathChainProbe(store_, chain, span);
-          if (!li) return false;
-          res = KeepDescendantsAtDepth(*li, res, static_cast<int32_t>(t));
-          pos += t;
-        }
-      }
-      // A never-interned tag means no node matches the prefix: the
-      // empty result is exact, no probe needed.
-      if (CrossChecking()) {
-        Evaluator<Store> scan_ev(store_);  // index-free oracle
-        Path prefix;
-        prefix.absolute = true;
-        prefix.steps.assign(path.steps.begin(),
-                            path.steps.begin() + static_cast<long>(m));
-        PXQ_ASSIGN_OR_RETURN(std::vector<PreId> scan, scan_ev.Eval(prefix));
-        std::string what = "path prefix /";
-        for (size_t i = 0; i < m; ++i) {
-          if (i > 0) what += "/";
-          what += path.steps[i].test.name;
-        }
-        PXQ_RETURN_IF_ERROR(VerifyCrossCheck(scan, res, what));
-      }
-      *ctx = std::move(res);
-      *consumed = m;
-      return true;
-    } else {
-      (void)path;
-      (void)ctx;
-      (void)consumed;
-      return false;
-    }
-  }
-
-  /// Index path for the supported predicate shapes. Returns true (and
-  /// replaces *nodes) when the index answered; false defers to the scan.
-  StatusOr<bool> IndexFilterPredicate(const Predicate& pred,
-                                      std::vector<PreId>* nodes) const {
-    if constexpr (kIndexable) {
-      if (index_ == nullptr || nodes->empty()) return false;
-      if (pred.kind != Predicate::Kind::kExists &&
-          pred.kind != Predicate::Kind::kCompare) {
-        return false;
-      }
-      const std::vector<Step>& rel = pred.rel;
-      auto plain_name = [](const Step& s, Axis axis) {
-        return s.axis == axis && s.test.kind == NodeTest::Kind::kName &&
-               s.predicates.empty();
-      };
-      std::optional<std::vector<PreId>> kept;
-
-      if (rel.size() == 1 && plain_name(rel[0], Axis::kAttribute)) {
-        // [@a] / [@a op lit]: the context node owns the attribute.
-        QnameId aq = store_.pools().FindQname(rel[0].test.name);
-        if (aq < 0) {
-          kept = std::vector<PreId>{};  // name never interned: no match
-        } else {
-          const auto scan_cost = static_cast<int64_t>(nodes->size());
-          auto cand = pred.kind == Predicate::Kind::kExists
-                          ? index_->AttrOwners(store_, aq, scan_cost)
-                          : index_->AttrValueProbe(store_, aq, pred.op,
-                                                   pred.value, scan_cost);
-          if (!cand) return false;
-          kept = IntersectSorted(*nodes, *cand);
-        }
-      } else if (rel.size() == 1 && plain_name(rel[0], Axis::kChild)) {
-        // [name] / [name op lit]: a child with that tag (satisfying the
-        // comparison).
-        QnameId cq = store_.pools().FindQname(rel[0].test.name);
-        if (cq < 0) {
-          kept = std::vector<PreId>{};
-        } else {
-          int64_t scan_cost = 0;
-          for (PreId c : *nodes) scan_cost += store_.SizeAt(c) + 1;
-          if (pred.kind == Predicate::Kind::kExists) {
-            auto cand = index_->ElementsByQname(store_, cq, scan_cost);
-            if (!cand) return false;
-            kept = KeepWithChildIn(*nodes, *cand);
-          } else {
-            std::vector<PreId> simple, complex_rest;
-            if (!index_->ChildValueProbe(store_, cq, pred.op, pred.value,
-                                         scan_cost, &simple,
-                                         &complex_rest)) {
-              return false;
-            }
-            std::vector<PreId> k;
-            for (PreId c : *nodes) {
-              if (HasChildIn(c, simple)) {
-                k.push_back(c);
-              } else if (HasChildIn(c, complex_rest)) {
-                // Value not covered by the index (element has element
-                // children): evaluate this candidate exactly.
-                PXQ_ASSIGN_OR_RETURN(bool ok, EvalValuePredicate(pred, c));
-                if (ok) k.push_back(c);
-              }
-            }
-            kept = std::move(k);
-          }
-        }
-      } else if (rel.size() == 2 && plain_name(rel[0], Axis::kChild) &&
-                 plain_name(rel[1], Axis::kAttribute)) {
-        // [name/@a] / [name/@a op lit]: a child with that tag owning a
-        // (matching) attribute.
-        QnameId cq = store_.pools().FindQname(rel[0].test.name);
-        QnameId aq = store_.pools().FindQname(rel[1].test.name);
-        if (cq < 0 || aq < 0) {
-          kept = std::vector<PreId>{};
-        } else {
-          int64_t scan_cost = 0;
-          for (PreId c : *nodes) scan_cost += store_.SizeAt(c) + 1;
-          auto cand = pred.kind == Predicate::Kind::kExists
-                          ? index_->AttrOwners(store_, aq, scan_cost)
-                          : index_->AttrValueProbe(store_, aq, pred.op,
-                                                   pred.value, scan_cost);
-          if (!cand) return false;
-          std::vector<PreId> named;
-          for (PreId p : *cand) {
-            if (store_.RefAt(p) == cq) named.push_back(p);
-          }
-          kept = KeepWithChildIn(*nodes, named);
-        }
-      } else {
-        return false;  // shape not index-supported
-      }
-
-      if (CrossChecking()) {
-        PXQ_ASSIGN_OR_RETURN(std::vector<PreId> scan,
-                             ScanFilterOne(pred, *nodes));
-        std::string what = "predicate [";
-        for (size_t i = 0; i < pred.rel.size(); ++i) {
-          if (i > 0) what += "/";
-          what += DescribeStep(pred.rel[i]);
-        }
-        if (pred.kind == Predicate::Kind::kCompare) {
-          what += " op '" + pred.value + "'";
-        }
-        what += "]";
-        PXQ_RETURN_IF_ERROR(VerifyCrossCheck(scan, *kept, what));
-      }
-      *nodes = std::move(*kept);
-      return true;
-    } else {
-      (void)pred;
-      (void)nodes;
-      return false;
-    }
-  }
-
-  static std::vector<PreId> IntersectSorted(const std::vector<PreId>& a,
-                                            const std::vector<PreId>& b) {
-    std::vector<PreId> out;
-    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                          std::back_inserter(out));
-    return out;
-  }
-
-  /// Does `c` have a child (direct, level + 1) among the sorted
-  /// candidate pres?
-  bool HasChildIn(PreId c, const std::vector<PreId>& cand) const {
-    const PreId end = c + store_.SizeAt(c);
-    const int32_t child_level = store_.LevelAt(c) + 1;
-    for (auto it = std::upper_bound(cand.begin(), cand.end(), c);
-         it != cand.end() && *it <= end; ++it) {
-      if (store_.LevelAt(*it) == child_level) return true;
-    }
-    return false;
-  }
-
-  std::vector<PreId> KeepWithChildIn(const std::vector<PreId>& ctx,
-                                     const std::vector<PreId>& cand) const {
-    std::vector<PreId> kept;
-    for (PreId c : ctx) {
-      if (HasChildIn(c, cand)) kept.push_back(c);
-    }
-    return kept;
-  }
-
-  /// Candidates (sorted pres) that are a DIRECT child of some parent in
-  /// `parents`: inside a parent's region, exactly one level below it.
-  std::vector<PreId> KeepChildrenOf(const std::vector<PreId>& cand,
-                                    const std::vector<PreId>& parents) const {
-    return KeepDescendantsAtDepth(cand, parents, 1);
-  }
-
-  /// Candidates (sorted pres) lying in some ancestor's region exactly
-  /// `depth` levels below it — the chain-cascade generalization of the
-  /// child filter. Two distinct elements at the same level can never
-  /// contain each other, so region + level containment identifies the
-  /// candidate's distance-`depth` ancestor uniquely among `parents`.
-  std::vector<PreId> KeepDescendantsAtDepth(
-      const std::vector<PreId>& cand, const std::vector<PreId>& parents,
-      int32_t depth) const {
-    std::vector<PreId> out;
-    for (PreId c : parents) {
-      if (store_.KindAt(c) != NodeKind::kElement) continue;
-      const PreId end = c + store_.SizeAt(c);
-      const int32_t want_level = store_.LevelAt(c) + depth;
-      // Parent regions may nest (arbitrary contexts), so each region
-      // scans independently; Normalize dedups.
-      for (auto it = std::upper_bound(cand.begin(), cand.end(), c);
-           it != cand.end() && *it <= end; ++it) {
-        if (store_.LevelAt(*it) == want_level) out.push_back(*it);
-      }
-    }
-    Normalize(&out);
-    return out;
-  }
-
-  const Store& store_;
-  const index::IndexManager* index_ = nullptr;
+  Executor<Store> exec_;
+  /// Compile environment (chain depth, fingerprint); usually the
+  /// execution index, but see the constructor comment.
+  const index::IndexManager* env_ = nullptr;
+  PlanCache* cache_ = nullptr;
 };
 
-/// Convenience: parse + evaluate from the root, optionally index-aware.
+/// Convenience: parse + evaluate from the root, optionally index-aware
+/// and plan-cached.
 template <typename Store>
 StatusOr<std::vector<PreId>> EvaluatePath(
     const Store& store, std::string_view path_text,
-    const index::IndexManager* index = nullptr) {
-  Evaluator<Store> ev(store, index);
+    const index::IndexManager* index = nullptr,
+    PlanCache* cache = nullptr) {
+  Evaluator<Store> ev(store, index, cache);
   return ev.Eval(path_text);
 }
 

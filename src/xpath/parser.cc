@@ -24,7 +24,10 @@ class Parser {
       PXQ_RETURN_IF_ERROR(ParseStepInto(&path, /*descendant=*/true));
     } else if (Consume("/")) {
       path.absolute = true;
-      if (AtEnd()) return Status::ParseError("path has no steps");
+      if (AtEnd()) {
+        return Status::ParseError(
+            StrFormat("path has no steps at offset %zu", pos_));
+      }
       PXQ_RETURN_IF_ERROR(ParseStepInto(&path, /*descendant=*/false));
     } else {
       PXQ_RETURN_IF_ERROR(ParseStepInto(&path, /*descendant=*/false));
@@ -123,7 +126,8 @@ class Parser {
     if (IsNameStart(Peek())) {
       auto name_or = ParseName();
       if (name_or.ok() && Consume("::")) {
-        PXQ_ASSIGN_OR_RETURN(step.axis, AxisFromName(name_or.value()));
+        PXQ_ASSIGN_OR_RETURN(step.axis,
+                             AxisFromName(name_or.value(), save));
         PXQ_RETURN_IF_ERROR(ParseNodeTest(&step.test));
         PXQ_RETURN_IF_ERROR(ParsePredicates(&step.predicates));
         return step;
@@ -136,7 +140,7 @@ class Parser {
     return step;
   }
 
-  StatusOr<Axis> AxisFromName(const std::string& n) {
+  StatusOr<Axis> AxisFromName(const std::string& n, size_t at) {
     if (n == "child") return Axis::kChild;
     if (n == "descendant") return Axis::kDescendant;
     if (n == "descendant-or-self") return Axis::kDescendantOrSelf;
@@ -149,7 +153,8 @@ class Parser {
     if (n == "following-sibling") return Axis::kFollowingSibling;
     if (n == "preceding-sibling") return Axis::kPrecedingSibling;
     if (n == "attribute") return Axis::kAttribute;
-    return Status::ParseError("unknown axis '" + n + "'");
+    return Status::ParseError(
+        StrFormat("unknown axis '%s' at offset %zu", n.c_str(), at));
   }
 
   Status ParseNodeTest(NodeTest* test) {
@@ -158,6 +163,7 @@ class Parser {
       test->kind = NodeTest::Kind::kAnyName;
       return Status::OK();
     }
+    const size_t at = pos_;
     PXQ_ASSIGN_OR_RETURN(std::string name, ParseName());
     if (Consume("()")) {
       if (name == "text") {
@@ -167,7 +173,9 @@ class Parser {
       } else if (name == "node") {
         test->kind = NodeTest::Kind::kAnyNode;
       } else {
-        return Status::ParseError("unknown node test '" + name + "()'");
+        return Status::ParseError(
+            StrFormat("unknown node test '%s()' at offset %zu",
+                      name.c_str(), at));
       }
       return Status::OK();
     }
@@ -199,7 +207,8 @@ class Parser {
       while (Peek() >= '0' && Peek() <= '9') ++pos_;
       uint64_t v = 0;
       if (!ParseUint(in_.substr(start, pos_ - start), &v) || v == 0) {
-        return Status::ParseError("bad positional predicate");
+        return Status::ParseError(
+            StrFormat("bad positional predicate at offset %zu", start));
       }
       p.kind = Predicate::Kind::kPosition;
       p.position = static_cast<int64_t>(v);
@@ -229,10 +238,14 @@ class Parser {
     SkipSpace();
     if (Peek() == '\'' || Peek() == '"') {
       char q = Peek();
+      const size_t open = pos_;
       ++pos_;
       size_t start = pos_;
       while (!AtEnd() && Peek() != q) ++pos_;
-      if (AtEnd()) return Status::ParseError("unterminated string literal");
+      if (AtEnd()) {
+        return Status::ParseError(StrFormat(
+            "unterminated string literal starting at offset %zu", open));
+      }
       p.value = std::string(in_.substr(start, pos_ - start));
       ++pos_;
     } else {
@@ -242,7 +255,8 @@ class Parser {
         ++pos_;
       }
       if (pos_ == start) {
-        return Status::ParseError("expected literal in predicate");
+        return Status::ParseError(StrFormat(
+            "expected literal in predicate at offset %zu", start));
       }
       p.value = std::string(in_.substr(start, pos_ - start));
     }

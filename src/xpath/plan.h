@@ -1,0 +1,133 @@
+// Physical plan IR for the compile-once query pipeline.
+//
+// A Plan is the product of ONE compilation of a parsed Path against a
+// compile environment (the store's qname pool + the database's index
+// configuration): a flat vector of typed operators, each carrying its
+// resolved QnameIds, chain keys, and fallback strategy, executed by
+// xpath::Executor against a store + published index snapshot. The
+// stat-dependent decisions (the index cost gate accepting or declining
+// a probe) stay adaptive at run time; everything derivable from the
+// query text alone — parsing, qname resolution, chain-prefix
+// decomposition, predicate shape detection — is baked here exactly
+// once, so a cached plan re-executes without touching the parser or
+// the qname pool.
+//
+// Validity: a plan embeds the qname-pool generation (`pool_gen` — the
+// pool is append-only, so its size is a monotone generation counter)
+// and a fingerprint of the compile environment (`env_fp`). A plan in
+// which every name resolved (`fully_resolved`) stays valid forever —
+// interned QnameIds never change — while a plan that baked a
+// never-interned name as "matches nothing" must be recompiled once the
+// pool grows (the name may exist now). The PlanCache enforces both,
+// epoch-validated like the index's probe memos.
+#ifndef PXQ_XPATH_PLAN_H_
+#define PXQ_XPATH_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "xpath/ast.h"
+
+namespace pxq::xpath {
+
+enum class OpKind : uint8_t {
+  kRootSeed,            // seed the context with the document root element
+  kChainProbe,          // maximal path-chain cascade over a child-name prefix
+  kQnamePostings,       // descendant name step via qname postings
+  kChildStep,           // child step (postings + region/level filter if named)
+  kDescendantStaircase, // descendant step, non-name test (staircase scan)
+  kAxisScan,            // the remaining axes (self/parent/siblings/...)
+  kValueProbeGate,      // index-shaped predicate behind the cost gate
+  kPositionFilter,      // positional predicate ([3] / [last()])
+  kExistsFilter,        // exists/compare predicate on the scan path
+};
+
+const char* OpKindName(OpKind k);
+
+/// One probe of a compiled chain cascade. `chain` is the PathChainProbe
+/// argument (chain[0] = farthest ancestor tag, chain.back() = the
+/// probed element's own tag). The leading probe is anchored to the
+/// document root by an absolute level filter; each continuation keeps
+/// postings lying exactly `rel_depth` levels below a survivor.
+struct ChainProbeSpec {
+  std::vector<QnameId> chain;
+  size_t from_step = 0;      // first path step this probe consumes
+  size_t n_steps = 0;        // steps this probe consumes
+  int32_t anchor_level = -1; // leading probe: required absolute level
+  int32_t rel_depth = 0;     // continuation: distance below survivors
+};
+
+/// Index-supported predicate shapes (see IndexManager's value/attr
+/// probes). Detected once at compile time instead of per evaluation.
+enum class PredShape : uint8_t {
+  kNone,       // not index-supported
+  kAttr,       // [@a] / [@a op lit]
+  kChildValue, // [name] / [name op lit]
+  kChildAttr,  // [name/@a] / [name/@a op lit]
+};
+
+struct PlanOp {
+  OpKind kind = OpKind::kAxisScan;
+  int32_t step = -1;  // index into Plan::path.steps (-1: unconditional seed)
+  int32_t pred = -1;  // predicate index within the step (predicate ops)
+  /// Resolved name of the step's node test (-1: never interned at
+  /// compile time — the op yields no nodes, and the plan is not
+  /// fully_resolved).
+  QnameId qn = -1;
+  bool or_self = false;    // descendant-or-self semantics
+  /// Leading operator of an absolute path: ignores the incoming
+  /// context (the conceptual document node) and seeds from the root.
+  bool from_root = false;
+  /// kPositionFilter: true = the whole step (axis + every predicate)
+  /// evaluates per context origin (steps with positional predicates);
+  /// false = a single positional predicate filters the current list.
+  bool per_origin = false;
+  // --- kChainProbe ----------------------------------------------------
+  std::vector<ChainProbeSpec> probes;
+  size_t consumed = 0;       // leading steps the cascade consumes
+  bool missing_name = false; // a chain tag was never interned: empty, exact
+  // --- kValueProbeGate ------------------------------------------------
+  PredShape shape = PredShape::kNone;
+  QnameId child_qn = -1;
+  QnameId attr_qn = -1;
+};
+
+/// Per-operator execution record: what the executor actually did (index
+/// probe vs scan fallback) and how many nodes the operator produced.
+/// `xq explain` renders the plan from this trace, so the printed
+/// strategies are the executed ones by construction.
+struct OpTrace {
+  size_t op = 0;
+  std::string strategy;
+  int64_t out = 0;
+};
+
+struct Plan {
+  Path path;                         // trailing attribute step removed
+  std::optional<Step> trailing_attr; // split-off final attribute step
+  std::vector<PlanOp> ops;
+  /// Empty: plan is executable. Non-empty: Run() fails with
+  /// Unsupported(invalid_reason) — compilation reports the error once,
+  /// execution replays it (same observable behavior as the old
+  /// interpret-per-call path).
+  std::string invalid_reason;
+  /// Every name in the plan resolved to an interned QnameId: the plan
+  /// never goes stale (ids are immutable). Otherwise it must be
+  /// recompiled when pool_gen moves.
+  bool fully_resolved = true;
+  uint64_t pool_gen = 0; // qname-pool size at compile time
+  uint64_t env_fp = 0;   // compile-environment fingerprint (index shape)
+  std::string text;      // source text when compiled from text
+
+  /// Operator list without execution (static shape).
+  std::string Describe() const;
+  /// One operator line, e.g. "ChainProbe /site/people/person".
+  std::string DescribeOp(size_t i) const;
+};
+
+}  // namespace pxq::xpath
+
+#endif  // PXQ_XPATH_PLAN_H_

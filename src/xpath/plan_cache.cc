@@ -1,0 +1,64 @@
+#include "xpath/plan_cache.h"
+
+namespace pxq::xpath {
+
+std::shared_ptr<const Plan> PlanCache::Lookup(std::string_view text,
+                                              uint64_t pool_gen,
+                                              uint64_t env_fp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(text);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  const Plan& plan = *it->second.plan;
+  const bool valid = plan.env_fp == env_fp &&
+                     (plan.fully_resolved || plan.pool_gen == pool_gen);
+  if (!valid) {
+    // Epoch-invalidated: the caller recompiles and re-inserts.
+    lru_.erase(it->second.lru_it);
+    map_.erase(it);
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  ++stats_.hits;
+  return it->second.plan;
+}
+
+void PlanCache::Insert(std::string_view text,
+                       std::shared_ptr<const Plan> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(text);
+  if (it != map_.end()) {
+    // Concurrent compile race: last writer wins, LRU position refreshed.
+    it->second.plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  while (map_.size() >= capacity_ && !lru_.empty()) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.emplace_front(text);
+  map_.emplace(lru_.front(), Entry{std::move(plan), lru_.begin()});
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+}
+
+}  // namespace pxq::xpath

@@ -1,0 +1,72 @@
+// Process-wide compiled-plan cache: query text -> shared immutable
+// Plan, shared across every reader thread and every transaction of a
+// database. Entries are epoch-validated like the index's probe memos:
+// a hit requires the compile-environment fingerprint to match and the
+// plan to be either fully resolved (baked QnameIds are immutable, so
+// such a plan never goes stale) or compiled at the current qname-pool
+// generation (a plan that baked a never-interned name as "matches
+// nothing" must recompile once the pool grows — the name may exist
+// now). Stale entries are dropped on lookup; capacity evictions are
+// LRU. Thread-safe: lookups run under the database's shared read lock
+// from many threads concurrently.
+#ifndef PXQ_XPATH_PLAN_CACHE_H_
+#define PXQ_XPATH_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "xpath/plan.h"
+
+namespace pxq::xpath {
+
+class PlanCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;     // cold lookups AND stale-entry recompiles
+    int64_t evictions = 0;  // capacity (LRU) evictions
+  };
+
+  explicit PlanCache(size_t capacity = 512) : capacity_(capacity) {}
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached plan iff it is valid under the caller's current
+  /// pool generation + environment fingerprint; drops stale entries.
+  std::shared_ptr<const Plan> Lookup(std::string_view text,
+                                     uint64_t pool_gen, uint64_t env_fp);
+
+  void Insert(std::string_view text, std::shared_ptr<const Plan> plan);
+
+  Stats stats() const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Plan> plan;
+    std::list<std::string>::iterator lru_it;
+  };
+  /// Heterogeneous lookup: a warm hit must not allocate a key string.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<std::string, Entry, StringHash, std::equal_to<>> map_;
+  Stats stats_;
+};
+
+}  // namespace pxq::xpath
+
+#endif  // PXQ_XPATH_PLAN_CACHE_H_

@@ -194,7 +194,10 @@ StatusOr<ApplyStats> ApplyUpdate(storage::PagedStore* store,
   ApplyStats stats;
   SplitSelect sel = Split(u.select);
 
-  // Resolve the target set to immutable node ids up front.
+  // Resolve the target set to immutable node ids up front. The select
+  // rides the compiled pipeline (the Evaluator façade compiles the
+  // path once per update and executes the plan) — scan strategies
+  // only, since a transaction clone carries no index.
   xpath::Evaluator<PagedStore> ev(*store);
   PXQ_ASSIGN_OR_RETURN(std::vector<PreId> pres, ev.Eval(sel.nodes));
   std::vector<NodeId> targets;

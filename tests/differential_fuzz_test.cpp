@@ -166,6 +166,12 @@ class Fuzzer {
     EXPECT_GT(commits, 0);
     EXPECT_GT(aborts, 0);
     EXPECT_GT(queries, 0);
+    // Every query above went through the compiled pipeline with the
+    // plan cache enabled: the repeated pool must produce warm hits,
+    // and rename flips (interning zonex/areax/personx) force pool-
+    // generation recompiles of the tainted plans along the way.
+    EXPECT_GT(stats.plan_hits, 0);
+    EXPECT_GT(stats.plan_misses, 0);
   }
 
  private:

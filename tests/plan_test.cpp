@@ -1,0 +1,386 @@
+// Compile-once query pipeline tests: compiler operator shapes (chain
+// decomposition, predicate shape baking, name resolution), plan-cache
+// hit/miss + epoch invalidation (qname-pool growth, compile-environment
+// fingerprint change, cross-transaction sharing), explain-vs-execution
+// agreement, and the global-lock contention counters.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "database.h"
+#include "index/index_manager.h"
+#include "storage/paged_store.h"
+#include "storage/shredder.h"
+#include "xpath/compiler.h"
+#include "xpath/evaluator.h"
+#include "xpath/plan.h"
+#include "xpath/plan_cache.h"
+#include "xpath/reference_eval.h"
+
+namespace pxq {
+namespace {
+
+using xpath::OpKind;
+using xpath::Plan;
+
+constexpr const char* kDoc =
+    "<site>"
+    "<people>"
+    "<person id='p0'><name>n0</name><age>30</age></person>"
+    "<person id='p1'><name>n1</name><age>41</age></person>"
+    "<person id='p2'><name>n2</name><age>55</age></person>"
+    "</people>"
+    "<regions><zone><area>"
+    "<item k='1'><price>10</price></item>"
+    "<item k='2'><price>20</price></item>"
+    "</area></zone></regions>"
+    "</site>";
+
+std::unique_ptr<storage::PagedStore> BuildStore(const std::string& xml) {
+  storage::PagedStore::Config cfg;
+  cfg.page_tuples = 16;
+  cfg.shred_fill = 0.75;
+  auto dense = storage::ShredXml(xml);
+  EXPECT_TRUE(dense.ok()) << dense.status().ToString();
+  auto store = storage::PagedStore::Build(std::move(dense).value(), cfg);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return std::move(store).value();
+}
+
+std::vector<OpKind> Kinds(const Plan& plan) {
+  std::vector<OpKind> out;
+  for (const auto& op : plan.ops) out.push_back(op.kind);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Compiler: operator shapes
+// ---------------------------------------------------------------------------
+
+TEST(CompilerTest, BakesChainDecompositionAndPredicateShapes) {
+  auto store = BuildStore(kDoc);
+  index::IndexConfig cfg;  // default chain depth k = 3
+  index::IndexManager idx(cfg);
+  idx.Rebuild(*store);
+
+  // The plain child-name run stops at the predicated step: the chain
+  // consumes /site/people, then person compiles to a child step + an
+  // attribute-shaped gate, then name to a child step.
+  auto plan =
+      xpath::CompileText("/site/people/person[@id='p0']/name",
+                         store->pools(), &idx);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(Kinds(plan.value()),
+            (std::vector<OpKind>{OpKind::kChainProbe, OpKind::kChildStep,
+                                 OpKind::kValueProbeGate,
+                                 OpKind::kChildStep}));
+  EXPECT_EQ(plan->ops[0].consumed, 2u);
+  EXPECT_EQ(plan->ops[0].probes.size(), 1u);
+  EXPECT_EQ(plan->ops[2].shape, xpath::PredShape::kAttr);
+  EXPECT_GE(plan->ops[2].attr_qn, 0);
+  EXPECT_TRUE(plan->fully_resolved);
+
+  // Depth-5 chain at k=3: a 3-chain leading probe + one 2-step
+  // continuation = ceil((5-1)/(3-1)) = 2 probes.
+  auto deep = xpath::CompileText("/site/regions/zone/area/item",
+                                 store->pools(), &idx);
+  ASSERT_TRUE(deep.ok());
+  ASSERT_EQ(deep->ops.size(), 1u);
+  EXPECT_EQ(deep->ops[0].kind, OpKind::kChainProbe);
+  EXPECT_EQ(deep->ops[0].consumed, 5u);
+  EXPECT_EQ(deep->ops[0].probes.size(), 2u);
+  EXPECT_EQ(deep->ops[0].probes[0].chain.size(), 3u);
+  EXPECT_EQ(deep->ops[0].probes[0].anchor_level, 2);
+  EXPECT_EQ(deep->ops[0].probes[1].rel_depth, 2);
+
+  // Non-leading positional steps fold axis + predicates into one
+  // per-origin op; a LEADING positional predicate stays a list filter
+  // (single conceptual origin: the document node).
+  auto pos = xpath::CompileText("/site/people/person[2]", store->pools(),
+                                &idx);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(Kinds(pos.value()),
+            (std::vector<OpKind>{OpKind::kChainProbe,
+                                 OpKind::kPositionFilter}));
+  EXPECT_TRUE(pos->ops[1].per_origin);
+  auto lead = xpath::CompileText("//person[2]", store->pools(), &idx);
+  ASSERT_TRUE(lead.ok());
+  EXPECT_EQ(Kinds(lead.value()),
+            (std::vector<OpKind>{OpKind::kQnamePostings,
+                                 OpKind::kPositionFilter}));
+  EXPECT_FALSE(lead->ops[1].per_origin);
+}
+
+TEST(CompilerTest, NoIndexEnvironmentCompilesStepwise) {
+  auto store = BuildStore(kDoc);
+  auto plan = xpath::CompileText("/site/people/person", store->pools(),
+                                 nullptr);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(Kinds(plan.value()),
+            (std::vector<OpKind>{OpKind::kRootSeed, OpKind::kChildStep,
+                                 OpKind::kChildStep}));
+}
+
+TEST(CompilerTest, UnresolvedNameTaintsPlan) {
+  auto store = BuildStore(kDoc);
+  auto plan = xpath::CompileText("//nosuch", store->pools(), nullptr);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->fully_resolved);
+  auto resolved = xpath::CompileText("//person", store->pools(), nullptr);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_TRUE(resolved->fully_resolved);
+}
+
+TEST(CompilerTest, TrailingAttributeStepSplitsOff) {
+  auto store = BuildStore(kDoc);
+  auto plan = xpath::CompileText("/site/people/person/@id",
+                                 store->pools(), nullptr);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->trailing_attr.has_value());
+  EXPECT_EQ(plan->trailing_attr->test.name, "id");
+  EXPECT_EQ(plan->path.steps.size(), 3u);
+
+  // Node evaluation of such a plan reports the error; EvalStrings uses
+  // the split step.
+  xpath::Evaluator<storage::PagedStore> ev(*store);
+  EXPECT_FALSE(ev.Eval("/site/people/person/@id").ok());
+  auto vals = ev.EvalStrings("/site/people/person/@id");
+  ASSERT_TRUE(vals.ok());
+  EXPECT_EQ(vals.value(),
+            (std::vector<std::string>{"p0", "p1", "p2"}));
+}
+
+// ---------------------------------------------------------------------------
+// Compiled execution agrees with the brute-force reference
+// ---------------------------------------------------------------------------
+
+TEST(CompiledExecutionTest, MatchesReferenceWithAndWithoutIndex) {
+  auto store = BuildStore(kDoc);
+  index::IndexConfig cfg;
+  cfg.cross_check = true;  // probe-level oracle, gate bypassed
+  index::IndexManager idx(cfg);
+  idx.Rebuild(*store);
+  const char* const queries[] = {
+      "//person",
+      "/site/people/person",
+      "/site/regions/zone/area/item",
+      "/site/regions/zone/area/item/price",
+      "//person[@id='p1']",
+      "//person[age>40]",
+      "//area[item]",
+      "//item[price>=20]",
+      "//person[2]",
+      "//person[last()]",
+      "//nosuch",
+      "/site/*",
+      "//zone//price",
+  };
+  xpath::PlanCache cache;
+  xpath::Evaluator<storage::PagedStore> indexed(*store, &idx, &cache);
+  xpath::Evaluator<storage::PagedStore> scan(*store);
+  xpath::ReferenceEvaluator<storage::PagedStore> ref(*store);
+  for (const char* q : queries) {
+    auto a = indexed.Eval(q);
+    ASSERT_TRUE(a.ok()) << q << ": " << a.status().ToString();
+    auto b = scan.Eval(q);
+    ASSERT_TRUE(b.ok()) << q << ": " << b.status().ToString();
+    auto c = ref.Eval(xpath::ParsePath(q).value());
+    ASSERT_TRUE(c.ok()) << q << ": " << c.status().ToString();
+    EXPECT_EQ(a.value(), c.value()) << q;
+    EXPECT_EQ(b.value(), c.value()) << q;
+    // Cached repeat returns the identical result.
+    auto again = indexed.Eval(q);
+    ASSERT_TRUE(again.ok()) << q;
+    EXPECT_EQ(again.value(), a.value()) << q;
+  }
+  EXPECT_GT(cache.stats().hits, 0);
+  EXPECT_EQ(idx.Stats().cross_check_mismatches, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache: hit/miss, epoch invalidation, cross-transaction sharing
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheTest, HitsMissesAndCrossTxnSharing) {
+  auto db_or = Database::CreateFromXml(kDoc);
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(db_or).value();
+
+  const char* q = "/site/people/person";
+  ASSERT_TRUE(db->Query(q).ok());
+  auto s1 = db->IndexStats();
+  EXPECT_EQ(s1.plan_misses, 1);
+  EXPECT_EQ(s1.plan_hits, 0);
+  ASSERT_TRUE(db->Query(q).ok());
+  auto s2 = db->IndexStats();
+  EXPECT_EQ(s2.plan_misses, 1);
+  EXPECT_EQ(s2.plan_hits, 1);
+
+  // A transaction shares the cache (and the compiled plan, executed
+  // without the index): its view diverges from the base after staged
+  // edits while the base keeps answering from the committed state.
+  auto txn = db->Begin();
+  ASSERT_TRUE(txn.ok());
+  auto before = txn.value()->Query(q);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->size(), 3u);
+  EXPECT_GT(db->IndexStats().plan_hits, s2.plan_hits);
+  ASSERT_TRUE(txn.value()
+                  ->Update("<xupdate:modifications version=\"1.0\" "
+                           "xmlns:xupdate=\"http://www.xmldb.org/xupdate\">"
+                           "<xupdate:remove select=\"//person[1]\"/>"
+                           "</xupdate:modifications>")
+                  .ok());
+  auto staged = txn.value()->Query(q);
+  ASSERT_TRUE(staged.ok());
+  EXPECT_EQ(staged->size(), 2u);
+  auto base = db->Query(q);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->size(), 3u);
+  ASSERT_TRUE(txn.value()->Abort().ok());
+}
+
+TEST(PlanCacheTest, QnamePoolGrowthRecompilesUnresolvedPlans) {
+  auto db_or = Database::CreateFromXml(kDoc);
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(db_or).value();
+
+  // "gadget" is not interned: the plan bakes "matches nothing" and is
+  // tainted; "person" resolves fully and never goes stale.
+  auto r = db->Query("//gadget");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+  ASSERT_TRUE(db->Query("//gadget").ok());  // hit: pool unchanged
+  ASSERT_TRUE(db->Query("//person").ok());
+  ASSERT_TRUE(db->Query("//person").ok());
+  auto s0 = db->IndexStats();
+  EXPECT_EQ(s0.plan_misses, 2);
+  EXPECT_EQ(s0.plan_hits, 2);
+
+  // Interning new names (the insert's element tag) bumps the pool
+  // generation: the tainted plan recompiles and now sees the node...
+  ASSERT_TRUE(db->Update("<xupdate:modifications version=\"1.0\" "
+                         "xmlns:xupdate=\"http://www.xmldb.org/xupdate\">"
+                         "<xupdate:append select=\"/site\">"
+                         "<gadget/></xupdate:append>"
+                         "</xupdate:modifications>")
+                  .ok());
+  auto after = db->Query("//gadget");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), 1u);
+  auto s1 = db->IndexStats();
+  EXPECT_EQ(s1.plan_misses, s0.plan_misses + 1);
+  // ... while the fully-resolved plan keeps hitting across the growth.
+  ASSERT_TRUE(db->Query("//person").ok());
+  auto s2 = db->IndexStats();
+  EXPECT_EQ(s2.plan_hits, s1.plan_hits + 1);
+  EXPECT_EQ(s2.plan_misses, s1.plan_misses);
+}
+
+TEST(PlanCacheTest, EnvironmentFingerprintChangeInvalidates) {
+  auto store = BuildStore(kDoc);
+  index::IndexConfig c3;
+  c3.path_chain_depth = 3;
+  index::IndexManager i3(c3);
+  i3.Rebuild(*store);
+  index::IndexConfig c2;
+  c2.path_chain_depth = 2;
+  index::IndexManager i2(c2);
+  i2.Rebuild(*store);
+
+  xpath::PlanCache cache;
+  const char* q = "/site/regions/zone/area/item";
+  xpath::Evaluator<storage::PagedStore> e3(*store, &i3, &cache);
+  ASSERT_TRUE(e3.Eval(q).ok());
+  EXPECT_EQ(cache.stats().misses, 1);
+  // Same text under a different IndexConfig (chain depth): the baked
+  // cascade no longer matches the environment — recompile, not reuse.
+  xpath::Evaluator<storage::PagedStore> e2(*store, &i2, &cache);
+  ASSERT_TRUE(e2.Eval(q).ok());
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_EQ(cache.stats().hits, 0);
+  ASSERT_TRUE(e2.Eval(q).ok());
+  EXPECT_EQ(cache.stats().hits, 1);
+  // No-index environment is a third fingerprint.
+  xpath::Evaluator<storage::PagedStore> e0(*store, nullptr, &cache);
+  ASSERT_TRUE(e0.Eval(q).ok());
+  EXPECT_EQ(cache.stats().misses, 3);
+}
+
+TEST(PlanCacheTest, CapacityEvictionIsLru) {
+  auto store = BuildStore(kDoc);
+  xpath::PlanCache cache(/*capacity=*/2);
+  xpath::Evaluator<storage::PagedStore> ev(*store, nullptr, &cache);
+  ASSERT_TRUE(ev.Eval("//person").ok());
+  ASSERT_TRUE(ev.Eval("//item").ok());
+  ASSERT_TRUE(ev.Eval("//person").ok());  // person now most recent
+  ASSERT_TRUE(ev.Eval("//price").ok());   // evicts //item
+  EXPECT_EQ(cache.stats().evictions, 1);
+  ASSERT_TRUE(ev.Eval("//person").ok());
+  EXPECT_EQ(cache.stats().hits, 2);  // person survived the eviction
+}
+
+// ---------------------------------------------------------------------------
+// Explain: the printed operators are the executed ones
+// ---------------------------------------------------------------------------
+
+TEST(ExplainTest, ReportsExecutedStrategiesAndCacheState) {
+  Database::Options opt;
+  opt.index.cross_check = true;  // gate bypassed: strategies deterministic
+  auto db_or = Database::CreateFromXml(kDoc, opt);
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(db_or).value();
+
+  const char* q = "/site/regions/zone/area/item";
+  auto cold = db->Explain(q);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_NE(cold->find("cache: miss"), std::string::npos) << *cold;
+  EXPECT_NE(cold->find("ChainProbe"), std::string::npos) << *cold;
+  EXPECT_NE(cold->find("index cascade (2 probes)"), std::string::npos)
+      << *cold;
+  EXPECT_NE(cold->find("result: 2 nodes"), std::string::npos) << *cold;
+
+  auto warm = db->Explain(q);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_NE(warm->find("cache: hit"), std::string::npos) << *warm;
+
+  // The explain result count matches a real query's.
+  auto res = db->Query(q);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->size(), 2u);
+
+  auto pred = db->Explain("//person[age>40]");
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NE(pred->find("QnamePostings"), std::string::npos) << *pred;
+  EXPECT_NE(pred->find("ValueProbeGate"), std::string::npos) << *pred;
+  EXPECT_NE(pred->find("result: 2 nodes"), std::string::npos) << *pred;
+}
+
+// ---------------------------------------------------------------------------
+// Global-lock contention counters
+// ---------------------------------------------------------------------------
+
+TEST(LockStatsTest, CountsReaderAndWriterAcquires) {
+  auto db_or = Database::CreateFromXml(kDoc);
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(db_or).value();
+  auto base = db->LockStats();
+  ASSERT_TRUE(db->Query("//person").ok());
+  auto after_read = db->LockStats();
+  EXPECT_GT(after_read.reader_acquires, base.reader_acquires);
+  ASSERT_TRUE(db->Update("<xupdate:modifications version=\"1.0\" "
+                         "xmlns:xupdate=\"http://www.xmldb.org/xupdate\">"
+                         "<xupdate:append select=\"/site\">"
+                         "<extra/></xupdate:append>"
+                         "</xupdate:modifications>")
+                  .ok());
+  auto after_write = db->LockStats();
+  EXPECT_GT(after_write.writer_acquires, after_read.writer_acquires);
+  EXPECT_GE(after_write.reader_waits, 0);
+  EXPECT_GE(after_write.writer_waits, 0);
+}
+
+}  // namespace
+}  // namespace pxq

@@ -49,6 +49,28 @@ TEST(XPathParserTest, RejectsGarbage) {
   }
 }
 
+// Every parse error carries the byte offset of the offending token, so
+// a failing query is debuggable from the Status alone.
+TEST(XPathParserTest, ErrorsCarryByteOffsets) {
+  const std::pair<const char*, const char*> cases[] = {
+      {"/", "offset 1"},                 // path has no steps
+      {"/a]b", "offset 2"},              // unexpected ']' (trailing junk)
+      {"/a[", "offset 3"},               // expected name
+      {"/a[0]", "offset 3"},             // bad positional predicate
+      {"/a[b='x", "offset 5"},           // unterminated string literal
+      {"/a[b=]", "offset 5"},            // expected literal
+      {"/a/bogus::b", "offset 3"},       // unknown axis
+      {"/a/frob()", "offset 3"},         // unknown node test
+  };
+  for (const auto& [bad, want] : cases) {
+    auto p = ParsePath(bad);
+    ASSERT_FALSE(p.ok()) << bad;
+    const std::string msg = p.status().ToString();
+    EXPECT_NE(msg.find(want), std::string::npos)
+        << bad << " -> " << msg;
+  }
+}
+
 // Fixture document with known positions:
 //   r(0) s1(1) t"x"(2) k(3) k(4) s2(5) k(6) m(7) k(8) t"y"(9)
 constexpr const char* kDoc =
