@@ -10,7 +10,13 @@
 //                                           (operator list, strategies
 //                                           taken, cache hit/miss)
 //   xq update <file.xml> <xupdate.xml>      apply updates, print document
-//   xq stats  <file.xml>                    storage statistics
+//   xq profile <file.xml> <xpath>           measured per-operator profile
+//                                           (wall-time, cardinalities,
+//                                           index probes per operator)
+//   xq stats  [--json|--prom] <file.xml>    storage statistics; --json
+//                                           emits the metrics snapshot
+//                                           with stable keys, --prom the
+//                                           Prometheus text exposition
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -23,9 +29,9 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: xq query [--explain] <file.xml> <xpath>\n"
-               "       xq values|count|explain <file.xml> <xpath>\n"
+               "       xq values|count|explain|profile <file.xml> <xpath>\n"
                "       xq update <file.xml> <xupdate.xml>\n"
-               "       xq stats <file.xml>\n");
+               "       xq stats [--json|--prom] <file.xml>\n");
   return 2;
 }
 
@@ -44,11 +50,23 @@ int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   std::string cmd = argv[1];
   bool explain = false;
+  bool json = false;
+  bool prom = false;
   int file_arg = 2;
   if (cmd == "query" && std::string(argv[2]) == "--explain") {
     explain = true;
     file_arg = 3;
     if (argc < 4) return Usage();
+  }
+  if (cmd == "stats") {
+    if (std::string(argv[2]) == "--json") {
+      json = true;
+      file_arg = 3;
+    } else if (std::string(argv[2]) == "--prom") {
+      prom = true;
+      file_arg = 3;
+    }
+    if (argc != file_arg + 1) return Usage();
   }
   std::string xml;
   if (!ReadFile(argv[file_arg], &xml)) {
@@ -107,6 +125,16 @@ int main(int argc, char** argv) {
     for (const auto& v : vals.value()) std::printf("%s\n", v.c_str());
     return 0;
   }
+  if (cmd == "profile") {
+    if (argc != 4) return Usage();
+    auto p = db->Profile(argv[3]);
+    if (!p.ok()) {
+      std::fprintf(stderr, "%s\n", p.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", p.value().c_str());
+    return 0;
+  }
   if (cmd == "update") {
     if (argc != 4) return Usage();
     std::string up;
@@ -129,6 +157,14 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (cmd == "stats") {
+    if (json) {
+      std::printf("%s\n", db->StatsJson().c_str());
+      return 0;
+    }
+    if (prom) {
+      std::printf("%s", db->MetricsText().c_str());
+      return 0;
+    }
     auto& s = db->store();
     std::printf("nodes:          %lld\n",
                 static_cast<long long>(s.used_count()));

@@ -1,5 +1,7 @@
 #include "database.h"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 
 #include "storage/shredder.h"
@@ -29,6 +31,27 @@ void ApplyIndexEnvOverrides(index::IndexConfig* cfg) {
     cfg->path_chain_depth = std::atoi(e);
   }
 }
+
+/// PXQ_PROFILE=<n> turns on 1-in-n query profiling (1 = every query)
+/// and PXQ_SLOW_QUERY_MS=<ms> sets the slow-query threshold — both
+/// without a rebuild or a code change, mirroring the index overrides.
+void ApplyProfileEnvOverrides(Database::Options* opts) {
+  if (const char* e = std::getenv("PXQ_PROFILE");
+      e != nullptr && e[0] != '\0') {
+    opts->profile_sample_n = std::atoll(e);
+  }
+  if (const char* e = std::getenv("PXQ_SLOW_QUERY_MS");
+      e != nullptr && e[0] != '\0') {
+    opts->slow_query_ms = std::atoll(e);
+  }
+}
+
+std::string FormatMs(int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3fms",
+                static_cast<double>(ns) / 1e6);
+  return buf;
+}
 }  // namespace
 
 std::string Database::SnapshotPath() const {
@@ -43,6 +66,7 @@ StatusOr<std::unique_ptr<Database>> Database::CreateFromXml(
   auto db = std::unique_ptr<Database>(new Database());
   db->options_ = std::move(options);
   ApplyIndexEnvOverrides(&db->options_.index);
+  ApplyProfileEnvOverrides(&db->options_);
   PXQ_ASSIGN_OR_RETURN(storage::DenseDocument dense, storage::ShredXml(xml));
   PXQ_ASSIGN_OR_RETURN(
       std::unique_ptr<storage::PagedStore> store,
@@ -60,6 +84,7 @@ StatusOr<std::unique_ptr<Database>> Database::CreateFromXml(
   }
   PXQ_ASSIGN_OR_RETURN(db->txns_,
                        txn::TransactionManager::Create(db->store_, topts));
+  db->InitObservability();
   return db;
 }
 
@@ -70,6 +95,7 @@ StatusOr<std::unique_ptr<Database>> Database::Open(Options options) {
   auto db = std::unique_ptr<Database>(new Database());
   db->options_ = std::move(options);
   ApplyIndexEnvOverrides(&db->options_.index);
+  ApplyProfileEnvOverrides(&db->options_);
   PXQ_ASSIGN_OR_RETURN(
       db->store_,
       txn::TransactionManager::Recover(db->SnapshotPath(), db->WalPath()));
@@ -92,13 +118,94 @@ StatusOr<std::unique_ptr<Database>> Database::Open(Options options) {
   }
   PXQ_ASSIGN_OR_RETURN(db->txns_,
                        txn::TransactionManager::Create(db->store_, topts));
+  db->InitObservability();
   return db;
 }
 
+void Database::InitObservability() {
+  obs::Profiler::Options popts;
+  popts.sample_n = options_.profile_sample_n;
+  popts.slow_ns = options_.slow_query_ms * 1'000'000;
+  profiler_ = std::make_unique<obs::Profiler>(popts);
+  // One registry, many owners: every subsystem registers REFERENCES to
+  // the counters/histograms its hot paths already bump, plus callback
+  // groups for mutex-guarded derived values. The registry is just the
+  // catalog — there is exactly one set of atomics.
+  profiler_->RegisterMetrics(&metrics_);
+  plan_cache_.RegisterMetrics(&metrics_);
+  if (index_ != nullptr) index_->RegisterMetrics(&metrics_);
+  txns_->RegisterMetrics(&metrics_);
+}
+
 StatusOr<std::vector<PreId>> Database::Query(std::string_view xpath) {
+  // Sampling off: ShouldSample is one relaxed load; the evaluation
+  // below is byte-identical to the pre-profiler path (trace == nullptr
+  // inside the executor).
+  if (profiler_->ShouldSample()) {
+    return QueryProfiled(xpath, nullptr);
+  }
   return txns_->Read([&](const storage::PagedStore& s) {
     return xpath::EvaluatePath(s, xpath, index_.get(), &plan_cache_);
   });
+}
+
+StatusOr<std::vector<PreId>> Database::QueryProfiled(
+    std::string_view xpath, obs::QuerySpan* span_out) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  auto traced = txns_->Read(
+      [&](const storage::PagedStore& s)
+          -> StatusOr<
+              xpath::Evaluator<storage::PagedStore>::TracedResult> {
+        xpath::Evaluator<storage::PagedStore> ev(s, index_.get(),
+                                                 &plan_cache_);
+        return ev.EvalTraced(xpath);
+      });
+  obs::QuerySpan span;
+  span.text = std::string(xpath);
+  span.total_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - t0)
+                      .count();
+  if (traced.ok()) {
+    const auto& tr = traced.value();
+    span.cache_hit = tr.cache_hit;
+    span.compile_ns = tr.compile_ns;
+    span.result_count = static_cast<int64_t>(tr.nodes.size());
+    span.ops.reserve(tr.trace.size());
+    for (const xpath::OpTrace& t : tr.trace) {
+      span.ops.push_back({t.op, tr.plan->DescribeOp(t.op), t.strategy,
+                          t.in, t.out, t.wall_ns, t.index_probes});
+    }
+  } else {
+    span.ok = false;
+    span.error = traced.status().ToString();
+  }
+  if (span_out != nullptr) *span_out = span;
+  profiler_->RecordSpan(std::move(span));
+  if (!traced.ok()) return traced.status();
+  return std::move(traced.value().nodes);
+}
+
+StatusOr<std::string> Database::Profile(std::string_view xpath) {
+  obs::QuerySpan span;
+  auto res = QueryProfiled(xpath, &span);
+  std::string out = "profile for " + std::string(xpath) + "\n";
+  if (!res.ok()) {
+    return out + "  error: " + res.status().ToString() + "\n";
+  }
+  out += "  plan: " + std::string(span.cache_hit ? "cache hit" : "compiled");
+  if (!span.cache_hit) out += " in " + FormatMs(span.compile_ns);
+  out += "\n";
+  for (const obs::OpProfile& op : span.ops) {
+    out += "  " + std::to_string(op.op + 1) + ". " + op.describe + " -> " +
+           op.strategy + ", in=" + std::to_string(op.in) +
+           " out=" + std::to_string(op.out) +
+           " probes=" + std::to_string(op.index_probes) + " t=" +
+           FormatMs(op.wall_ns) + "\n";
+  }
+  out += "  total: " + FormatMs(span.total_ns) + ", " +
+         std::to_string(span.result_count) + " nodes\n";
+  return out;
 }
 
 StatusOr<std::vector<std::string>> Database::QueryStrings(

@@ -20,6 +20,8 @@
 
 #include "common/status.h"
 #include "index/index_manager.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "storage/paged_store.h"
 #include "txn/txn_manager.h"
 #include "xpath/plan_cache.h"
@@ -51,6 +53,15 @@ class Database {
     /// divergence detection), and PXQ_PATH_CHAIN_DEPTH=<k> overrides
     /// `index.path_chain_depth` (bench/CI A-B runs without a rebuild).
     index::IndexConfig index;
+    /// Query profiling sample rate: 0 = off (the default — Query pays
+    /// one relaxed atomic load and nothing else), N = every Nth query
+    /// runs traced (per-operator wall-time, cardinalities, probe
+    /// counts) and files a span into the profiler's ring buffer; 1 =
+    /// every query. Environment override: PXQ_PROFILE=<n>.
+    int64_t profile_sample_n = 0;
+    /// Sampled spans at or above this total wall-time also enter the
+    /// slow-query log. Environment override: PXQ_SLOW_QUERY_MS=<ms>.
+    int64_t slow_query_ms = 50;
   };
 
   /// Shred an XML document into a fresh database. With durability
@@ -76,6 +87,12 @@ class Database {
   /// the executor actually took per operator, and whether the plan came
   /// from the cache. Executes the query (with tracing) to do so.
   StatusOr<std::string> Explain(std::string_view xpath);
+  /// Measured per-operator profile: like Explain but with wall-time,
+  /// input/output cardinalities, and index-probe counts per operator
+  /// (same operator list — both render the executor's trace). Always
+  /// traces regardless of the sampling knob, and files the span into
+  /// the profiler (so it shows up in slow-query logs and pxq_query_ns).
+  StatusOr<std::string> Profile(std::string_view xpath);
   /// Serialize the whole document (or a subtree rooted at `root`).
   StatusOr<std::string> Serialize(PreId root = kNullPre,
                                   bool pretty = false);
@@ -100,9 +117,21 @@ class Database {
   /// for the child-step and path-prefix plans, and the plan-cache
   /// counters (plan_hits / plan_misses / plan_evictions, live even
   /// with the index disabled — the plan cache is independent of it).
+  ///
+  /// Snapshot coherence: each half is internally consistent — the
+  /// plan-cache triple is one mutex-guarded copy (hits + misses equals
+  /// completed lookups exactly), and the index's derived hit counters
+  /// read declines before probes so hits stay within [0, probes] even
+  /// mid-traffic (see IndexManager::Stats). Cross-subsystem skew
+  /// between the two halves is inherent to lock-free counters and
+  /// bounded by the in-flight queries at snapshot time.
   index::IndexStats IndexStats() const {
-    index::IndexStats s = index_ ? index_->Stats() : index::IndexStats{};
+    // Plan-cache stats FIRST: a query increments its plan counter
+    // before issuing any probe, so sampling plans before probes keeps
+    // "probes implied by counted plans" >= "probes counted" — the
+    // conservative direction for hit-rate math.
     const xpath::PlanCache::Stats ps = plan_cache_.stats();
+    index::IndexStats s = index_ ? index_->Stats() : index::IndexStats{};
     s.plan_hits = ps.hits;
     s.plan_misses = ps.misses;
     s.plan_evictions = ps.evictions;
@@ -116,11 +145,35 @@ class Database {
   /// valid against the committed base store under the global read lock.
   index::IndexManager* index_manager() { return index_.get(); }
 
+  // --- unified observability ------------------------------------------
+  /// Point-in-time snapshot of every registered metric: the index's
+  /// probe counters, plan-cache hit/miss/compile-time, global-lock
+  /// contention (wait-time histograms), commit-window and WAL append
+  /// latencies, and the profiler's query-latency histogram — all read
+  /// from the same atomics the hot paths bump.
+  obs::MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
+  /// Machine-readable snapshot with stable keys (`xq stats --json`).
+  std::string StatsJson() const { return metrics_.Snapshot().ToJson(); }
+  /// Prometheus text exposition, scrape-ready for a server front end.
+  std::string MetricsText() const { return metrics_.PrometheusText(); }
+  /// The profiler: sampled query spans, ring buffers, slow-query log.
+  obs::Profiler& profiler() { return *profiler_; }
+
  private:
   Database() = default;
   std::string SnapshotPath() const;
   std::string WalPath() const;
+  /// Build the profiler and register every subsystem's metrics; called
+  /// once at the end of CreateFromXml/Open, after all components exist.
+  void InitObservability();
+  /// The traced query path (sampled queries and Profile): evaluates
+  /// with tracing, files a QuerySpan, optionally hands the span back.
+  StatusOr<std::vector<PreId>> QueryProfiled(std::string_view xpath,
+                                             obs::QuerySpan* span_out);
 
+  /// Declared FIRST so it is destroyed LAST: the registry holds raw
+  /// pointers to counters owned by the components below.
+  obs::MetricsRegistry metrics_;
   Options options_;
   std::shared_ptr<storage::PagedStore> store_;
   std::unique_ptr<index::IndexManager> index_;
@@ -132,6 +185,7 @@ class Database {
   /// pool, so a transaction interning new names invalidates exactly the
   /// plans that baked a missing name.
   xpath::PlanCache plan_cache_;
+  std::unique_ptr<obs::Profiler> profiler_;
 };
 
 /// Explicit transaction wrapper: queries and updates against the

@@ -444,6 +444,7 @@ void IndexManager::ApplyDirty(const storage::PagedStore& store,
   // (every pre-shifting primitive marks at least one node), so nothing
   // to publish and the memoized pre-lists are still valid.
   if (delta.empty()) return;
+  const auto t0 = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(writer_mu_);
   std::vector<ShardBuilder> bs(static_cast<size_t>(nshards_));
   std::vector<NodeId> work = delta.dirty();
@@ -567,6 +568,10 @@ void IndexManager::ApplyDirty(const storage::PagedStore& store,
   Publish(bs, delta.structural());
   maintenance_ops_ += static_cast<int64_t>(work.size());
   applied_commits_ += 1;
+  apply_dirty_ns_.Record(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
 }
 
 // ---------------------------------------------------------------------------
@@ -649,10 +654,10 @@ const std::vector<PreId>* IndexManager::MemoizedPres(
   if (const MemoEntry* e = LookupMemo(shard, mk);
       e != nullptr && e->src_gen == src.gen &&
       e->structure_epoch == sepoch) {
-    memo_hits_.v.fetch_add(1, std::memory_order_relaxed);
+    memo_hits_.Inc();
     return &e->pres;
   }
-  memo_misses_.v.fetch_add(1, std::memory_order_relaxed);
+  memo_misses_.Inc();
   auto entry = std::make_shared<MemoEntry>();
   entry->src_gen = src.gen;
   entry->structure_epoch = sepoch;
@@ -709,7 +714,7 @@ int64_t IndexManager::PostingsCount(QnameId qn) const {
 const std::vector<PreId>* IndexManager::ElementsByQname(
     const storage::PagedStore& store, QnameId qn, int64_t scan_cost) const {
   if (!config_.enabled || qn < 0) return nullptr;
-  probes_.v.fetch_add(1, std::memory_order_relaxed);
+  probes_.Inc();
   const Shard& shard = shards_[ShardOf(qn)];
   const ShardSnapshot* snap = shard.snap.load(std::memory_order_acquire);
   auto it = snap->postings.find(qn);
@@ -717,7 +722,7 @@ const std::vector<PreId>* IndexManager::ElementsByQname(
                         ? 0
                         : static_cast<int64_t>(it->second->nodes.size());
   if (!Gate(k, scan_cost)) {
-    probe_declines_.v.fetch_add(1, std::memory_order_relaxed);
+    probe_declines_.Inc();
     return nullptr;
   }
   if (it == snap->postings.end()) return &kEmptyPres;
@@ -745,7 +750,7 @@ const std::vector<PreId>* IndexManager::PathChainProbe(
   if (chain.back() < 0) return nullptr;  // self must be a real tag
   const PaddedCounter& probes = len == 2 ? path_probes_ : chain_probes_;
   const PaddedCounter& declines = len == 2 ? path_declines_ : chain_declines_;
-  probes.v.fetch_add(1, std::memory_order_relaxed);
+  probes.Inc();
   // chain is in PATH order (farthest ancestor first); the key stores
   // self first.
   ChainKey key;
@@ -758,7 +763,7 @@ const std::vector<PreId>* IndexManager::PathChainProbe(
                         ? 0
                         : static_cast<int64_t>(it->second->nodes.size());
   if (!Gate(k, scan_cost)) {
-    declines.v.fetch_add(1, std::memory_order_relaxed);
+    declines.Inc();
     return nullptr;
   }
   if (it == snap->paths.end()) return &kEmptyPres;
@@ -863,7 +868,7 @@ bool IndexManager::ChildValueProbe(const storage::PagedStore& store,
                                    std::vector<PreId>* simple,
                                    std::vector<PreId>* complex_rest) const {
   if (!config_.enabled || qn < 0 || op == xpath::CmpOp::kNe) return false;
-  probes_.v.fetch_add(1, std::memory_order_relaxed);
+  probes_.Inc();
   simple->clear();
   complex_rest->clear();
   const Shard& shard = shards_[ShardOf(qn)];
@@ -889,12 +894,12 @@ bool IndexManager::ChildValueProbe(const storage::PagedStore& store,
       if (!Gate(e->candidates, scan_cost)) {
         // Warm decline: the gate ran off the cached count — no
         // CollectMatches, no dictionary walk.
-        value_neg_hits_.v.fetch_add(1, std::memory_order_relaxed);
-        probe_declines_.v.fetch_add(1, std::memory_order_relaxed);
+        value_neg_hits_.Inc();
+        probe_declines_.Inc();
         return false;
       }
       if (e->materialized) {
-        memo_value_hits_.v.fetch_add(1, std::memory_order_relaxed);
+        memo_value_hits_.Inc();
         *simple = e->pres;
         *complex_rest = e->complex_pres;
         return true;
@@ -908,7 +913,7 @@ bool IndexManager::ChildValueProbe(const storage::PagedStore& store,
   const int64_t k = static_cast<int64_t>(matches.size()) +
                     static_cast<int64_t>(vb.complex_elems.size());
   if (!Gate(k, scan_cost)) {
-    probe_declines_.v.fetch_add(1, std::memory_order_relaxed);
+    probe_declines_.Inc();
     if (config_.memo_values) {
       // Negative cache (ROADMAP): remember the candidate count so the
       // key's next warm decline skips CollectMatches entirely. The
@@ -927,7 +932,7 @@ bool IndexManager::ChildValueProbe(const storage::PagedStore& store,
   *simple = ToPres(store, matches);
   *complex_rest = ToPres(store, vb.complex_elems);
   if (config_.memo_values) {
-    memo_value_misses_.v.fetch_add(1, std::memory_order_relaxed);
+    memo_value_misses_.Inc();
     auto entry = std::make_shared<MemoEntry>();
     entry->src_gen = SourceGenFor(vb, mk);
     entry->aux_gen = vb.complex_gen;
@@ -943,7 +948,7 @@ bool IndexManager::ChildValueProbe(const storage::PagedStore& store,
 std::optional<std::vector<PreId>> IndexManager::AttrOwners(
     const storage::PagedStore& store, QnameId qn, int64_t scan_cost) const {
   if (!config_.enabled || qn < 0) return std::nullopt;
-  probes_.v.fetch_add(1, std::memory_order_relaxed);
+  probes_.Inc();
   const Shard& shard = shards_[ShardOf(qn)];
   const ShardSnapshot* snap = shard.snap.load(std::memory_order_acquire);
   auto it = snap->attrs.find(qn);
@@ -951,7 +956,7 @@ std::optional<std::vector<PreId>> IndexManager::AttrOwners(
   const AttrBucket& ab = *it->second;
   const int64_t k = static_cast<int64_t>(ab.owners.size());
   if (!Gate(k, scan_cost)) {
-    probe_declines_.v.fetch_add(1, std::memory_order_relaxed);
+    probe_declines_.Inc();
     return std::nullopt;
   }
   const uint64_t sepoch = structure_epoch_.load(std::memory_order_acquire);
@@ -962,13 +967,13 @@ std::optional<std::vector<PreId>> IndexManager::AttrOwners(
     if (const MemoEntry* e = LookupMemo(shard, mk);
         e != nullptr && e->src_gen == ab.owners_gen &&
         e->structure_epoch == sepoch) {
-      memo_value_hits_.v.fetch_add(1, std::memory_order_relaxed);
+      memo_value_hits_.Inc();
       return e->pres;
     }
   }
   std::vector<PreId> pres = ToPres(store, ab.owners);
   if (config_.memo_values) {
-    memo_value_misses_.v.fetch_add(1, std::memory_order_relaxed);
+    memo_value_misses_.Inc();
     auto entry = std::make_shared<MemoEntry>();
     entry->src_gen = ab.owners_gen;
     entry->structure_epoch = sepoch;
@@ -985,7 +990,7 @@ std::optional<std::vector<PreId>> IndexManager::AttrValueProbe(
   if (!config_.enabled || qn < 0 || op == xpath::CmpOp::kNe) {
     return std::nullopt;
   }
-  probes_.v.fetch_add(1, std::memory_order_relaxed);
+  probes_.Inc();
   const Shard& shard = shards_[ShardOf(qn)];
   const ShardSnapshot* snap = shard.snap.load(std::memory_order_acquire);
   auto it = snap->attrs.find(qn);
@@ -1001,12 +1006,12 @@ std::optional<std::vector<PreId>> IndexManager::AttrValueProbe(
         e != nullptr && e->src_gen == SourceGenFor(ab, mk) &&
         (!e->materialized || e->structure_epoch == sepoch)) {
       if (!Gate(e->candidates, scan_cost)) {
-        value_neg_hits_.v.fetch_add(1, std::memory_order_relaxed);
-        probe_declines_.v.fetch_add(1, std::memory_order_relaxed);
+        value_neg_hits_.Inc();
+        probe_declines_.Inc();
         return std::nullopt;
       }
       if (e->materialized) {
-        memo_value_hits_.v.fetch_add(1, std::memory_order_relaxed);
+        memo_value_hits_.Inc();
         return e->pres;
       }
     }
@@ -1015,7 +1020,7 @@ std::optional<std::vector<PreId>> IndexManager::AttrValueProbe(
   CollectMatches(ab.by_string, ab.by_number, op, literal, &matches);
   const int64_t k = static_cast<int64_t>(matches.size());
   if (!Gate(k, scan_cost)) {
-    probe_declines_.v.fetch_add(1, std::memory_order_relaxed);
+    probe_declines_.Inc();
     if (config_.memo_values) {
       auto entry = std::make_shared<MemoEntry>();
       entry->src_gen = SourceGenFor(ab, mk);
@@ -1028,7 +1033,7 @@ std::optional<std::vector<PreId>> IndexManager::AttrValueProbe(
   }
   std::vector<PreId> pres = ToPres(store, matches);
   if (config_.memo_values) {
-    memo_value_misses_.v.fetch_add(1, std::memory_order_relaxed);
+    memo_value_misses_.Inc();
     auto entry = std::make_shared<MemoEntry>();
     entry->src_gen = SourceGenFor(ab, mk);
     entry->structure_epoch = sepoch;
@@ -1040,28 +1045,34 @@ std::optional<std::vector<PreId>> IndexManager::AttrValueProbe(
 }
 
 void IndexManager::NoteCrossCheckMismatch() const {
-  cross_check_mismatches_.v.fetch_add(1, std::memory_order_relaxed);
+  cross_check_mismatches_.Inc();
 }
 
 IndexStats IndexManager::Stats() const {
   IndexStats s;
-  s.probes = probes_.v.load(std::memory_order_relaxed);
-  s.probe_hits = s.probes - probe_declines_.v.load(std::memory_order_relaxed);
-  s.path_probes = path_probes_.v.load(std::memory_order_relaxed);
-  s.path_hits =
-      s.path_probes - path_declines_.v.load(std::memory_order_relaxed);
-  s.chain_probes = chain_probes_.v.load(std::memory_order_relaxed);
-  s.chain_hits =
-      s.chain_probes - chain_declines_.v.load(std::memory_order_relaxed);
-  s.value_neg_hits = value_neg_hits_.v.load(std::memory_order_relaxed);
-  s.child_step_hits = child_step_hits_.v.load(std::memory_order_relaxed);
-  s.memo_hits = memo_hits_.v.load(std::memory_order_relaxed);
-  s.memo_misses = memo_misses_.v.load(std::memory_order_relaxed);
-  s.memo_value_hits = memo_value_hits_.v.load(std::memory_order_relaxed);
-  s.memo_value_misses =
-      memo_value_misses_.v.load(std::memory_order_relaxed);
-  s.cross_check_mismatches =
-      cross_check_mismatches_.v.load(std::memory_order_relaxed);
+  // Hits are derived as probes - declines from two independent relaxed
+  // counters. Read each family's DECLINES first: a probe increments its
+  // probe counter before (possibly) its decline counter, so
+  // declines-then-probes guarantees declines_read <= probes_read and
+  // the derived hits can never transiently dip below the true value or
+  // go negative mid-traffic (the reverse order could read a decline
+  // whose probe increment it then missed).
+  const int64_t probe_declines = probe_declines_.Value();
+  s.probes = probes_.Value();
+  s.probe_hits = s.probes - probe_declines;
+  const int64_t path_declines = path_declines_.Value();
+  s.path_probes = path_probes_.Value();
+  s.path_hits = s.path_probes - path_declines;
+  const int64_t chain_declines = chain_declines_.Value();
+  s.chain_probes = chain_probes_.Value();
+  s.chain_hits = s.chain_probes - chain_declines;
+  s.value_neg_hits = value_neg_hits_.Value();
+  s.child_step_hits = child_step_hits_.Value();
+  s.memo_hits = memo_hits_.Value();
+  s.memo_misses = memo_misses_.Value();
+  s.memo_value_hits = memo_value_hits_.Value();
+  s.memo_value_misses = memo_value_misses_.Value();
+  s.cross_check_mismatches = cross_check_mismatches_.Value();
   s.shards = nshards_;
   s.publish_epoch =
       static_cast<int64_t>(publish_epoch_.load(std::memory_order_acquire));
@@ -1122,6 +1133,49 @@ IndexStats IndexManager::Stats() const {
   }
   s.bytes = bytes;
   return s;
+}
+
+void IndexManager::RegisterMetrics(obs::MetricsRegistry* reg) const {
+  // Counters: the registry references the SAME padded atomics the
+  // lock-free probe paths bump — snapshots read them directly.
+  reg->RegisterCounter("pxq_index_probes_total", &probes_);
+  reg->RegisterCounter("pxq_index_probe_declines_total", &probe_declines_);
+  reg->RegisterCounter("pxq_index_path_probes_total", &path_probes_);
+  reg->RegisterCounter("pxq_index_path_declines_total", &path_declines_);
+  reg->RegisterCounter("pxq_index_chain_probes_total", &chain_probes_);
+  reg->RegisterCounter("pxq_index_chain_declines_total", &chain_declines_);
+  reg->RegisterCounter("pxq_index_child_step_hits_total", &child_step_hits_);
+  reg->RegisterCounter("pxq_index_memo_hits_total", &memo_hits_);
+  reg->RegisterCounter("pxq_index_memo_misses_total", &memo_misses_);
+  reg->RegisterCounter("pxq_index_memo_value_hits_total", &memo_value_hits_);
+  reg->RegisterCounter("pxq_index_memo_value_misses_total",
+                       &memo_value_misses_);
+  reg->RegisterCounter("pxq_index_value_neg_hits_total", &value_neg_hits_);
+  reg->RegisterCounter("pxq_index_cross_check_mismatches_total",
+                       &cross_check_mismatches_);
+  reg->RegisterHistogram("pxq_index_apply_dirty_ns", &apply_dirty_ns_);
+  // Everything Stats() derives (structure sizes, epochs, maintenance
+  // totals) comes out of ONE Stats() walk per snapshot — one writer_mu_
+  // acquisition, mutually consistent values within the group.
+  reg->RegisterGroup([this](std::vector<std::pair<std::string, int64_t>>* o) {
+    const IndexStats s = Stats();
+    o->emplace_back("pxq_index_qname_keys", s.qname_keys);
+    o->emplace_back("pxq_index_value_keys", s.value_keys);
+    o->emplace_back("pxq_index_attr_value_keys", s.attr_value_keys);
+    o->emplace_back("pxq_index_path_keys", s.path_keys);
+    o->emplace_back("pxq_index_chain_keys", s.chain_keys);
+    o->emplace_back("pxq_index_postings_entries", s.postings_entries);
+    o->emplace_back("pxq_index_chain_postings", s.chain_postings);
+    o->emplace_back("pxq_index_complex_entries", s.complex_entries);
+    o->emplace_back("pxq_index_node_states", s.node_states);
+    o->emplace_back("pxq_index_bytes", s.bytes);
+    o->emplace_back("pxq_index_build_micros", s.build_micros);
+    o->emplace_back("pxq_index_maintenance_ops", s.maintenance_ops);
+    o->emplace_back("pxq_index_applied_commits", s.applied_commits);
+    o->emplace_back("pxq_index_shards", s.shards);
+    o->emplace_back("pxq_index_publish_epoch", s.publish_epoch);
+    o->emplace_back("pxq_index_structure_epoch", s.structure_epoch);
+  });
 }
 
 }  // namespace pxq::index

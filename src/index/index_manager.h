@@ -117,6 +117,7 @@
 
 #include "common/types.h"
 #include "index/delta_index.h"
+#include "obs/metrics.h"
 #include "storage/paged_store.h"
 #include "xpath/ast.h"
 
@@ -281,11 +282,25 @@ class IndexManager {
 
   void NoteCrossCheckMismatch() const;
   /// Planner bookkeeping: a child-axis name step answered from postings.
-  void NoteChildStepHit() const {
-    child_step_hits_.v.fetch_add(1, std::memory_order_relaxed);
-  }
+  void NoteChildStepHit() const { child_step_hits_.Inc(); }
 
   IndexStats Stats() const;
+
+  /// Total probes issued across every family (qname + pair + chain).
+  /// The executor reads this before/after an operator when tracing, so
+  /// a profile attributes probes to the operator that issued them.
+  int64_t ProbesIssued() const {
+    return probes_.Value() + path_probes_.Value() + chain_probes_.Value();
+  }
+
+  /// Latency of commit-side index maintenance (ApplyDirty, ns).
+  const obs::Histogram& apply_dirty_hist() const { return apply_dirty_ns_; }
+
+  /// Expose this index's counters and histograms through a registry.
+  /// The registry holds REFERENCES to the same atomics the probe paths
+  /// bump (no translation layer, no second source of truth); derived
+  /// values (structure sizes, epochs) register as one Stats() group.
+  void RegisterMetrics(obs::MetricsRegistry* reg) const;
 
  private:
   /// Generation-stamped postings: `gen` is assigned by the writer when
@@ -505,9 +520,11 @@ class IndexManager {
     std::atomic<const ShardSnapshot*> snap{nullptr};
     mutable std::atomic<const MemoTable*> memo{nullptr};
   };
-  struct alignas(64) PaddedCounter {
-    mutable std::atomic<int64_t> v{0};
-  };
+  /// The probe counters ARE the observability counters: obs::Counter is
+  /// the same cache-line-padded relaxed atomic the index always used
+  /// (PR 2's PaddedCounter, hoisted into src/obs so every subsystem
+  /// shares one primitive and RegisterMetrics needs no translation).
+  using PaddedCounter = obs::Counter;
 
   /// Writer-side copy-on-write staging for one publication.
   struct ShardBuilder {
@@ -636,6 +653,9 @@ class IndexManager {
   PaddedCounter memo_value_hits_;
   PaddedCounter memo_value_misses_;
   PaddedCounter cross_check_mismatches_;
+  /// Commit-side maintenance latency (ns per ApplyDirty call). Recorded
+  /// inside the exclusive window, so a relaxed histogram is plenty.
+  obs::Histogram apply_dirty_ns_;
 };
 
 }  // namespace pxq::index

@@ -1,0 +1,70 @@
+#include "obs/profiler.h"
+
+#include <utility>
+
+namespace pxq::obs {
+
+void Profiler::RecordSpan(QuerySpan span) {
+  query_ns_.Record(span.total_ns);
+  spans_recorded_.Inc();
+  const bool slow = span.total_ns >= opts_.slow_ns;
+  if (slow) slow_recorded_.Inc();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  span.seq = next_seq_;
+  QuerySpan slow_copy;
+  if (slow) slow_copy = span;
+  if (ring_.size() < opts_.ring_capacity) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[static_cast<size_t>(next_seq_ % opts_.ring_capacity)] =
+        std::move(span);
+  }
+  ++next_seq_;
+  if (slow) {
+    if (slow_ring_.size() < opts_.slow_capacity) {
+      slow_ring_.push_back(std::move(slow_copy));
+    } else {
+      slow_ring_[static_cast<size_t>(slow_seq_ % opts_.slow_capacity)] =
+          std::move(slow_copy);
+    }
+    ++slow_seq_;
+  }
+}
+
+std::vector<QuerySpan> Profiler::CopyRing(const std::vector<QuerySpan>& ring,
+                                          uint64_t filed) const {
+  // Ring slot for the i-th span is i % capacity; walk back from the
+  // newest so the copy comes out newest-first.
+  std::vector<QuerySpan> out;
+  out.reserve(ring.size());
+  const uint64_t cap = ring.size();
+  for (uint64_t i = 0; i < cap; ++i) {
+    const uint64_t seq = filed - 1 - i;
+    out.push_back(ring[static_cast<size_t>(seq % cap)]);
+  }
+  return out;
+}
+
+std::vector<QuerySpan> Profiler::RecentSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CopyRing(ring_, next_seq_);
+}
+
+std::vector<QuerySpan> Profiler::SlowQueries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CopyRing(slow_ring_, slow_seq_);
+}
+
+uint64_t Profiler::SpanCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+void Profiler::RegisterMetrics(MetricsRegistry* reg) const {
+  reg->RegisterHistogram("pxq_query_ns", &query_ns_);
+  reg->RegisterCounter("pxq_profile_spans_total", &spans_recorded_);
+  reg->RegisterCounter("pxq_slow_queries_total", &slow_recorded_);
+}
+
+}  // namespace pxq::obs

@@ -1,0 +1,124 @@
+// Unified observability layer, part 2: the query profiler.
+//
+// The executor already records an OpTrace per executed operator (the
+// `explain` machinery); profiling extends that same record with
+// measured wall-time, input cardinality, and index-probe counts — so a
+// profile and an explain describe the SAME operator list by
+// construction — and aggregates the per-operator records into a
+// QuerySpan: one query execution end to end (compile or cache hit,
+// operator timings, result count, total wall-time).
+//
+// Spans land in a fixed-size ring buffer (recent queries, newest wins)
+// and, when a span's total exceeds the slow-query threshold, in a
+// second ring (the slow-query log) that survives being flooded by fast
+// queries. Both rings are mutex-guarded — they are only touched on the
+// SAMPLED path, never on the default query path.
+//
+// Cost model: sampling off (sample_n == 0, the default) is one relaxed
+// atomic load per query in Database::Query — the executor's tracing
+// branch stays `trace == nullptr`, identical machine code to the
+// pre-profiler engine. sample_n == N traces every Nth query; N == 1
+// traces everything (what `xq profile` uses).
+#ifndef PXQ_OBS_PROFILER_H_
+#define PXQ_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace pxq::obs {
+
+/// One operator of a profiled query: the executor's OpTrace plus the
+/// plan's static description, resolved at span-assembly time.
+struct OpProfile {
+  size_t op = 0;          // operator index in the plan
+  std::string describe;   // Plan::DescribeOp(op) — matches `explain`
+  std::string strategy;   // strategy actually taken (index vs scan)
+  int64_t in = 0;         // input cardinality (context size)
+  int64_t out = 0;        // output cardinality
+  int64_t wall_ns = 0;    // measured operator wall-time
+  int64_t index_probes = 0;  // index probes issued by this operator
+};
+
+/// One profiled query execution.
+struct QuerySpan {
+  uint64_t seq = 0;       // monotone span id (assigned by RecordSpan)
+  std::string text;       // query text
+  bool cache_hit = false; // plan served from the plan cache
+  int64_t compile_ns = 0; // compile time (0 on a cache hit)
+  int64_t total_ns = 0;   // end-to-end wall-time
+  int64_t result_count = 0;
+  bool ok = true;         // execution succeeded
+  std::string error;      // status message when !ok
+  std::vector<OpProfile> ops;
+};
+
+class Profiler {
+ public:
+  struct Options {
+    /// 0 = off; N = profile every Nth query; 1 = every query.
+    int64_t sample_n = 0;
+    /// Spans with total_ns >= slow_ns also enter the slow-query log.
+    int64_t slow_ns = 50'000'000;  // 50 ms
+    size_t ring_capacity = 64;
+    size_t slow_capacity = 32;
+  };
+
+  explicit Profiler(const Options& opts) : opts_(opts) {
+    if (opts_.ring_capacity == 0) opts_.ring_capacity = 1;
+    if (opts_.slow_capacity == 0) opts_.slow_capacity = 1;
+  }
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Decide whether THIS query is profiled. One relaxed load when
+  /// sampling is off — the only cost the default path pays.
+  bool ShouldSample() const {
+    const int64_t n = opts_.sample_n;
+    if (n <= 0) return false;
+    if (n == 1) return true;
+    return ticket_.fetch_add(1, std::memory_order_relaxed) % n == 0;
+  }
+
+  int64_t sample_n() const { return opts_.sample_n; }
+  int64_t slow_ns() const { return opts_.slow_ns; }
+
+  /// File a completed span into the recent ring (and the slow-query
+  /// log when it crossed the threshold). Assigns span.seq.
+  void RecordSpan(QuerySpan span);
+
+  /// Newest-first copies of the rings.
+  std::vector<QuerySpan> RecentSpans() const;
+  std::vector<QuerySpan> SlowQueries() const;
+
+  uint64_t SpanCount() const;
+
+  /// Expose the profiler's own meters (query-latency histogram, span
+  /// and slow-query counters) through a registry.
+  void RegisterMetrics(MetricsRegistry* reg) const;
+
+ private:
+  std::vector<QuerySpan> CopyRing(const std::vector<QuerySpan>& ring,
+                                  uint64_t filed) const;
+
+  Options opts_;
+  mutable std::atomic<int64_t> ticket_{0};
+
+  Histogram query_ns_;       // total_ns of every recorded span
+  Counter spans_recorded_;
+  Counter slow_recorded_;
+
+  mutable std::mutex mu_;
+  std::vector<QuerySpan> ring_;       // recent spans, ring_[seq % cap]
+  std::vector<QuerySpan> slow_ring_;  // slow spans, slow_ring_[n % cap]
+  uint64_t next_seq_ = 0;   // spans filed into ring_
+  uint64_t slow_seq_ = 0;   // spans filed into slow_ring_
+};
+
+}  // namespace pxq::obs
+
+#endif  // PXQ_OBS_PROFILER_H_

@@ -23,6 +23,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 
 namespace pxq::txn {
 
@@ -73,6 +74,10 @@ class GlobalLock {
     int64_t reader_waits = 0;
     int64_t writer_acquires = 0;
     int64_t writer_waits = 0;
+    /// Total ns spent blocked (the `*_waits` acquires only); the full
+    /// distributions live in the wait histograms below.
+    int64_t reader_wait_ns = 0;
+    int64_t writer_wait_ns = 0;
   };
 
   void LockShared() {
@@ -80,7 +85,15 @@ class GlobalLock {
     ++reader_acquires_;
     if (writers_waiting_ != 0 || writer_active_) {
       ++reader_waits_;
+      // Time only the blocked path: the uncontended acquire stays two
+      // increments under the mutex, no clock reads. Recording happens
+      // while m_ is held — fine, Record is two relaxed fetch_adds.
+      const auto t0 = std::chrono::steady_clock::now();
       cv_.wait(l, [&] { return writers_waiting_ == 0 && !writer_active_; });
+      reader_wait_ns_.Record(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
     }
     ++readers_;
   }
@@ -94,7 +107,12 @@ class GlobalLock {
     ++writers_waiting_;
     if (readers_ != 0 || writer_active_) {
       ++writer_waits_;
+      const auto t0 = std::chrono::steady_clock::now();
       cv_.wait(l, [&] { return readers_ == 0 && !writer_active_; });
+      writer_wait_ns_.Record(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
     }
     --writers_waiting_;
     writer_active_ = true;
@@ -107,9 +125,15 @@ class GlobalLock {
 
   Stats stats() const {
     std::unique_lock<std::mutex> l(m_);
-    return {reader_acquires_, reader_waits_, writer_acquires_,
-            writer_waits_};
+    return {reader_acquires_,       reader_waits_,
+            writer_acquires_,       writer_waits_,
+            reader_wait_ns_.Sum(),  writer_wait_ns_.Sum()};
   }
+
+  /// Wait-time distributions (ns per BLOCKED acquire; uncontended
+  /// acquires are not recorded — the waits counters give the ratio).
+  const obs::Histogram& reader_wait_hist() const { return reader_wait_ns_; }
+  const obs::Histogram& writer_wait_hist() const { return writer_wait_ns_; }
 
   /// RAII reader guard for query execution.
   class ReadGuard {
@@ -135,6 +159,8 @@ class GlobalLock {
   int64_t reader_waits_ = 0;
   int64_t writer_acquires_ = 0;
   int64_t writer_waits_ = 0;
+  obs::Histogram reader_wait_ns_;
+  obs::Histogram writer_wait_ns_;
 };
 
 }  // namespace pxq::txn

@@ -139,6 +139,11 @@ Status TransactionManager::CommitInternal(Transaction* txn) {
   }
 
   global_.LockExclusive();
+  // Commit-window latency: everything readers are locked out for (WAL
+  // append + replay + size resolution + index publish). Failure paths
+  // skip the record — an aborted window's duration is not a commit
+  // latency, and aborts here are corruption-grade anyway.
+  const auto window_t0 = std::chrono::steady_clock::now();
   uint64_t lsn = commit_lsn_.load() + 1;
 
   // Atomicity: the WAL append is the commit point (single fsynced I/O).
@@ -210,6 +215,10 @@ Status TransactionManager::CommitInternal(Transaction* txn) {
   }
 
   commit_lsn_.store(lsn);
+  commit_window_ns_.Record(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - window_t0)
+          .count());
   global_.UnlockExclusive();
   EndTransaction(txn);
   return Status::OK();
@@ -219,6 +228,30 @@ void TransactionManager::EndTransaction(Transaction* txn) {
   page_locks_.ReleaseAll(txn->id());
   std::lock_guard<std::mutex> lock(meta_mu_);
   active_snapshots_.erase(txn->id());
+}
+
+void TransactionManager::RegisterMetrics(obs::MetricsRegistry* reg) const {
+  reg->RegisterHistogram("pxq_commit_window_ns", &commit_window_ns_);
+  reg->RegisterHistogram("pxq_lock_reader_wait_ns",
+                         &global_.reader_wait_hist());
+  reg->RegisterHistogram("pxq_lock_writer_wait_ns",
+                         &global_.writer_wait_hist());
+  // Acquire counters are mutex-guarded in GlobalLock: one stats() copy
+  // per snapshot keeps waits <= acquires within the group.
+  reg->RegisterGroup([this](std::vector<std::pair<std::string, int64_t>>* o) {
+    const GlobalLock::Stats s = global_.stats();
+    o->emplace_back("pxq_lock_reader_acquires", s.reader_acquires);
+    o->emplace_back("pxq_lock_reader_waits", s.reader_waits);
+    o->emplace_back("pxq_lock_writer_acquires", s.writer_acquires);
+    o->emplace_back("pxq_lock_writer_waits", s.writer_waits);
+  });
+  if (wal_ != nullptr) {
+    reg->RegisterHistogram("pxq_wal_append_ns", &wal_->append_hist());
+    reg->RegisterCounter("pxq_wal_appended_bytes_total",
+                         &wal_->appended_bytes());
+    reg->RegisterCallback("pxq_wal_commits",
+                          [this] { return wal_->commit_count(); });
+  }
 }
 
 Status TransactionManager::Checkpoint(const std::string& snapshot_path) {

@@ -93,6 +93,17 @@ class TransactionManager {
   /// the profiling input for the per-core-reader-slots question.
   GlobalLock::Stats lock_stats() const { return global_.stats(); }
 
+  /// Latency of the exclusive commit window (ns from LockExclusive to
+  /// UnlockExclusive on successful commits: WAL append + oplog replay +
+  /// size resolution + index publish).
+  const obs::Histogram& commit_window_hist() const {
+    return commit_window_ns_;
+  }
+
+  /// Expose lock contention (wait-time histograms + acquire counters),
+  /// the commit window, and WAL append metrics through a registry.
+  void RegisterMetrics(obs::MetricsRegistry* reg) const;
+
  private:
   friend class Transaction;
   TransactionManager(std::shared_ptr<storage::PagedStore> base,
@@ -110,6 +121,7 @@ class TransactionManager {
 
   std::atomic<TxnId> next_txn_id_{1};
   std::atomic<uint64_t> commit_lsn_{0};
+  obs::Histogram commit_window_ns_;
 
   std::mutex meta_mu_;  // guards the three maps below
   std::unordered_map<PageId, uint64_t> page_version_;

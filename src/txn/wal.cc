@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 
 #include "common/strings.h"
@@ -261,6 +262,7 @@ StatusOr<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
 Status Wal::AppendCommit(TxnId txn_id, uint64_t snapshot_lsn,
                          uint64_t commit_lsn, const storage::OpLog& log,
                          const std::vector<PoolDelta>& pool_delta) {
+  const auto t0 = std::chrono::steady_clock::now();
   std::string payload = SerializePayload(log, pool_delta);
   std::string record;
   PutU32(&record, kRecordMagic);
@@ -278,6 +280,10 @@ Status Wal::AppendCommit(TxnId txn_id, uint64_t snapshot_lsn,
     return Status::IOError("WAL fsync failed");
   }
   ++commit_count_;
+  appended_bytes_.Inc(static_cast<int64_t>(record.size()));
+  append_ns_.Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
   return Status::OK();
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/paged_store.h"
 
 namespace pxq::txn {
@@ -49,6 +50,12 @@ class Wal {
 
   int64_t commit_count() const { return commit_count_; }
 
+  /// Durability observability: the single-I/O commit point, measured.
+  /// append_hist is ns per AppendCommit (serialize + write + fsync);
+  /// appended_bytes is the cumulative record volume.
+  const obs::Histogram& append_hist() const { return append_ns_; }
+  const obs::Counter& appended_bytes() const { return appended_bytes_; }
+
   /// One recovered commit record.
   struct Recovered {
     TxnId txn_id;
@@ -70,6 +77,8 @@ class Wal {
   std::string path_;
   FILE* file_ = nullptr;
   int64_t commit_count_ = 0;
+  obs::Histogram append_ns_;
+  obs::Counter appended_bytes_;
 };
 
 }  // namespace pxq::txn

@@ -24,6 +24,7 @@
 #ifndef PXQ_XPATH_EVALUATOR_H_
 #define PXQ_XPATH_EVALUATOR_H_
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <string>
@@ -92,6 +93,36 @@ class Evaluator {
     PXQ_ASSIGN_OR_RETURN(std::shared_ptr<const Plan> plan,
                          PlanForText(path_text, nullptr));
     return RunStrings(*plan, SeedFor(*plan));
+  }
+
+  /// One traced evaluation, end to end: the plan (for DescribeOp), the
+  /// measured per-operator trace, and the result. This is the profiled
+  /// query path — the same RunOps trace `explain` renders, with the
+  /// measurement fields filled, so a profile and an explain can never
+  /// disagree about the operator list.
+  struct TracedResult {
+    std::shared_ptr<const Plan> plan;
+    bool cache_hit = false;
+    int64_t compile_ns = 0;  // 0 on a cache hit
+    std::vector<OpTrace> trace;
+    std::vector<PreId> nodes;
+  };
+  StatusOr<TracedResult> EvalTraced(std::string_view path_text) const {
+    TracedResult r;
+    const auto t0 = std::chrono::steady_clock::now();
+    PXQ_ASSIGN_OR_RETURN(r.plan, PlanForText(path_text, &r.cache_hit));
+    if (!r.cache_hit) {
+      r.compile_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    }
+    if (r.plan->trailing_attr) {
+      return Status::Unsupported(
+          "attribute axis yields no nodes; use EvalStrings");
+    }
+    PXQ_ASSIGN_OR_RETURN(r.nodes,
+                         exec_.RunOps(*r.plan, SeedFor(*r.plan), &r.trace));
+    return r;
   }
 
   /// Compiled-plan observability: the operator list with the strategy
@@ -178,10 +209,19 @@ class Evaluator {
         return plan;
       }
     }
+    // Compile timing feeds the cache's pxq_plan_compile_ns histogram;
+    // misses only, so the warm path never reads a clock.
+    const auto t0 = std::chrono::steady_clock::now();
     PXQ_ASSIGN_OR_RETURN(Plan compiled,
                          CompileText(text, store().pools(), env_));
     auto plan = std::make_shared<const Plan>(std::move(compiled));
-    if (cache_ != nullptr) cache_->Insert(text, plan);
+    if (cache_ != nullptr) {
+      cache_->RecordCompile(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      cache_->Insert(text, plan);
+    }
     return plan;
   }
 

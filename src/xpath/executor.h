@@ -23,6 +23,7 @@
 #define PXQ_XPATH_EXECUTOR_H_
 
 #include <algorithm>
+#include <chrono>
 #include <iterator>
 #include <optional>
 #include <string>
@@ -81,14 +82,24 @@ class Executor {
         }
         if (ctx.empty()) break;
       }
-      std::string strategy;
-      PXQ_ASSIGN_OR_RETURN(
-          ctx, RunOp(plan, op, std::move(ctx),
-                     trace != nullptr ? &strategy : nullptr));
-      if (trace != nullptr) {
-        trace->push_back(
-            {oi, std::move(strategy), static_cast<int64_t>(ctx.size())});
+      if (trace == nullptr) {
+        // Hot path: no timing, no strategy strings, no probe reads.
+        PXQ_ASSIGN_OR_RETURN(ctx, RunOp(plan, op, std::move(ctx), nullptr));
+        continue;
       }
+      OpTrace t;
+      t.op = oi;
+      t.in = static_cast<int64_t>(ctx.size());
+      const int64_t probes_before = ProbesIssued();
+      const auto t0 = std::chrono::steady_clock::now();
+      PXQ_ASSIGN_OR_RETURN(ctx, RunOp(plan, op, std::move(ctx),
+                                      &t.strategy));
+      t.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+      t.index_probes = ProbesIssued() - probes_before;
+      t.out = static_cast<int64_t>(ctx.size());
+      trace->push_back(std::move(t));
     }
     return ctx;
   }
@@ -660,6 +671,15 @@ class Executor {
       return index_ != nullptr && index_->config().cross_check;
     }
     return false;
+  }
+
+  /// Total index probes issued so far (all families); deltas around an
+  /// operator attribute its probes in the trace. Only read when tracing.
+  int64_t ProbesIssued() const {
+    if constexpr (kIndexable) {
+      if (index_ != nullptr) return index_->ProbesIssued();
+    }
+    return 0;
   }
 
   static std::string DescribeStep(const Step& s) {

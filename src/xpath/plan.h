@@ -98,11 +98,18 @@ struct PlanOp {
 /// Per-operator execution record: what the executor actually did (index
 /// probe vs scan fallback) and how many nodes the operator produced.
 /// `xq explain` renders the plan from this trace, so the printed
-/// strategies are the executed ones by construction.
+/// strategies are the executed ones by construction. When tracing is on
+/// the executor also measures each operator (`xq profile` and the
+/// slow-query log render from the same record — a profile and an
+/// explain can never disagree about what ran); the measurement fields
+/// cost nothing when trace == nullptr.
 struct OpTrace {
   size_t op = 0;
   std::string strategy;
-  int64_t out = 0;
+  int64_t in = 0;            // input cardinality (context size)
+  int64_t out = 0;           // output cardinality
+  int64_t wall_ns = 0;       // measured operator wall-time
+  int64_t index_probes = 0;  // index probes issued by this operator
 };
 
 struct Plan {

@@ -61,4 +61,15 @@ void PlanCache::Clear() {
   lru_.clear();
 }
 
+void PlanCache::RegisterMetrics(obs::MetricsRegistry* reg) const {
+  reg->RegisterHistogram("pxq_plan_compile_ns", &compile_ns_);
+  reg->RegisterGroup([this](std::vector<std::pair<std::string, int64_t>>* o) {
+    const Stats s = stats();
+    o->emplace_back("pxq_plan_cache_hits", s.hits);
+    o->emplace_back("pxq_plan_cache_misses", s.misses);
+    o->emplace_back("pxq_plan_cache_evictions", s.evictions);
+    o->emplace_back("pxq_plan_cache_size", static_cast<int64_t>(size()));
+  });
+}
+
 }  // namespace pxq::xpath

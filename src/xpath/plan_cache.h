@@ -19,7 +19,10 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "obs/metrics.h"
 #include "xpath/plan.h"
 
 namespace pxq::xpath {
@@ -47,6 +50,17 @@ class PlanCache {
   size_t size() const;
   void Clear();
 
+  /// Record one compilation's wall-time (misses only — hits never
+  /// compile). Called by the Evaluator after CompileText.
+  void RecordCompile(int64_t ns) { compile_ns_.Record(ns); }
+  const obs::Histogram& compile_hist() const { return compile_ns_; }
+
+  /// Expose the cache through a registry: the compile-time histogram by
+  /// reference, hit/miss/eviction/size as one mutex-coherent group (one
+  /// stats() copy per snapshot — hits + misses always equals the number
+  /// of completed lookups).
+  void RegisterMetrics(obs::MetricsRegistry* reg) const;
+
  private:
   struct Entry {
     std::shared_ptr<const Plan> plan;
@@ -65,6 +79,8 @@ class PlanCache {
   std::list<std::string> lru_;  // front = most recently used
   std::unordered_map<std::string, Entry, StringHash, std::equal_to<>> map_;
   Stats stats_;
+  /// Compile wall-time (ns); recorded outside mu_ (lock-free histogram).
+  obs::Histogram compile_ns_;
 };
 
 }  // namespace pxq::xpath
