@@ -40,7 +40,7 @@ def load(path):
     return out
 
 
-def main():
+def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
     ap.add_argument("current")
@@ -60,7 +60,7 @@ def main():
         action="store_true",
         help="exit nonzero when any regression exceeds the threshold",
     )
-    args = ap.parse_args()
+    args = ap.parse_args(argv)
 
     try:
         base = load(args.baseline)

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Repo-specific concurrency lint: the rules Clang's thread-safety
+analysis cannot express.
+
+Rules (over src/**/*.h, src/**/*.cc unless noted):
+
+  1. no-naked-mutex      std::mutex / std::shared_mutex /
+                         std::condition_variable / std::lock_guard /
+                         std::unique_lock / std::scoped_lock /
+                         std::shared_lock may only be named in
+                         src/common/mutex.h (the annotated wrappers).
+                         Everything else locks through pxq::Mutex /
+                         pxq::MutexLock so the capability analysis sees
+                         every critical section.
+
+  2. no-relaxed-pointer  memory_order_relaxed is forbidden on loads /
+                         stores / exchanges of pointer-typed
+                         std::atomic members. Snapshot and chunk
+                         publication must stay release/acquire: a
+                         relaxed pointer load may observe the pointer
+                         before the pointee's initialization on
+                         weakly-ordered hardware.
+
+  3. relaxed-rationale   every remaining memory_order_relaxed operation
+                         (the intentionally-relaxed stat counters) must
+                         have a `// relaxed:` rationale comment on the
+                         same line or within the preceding
+                         RATIONALE_WINDOW lines, so each relaxation is
+                         a reviewed decision, not a habit.
+
+Exit status 0 when clean; 1 with one `file:line: [rule] message` per
+violation otherwise. Run from anywhere: paths resolve against the repo
+root (the parent of this script's directory) unless --root is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+# The one file allowed to name the std synchronization primitives.
+WRAPPER_ALLOWLIST = {os.path.join("src", "common", "mutex.h")}
+
+# How many lines above a relaxed op a `// relaxed:` comment may sit
+# (multi-line call expressions put the comment above the statement).
+RATIONALE_WINDOW = 4
+
+NAKED_PRIMITIVE_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b"
+)
+
+RELAXED_RE = re.compile(r"\bstd::memory_order_relaxed\b|\bmemory_order_relaxed\b")
+RELAXED_COMMENT_RE = re.compile(r"//\s*relaxed:")
+
+# A pointer-typed atomic declaration:  std::atomic<T*> name  (possibly
+# nested, e.g. std::atomic<std::atomic<Chunk*>*>), including pointers
+# TO such atomics (std::atomic<Chunk*>* t = ...) — an op through those
+# still touches an atomic whose value is a pointer. We only need the
+# variable names, matched per file — member names are unique enough
+# within a translation unit for a lint.
+ATOMIC_DECL_RE = re.compile(
+    r"std::atomic<\s*(?P<type>[^;{}()]*?)\s*>\s*\**\s*(?P<name>\w+)\s*[{;=\[]"
+)
+
+# Operations on a named atomic:  name.load( / name.store( / name.exchange(
+# and the indexed form  name[i].load(  used by atomic arrays/tables.
+ATOMIC_OP_RE = re.compile(
+    r"(?P<name>\w+)\s*(?:\[[^\]]*\])?\s*\.\s*"
+    r"(?:load|store|exchange|compare_exchange_\w+|fetch_\w+)\s*\("
+)
+
+
+def strip_comments(line: str) -> str:
+    """Drop // comments so commented-out code never trips a rule."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def find_pointer_atomics(text: str) -> set[str]:
+    """Names of atomic variables in `text` whose value type is a pointer."""
+    names = set()
+    for m in ATOMIC_DECL_RE.finditer(text):
+        if "*" in m.group("type"):
+            names.add(m.group("name"))
+    return names
+
+
+def lint_file(relpath: str, text: str) -> list[tuple[str, int, str, str]]:
+    """Returns (file, line, rule, message) violations for one file."""
+    violations = []
+    lines = text.splitlines()
+    pointer_atomics = find_pointer_atomics(text)
+    in_block_comment = False
+
+    for i, raw in enumerate(lines, start=1):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2 :]
+            in_block_comment = False
+        start = line.find("/*")
+        if start >= 0 and "*/" not in line[start:]:
+            in_block_comment = True
+            line = line[:start]
+        code = strip_comments(line)
+
+        if relpath not in WRAPPER_ALLOWLIST:
+            m = NAKED_PRIMITIVE_RE.search(code)
+            if m:
+                violations.append(
+                    (relpath, i, "no-naked-mutex",
+                     f"raw std::{m.group(1)} outside src/common/mutex.h — "
+                     "use the pxq::Mutex wrappers so the thread-safety "
+                     "analysis sees this critical section"))
+
+        if RELAXED_RE.search(code):
+            # Which atomic is this operation on?
+            op = ATOMIC_OP_RE.search(code)
+            # Multi-line calls: the op name may sit on a previous line.
+            j = i - 1
+            while op is None and j >= 1 and i - j <= RATIONALE_WINDOW:
+                op = ATOMIC_OP_RE.search(strip_comments(lines[j - 1]))
+                j -= 1
+            if op is not None and op.group("name") in pointer_atomics:
+                violations.append(
+                    (relpath, i, "no-relaxed-pointer",
+                     f"memory_order_relaxed on pointer atomic "
+                     f"'{op.group('name')}' — publication must stay "
+                     "release/acquire"))
+                continue
+            # Rule 3: rationale comment on this line or just above.
+            window = [raw] + lines[max(0, i - 1 - RATIONALE_WINDOW) : i - 1]
+            if not any(RELAXED_COMMENT_RE.search(w) for w in window):
+                violations.append(
+                    (relpath, i, "relaxed-rationale",
+                     "relaxed atomic without a `// relaxed:` rationale "
+                     f"comment within {RATIONALE_WINDOW} lines"))
+    return violations
+
+
+def collect_sources(root: str) -> list[str]:
+    out = []
+    src = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src):
+        for f in sorted(filenames):
+            if f.endswith((".h", ".cc", ".cpp", ".hpp")):
+                out.append(os.path.relpath(os.path.join(dirpath, f), root))
+    return sorted(out)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of ci/)")
+    args = parser.parse_args(argv)
+
+    violations = []
+    for rel in collect_sources(args.root):
+        with open(os.path.join(args.root, rel), encoding="utf-8") as fh:
+            violations.extend(lint_file(rel, fh.read()))
+
+    for path, line, rule, msg in violations:
+        print(f"{path}:{line}: [{rule}] {msg}")
+    if violations:
+        print(f"lint_concurrency: {len(violations)} violation(s)")
+        return 1
+    print("lint_concurrency: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

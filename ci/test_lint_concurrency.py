@@ -1,0 +1,172 @@
+"""Unit tests for ci/lint_concurrency.py (run: python3 -m unittest)."""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import lint_concurrency as lint
+
+
+def rules(violations):
+    return [v[2] for v in violations]
+
+
+class NakedMutexRule(unittest.TestCase):
+    def test_flags_raw_std_mutex(self):
+        v = lint.lint_file("src/foo.h", "  std::mutex mu_;\n")
+        self.assertEqual(rules(v), ["no-naked-mutex"])
+
+    def test_flags_lock_guard_and_friends(self):
+        for prim in ("std::lock_guard<std::mutex> l(mu_);",
+                     "std::unique_lock<std::mutex> l(mu_);",
+                     "std::scoped_lock l(a, b);",
+                     "std::shared_lock l(mu_);",
+                     "std::shared_mutex mu_;",
+                     "std::condition_variable cv_;",
+                     "std::condition_variable_any cv_;"):
+            with self.subTest(prim=prim):
+                v = lint.lint_file("src/foo.cc", prim + "\n")
+                self.assertEqual(rules(v), ["no-naked-mutex"])
+
+    def test_wrapper_header_is_exempt(self):
+        v = lint.lint_file(os.path.join("src", "common", "mutex.h"),
+                           "  std::mutex mu_;\n  std::shared_mutex s_;\n")
+        self.assertEqual(v, [])
+
+    def test_comments_do_not_trip(self):
+        v = lint.lint_file("src/foo.h",
+                           "// replaced std::mutex with pxq::Mutex\n")
+        self.assertEqual(v, [])
+
+    def test_block_comments_do_not_trip(self):
+        v = lint.lint_file(
+            "src/foo.h",
+            "/* historical note:\n   std::mutex mu_;\n   was here */\n")
+        self.assertEqual(v, [])
+
+    def test_pxq_wrappers_are_fine(self):
+        v = lint.lint_file("src/foo.h",
+                           "  pxq::Mutex mu_;\n  MutexLock lock(&mu_);\n")
+        self.assertEqual(v, [])
+
+
+class RelaxedPointerRule(unittest.TestCase):
+    def test_flags_relaxed_load_of_pointer_atomic(self):
+        src = ("std::atomic<const Snap*> snap_{nullptr};\n"
+               "void f() {\n"
+               "  auto* s = snap_.load(std::memory_order_relaxed);\n"
+               "}\n")
+        v = lint.lint_file("src/foo.h", src)
+        self.assertEqual(rules(v), ["no-relaxed-pointer"])
+
+    def test_flags_relaxed_store_of_pointer_atomic(self):
+        src = ("std::atomic<Node*> head_{nullptr};\n"
+               "void g(Node* n) { head_.store(n, std::memory_order_relaxed); }\n")
+        v = lint.lint_file("src/foo.h", src)
+        self.assertEqual(rules(v), ["no-relaxed-pointer"])
+
+    def test_flags_indexed_atomic_table(self):
+        src = ("std::atomic<Chunk*>* t = table();\n"
+               "void h() { delete t[0].load(std::memory_order_relaxed); }\n")
+        v = lint.lint_file("src/foo.h", src)
+        self.assertEqual(rules(v), ["no-relaxed-pointer"])
+
+    def test_flags_multiline_relaxed_pointer_op(self):
+        src = ("std::atomic<const Snap*> snap_{nullptr};\n"
+               "void f() {\n"
+               "  auto* s = snap_.load(\n"
+               "      std::memory_order_relaxed);\n"
+               "}\n")
+        v = lint.lint_file("src/foo.h", src)
+        self.assertEqual(rules(v), ["no-relaxed-pointer"])
+
+    def test_acquire_pointer_load_is_fine(self):
+        src = ("std::atomic<const Snap*> snap_{nullptr};\n"
+               "void f() { auto* s = snap_.load(std::memory_order_acquire); }\n")
+        v = lint.lint_file("src/foo.h", src)
+        self.assertEqual(v, [])
+
+    def test_rationale_comment_does_not_excuse_pointer_relaxation(self):
+        src = ("std::atomic<Node*> head_{nullptr};\n"
+               "// relaxed: looks documented but is still forbidden\n"
+               "void g() { head_.load(std::memory_order_relaxed); }\n")
+        v = lint.lint_file("src/foo.h", src)
+        self.assertEqual(rules(v), ["no-relaxed-pointer"])
+
+
+class RelaxedRationaleRule(unittest.TestCase):
+    def test_flags_uncommented_relaxed_counter(self):
+        src = ("std::atomic<int64_t> hits_{0};\n"
+               "void f() { hits_.fetch_add(1, std::memory_order_relaxed); }\n")
+        v = lint.lint_file("src/foo.h", src)
+        self.assertEqual(rules(v), ["relaxed-rationale"])
+
+    def test_same_line_comment_passes(self):
+        src = ("std::atomic<int64_t> hits_{0};\n"
+               "void f() { hits_.fetch_add(1, std::memory_order_relaxed); }"
+               "  // relaxed: stat counter\n")
+        v = lint.lint_file("src/foo.h", src)
+        self.assertEqual(v, [])
+
+    def test_preceding_comment_within_window_passes(self):
+        src = ("std::atomic<int64_t> hits_{0};\n"
+               "void f() {\n"
+               "  // relaxed: stat counter, nothing ordered against it\n"
+               "  hits_.fetch_add(1, std::memory_order_relaxed);\n"
+               "}\n")
+        v = lint.lint_file("src/foo.h", src)
+        self.assertEqual(v, [])
+
+    def test_comment_too_far_above_fails(self):
+        filler = "  int x%d = 0;\n"
+        src = ("std::atomic<int64_t> hits_{0};\n"
+               "// relaxed: too far away\n" +
+               "".join(filler % i for i in range(lint.RATIONALE_WINDOW + 1)) +
+               "void f() { hits_.fetch_add(1, std::memory_order_relaxed); }\n")
+        v = lint.lint_file("src/foo.h", src)
+        self.assertEqual(rules(v), ["relaxed-rationale"])
+
+    def test_multiline_call_with_comment_above_statement(self):
+        src = ("std::atomic<int64_t> counts_[4];\n"
+               "void f() {\n"
+               "  // relaxed: bucket counters\n"
+               "  counts_[0].fetch_add(\n"
+               "      1, std::memory_order_relaxed);\n"
+               "}\n")
+        v = lint.lint_file("src/foo.h", src)
+        self.assertEqual(v, [])
+
+
+class PointerAtomicDetection(unittest.TestCase):
+    def test_nested_atomic_table_decl(self):
+        names = lint.find_pointer_atomics(
+            "std::atomic<std::atomic<Chunk*>*> table_{nullptr};\n")
+        self.assertEqual(names, {"table_"})
+
+    def test_value_atomic_not_pointer(self):
+        names = lint.find_pointer_atomics(
+            "std::atomic<int64_t> size_{0};\n"
+            "std::atomic<uint64_t> epoch_{1};\n")
+        self.assertEqual(names, set())
+
+    def test_pointer_to_value_atomic_not_flagged(self):
+        # std::atomic<int>* p — the atomic's VALUE is int, not a pointer.
+        names = lint.find_pointer_atomics("std::atomic<int>* p = xs;\n")
+        self.assertEqual(names, set())
+
+
+class RepoIsClean(unittest.TestCase):
+    def test_linting_the_repo_passes(self):
+        root = os.path.dirname(
+            os.path.dirname(os.path.abspath(lint.__file__)))
+        violations = []
+        for rel in lint.collect_sources(root):
+            with open(os.path.join(root, rel), encoding="utf-8") as fh:
+                violations.extend(lint.lint_file(rel, fh.read()))
+        self.assertEqual(violations, [])
+
+
+if __name__ == "__main__":
+    unittest.main()

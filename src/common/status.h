@@ -128,10 +128,14 @@ class StatusOr {
   PXQ_ASSIGN_OR_RETURN_IMPL_(                            \
       PXQ_STATUS_CONCAT_(_statusor_, __LINE__), lhs, expr)
 
+// NOLINTBEGIN(bugprone-macro-parentheses): `lhs` is deliberately
+// unparenthesized — it may be a declaration ("auto x"), which
+// parentheses would break.
 #define PXQ_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
   auto var = (expr);                               \
   if (!var.ok()) return var.status();              \
   lhs = std::move(var).value()
+// NOLINTEND(bugprone-macro-parentheses)
 
 #define PXQ_STATUS_CONCAT_(a, b) PXQ_STATUS_CONCAT_IMPL_(a, b)
 #define PXQ_STATUS_CONCAT_IMPL_(a, b) a##b

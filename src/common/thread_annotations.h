@@ -1,0 +1,91 @@
+// Clang thread-safety-analysis capability annotations (a no-op on GCC
+// and every other compiler). The build promotes -Wthread-safety
+// -Wthread-safety-beta to errors on Clang, so these annotations are the
+// machine-checked form of the repo's locking discipline:
+//
+//   * every mutex-guarded field carries PXQ_GUARDED_BY(mu) — the
+//     compiler rejects any access outside a critical section;
+//   * writer-side helpers that assume a lock is already held carry
+//     PXQ_REQUIRES(mu) — callers must prove they hold it;
+//   * the GlobalLock is itself a capability (shared for readers,
+//     exclusive for the commit window), so an unbalanced
+//     LockExclusive/UnlockExclusive path is a compile error;
+//   * the deliberate exceptions — the pools' lock-free readers riding
+//     release/acquire chunk publication — are marked
+//     PXQ_NO_THREAD_SAFETY_ANALYSIS with a rationale comment, so every
+//     exemption is explicit and greppable.
+//
+// Use the pxq::Mutex / pxq::MutexLock wrappers (common/mutex.h) rather
+// than std:: primitives; ci/lint_concurrency.py enforces that.
+//
+// Macro set and semantics follow the Clang documentation's canonical
+// mutex.h (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+#ifndef PXQ_COMMON_THREAD_ANNOTATIONS_H_
+#define PXQ_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define PXQ_TSA_ATTR(x) __attribute__((x))
+#else
+#define PXQ_TSA_ATTR(x)  // no-op outside Clang
+#endif
+
+/// A type that acts as a lock/capability ("mutex", "shared_mutex", ...).
+#define PXQ_CAPABILITY(x) PXQ_TSA_ATTR(capability(x))
+
+/// RAII type that acquires a capability in its constructor and releases
+/// it in its destructor (MutexLock, ReadGuard).
+#define PXQ_SCOPED_CAPABILITY PXQ_TSA_ATTR(scoped_lockable)
+
+/// Field may only be read/written while holding `x`.
+#define PXQ_GUARDED_BY(x) PXQ_TSA_ATTR(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be accessed while holding `x`.
+#define PXQ_PT_GUARDED_BY(x) PXQ_TSA_ATTR(pt_guarded_by(x))
+
+/// Lock-ordering declarations (checked under -Wthread-safety-beta):
+/// this capability must be acquired before/after the listed ones.
+#define PXQ_ACQUIRED_BEFORE(...) PXQ_TSA_ATTR(acquired_before(__VA_ARGS__))
+#define PXQ_ACQUIRED_AFTER(...) PXQ_TSA_ATTR(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held (exclusively / shared) on entry
+/// and does not release it.
+#define PXQ_REQUIRES(...) PXQ_TSA_ATTR(requires_capability(__VA_ARGS__))
+#define PXQ_REQUIRES_SHARED(...) \
+  PXQ_TSA_ATTR(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively / shared).
+#define PXQ_ACQUIRE(...) PXQ_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define PXQ_ACQUIRE_SHARED(...) \
+  PXQ_TSA_ATTR(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (exclusive / shared / either).
+#define PXQ_RELEASE(...) PXQ_TSA_ATTR(release_capability(__VA_ARGS__))
+#define PXQ_RELEASE_SHARED(...) \
+  PXQ_TSA_ATTR(release_shared_capability(__VA_ARGS__))
+#define PXQ_RELEASE_GENERIC(...) \
+  PXQ_TSA_ATTR(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts the capability; first argument is the return value
+/// that signals success.
+#define PXQ_TRY_ACQUIRE(...) PXQ_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+#define PXQ_TRY_ACQUIRE_SHARED(...) \
+  PXQ_TSA_ATTR(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function must NOT be called while holding the capability (deadlock
+/// prevention for self-locking public entry points).
+#define PXQ_EXCLUDES(...) PXQ_TSA_ATTR(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (trusted by analysis).
+#define PXQ_ASSERT_CAPABILITY(x) PXQ_TSA_ATTR(assert_capability(x))
+#define PXQ_ASSERT_SHARED_CAPABILITY(x) \
+  PXQ_TSA_ATTR(assert_shared_capability(x))
+
+/// Function returns a reference to the capability named `x`.
+#define PXQ_RETURN_CAPABILITY(x) PXQ_TSA_ATTR(lock_returned(x))
+
+/// Opt a function out of the analysis entirely. Every use must carry a
+/// comment explaining the out-of-band synchronization (e.g. the string
+/// pools' release/acquire chunk publication).
+#define PXQ_NO_THREAD_SAFETY_ANALYSIS PXQ_TSA_ATTR(no_thread_safety_analysis)
+
+#endif  // PXQ_COMMON_THREAD_ANNOTATIONS_H_

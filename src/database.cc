@@ -16,6 +16,7 @@ namespace {
 /// with indexed-vs-reference divergence failing the build instead of
 /// only firing where a test opted in explicitly.
 bool ForcedCrossCheck() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read before threads start
   const char* e = std::getenv("PXQ_FORCE_CROSS_CHECK");
   return e != nullptr && e[0] != '\0' && e[0] != '0';
 }
@@ -26,6 +27,7 @@ bool ForcedCrossCheck() {
 /// a rebuild. IndexManager clamps to its supported range.
 void ApplyIndexEnvOverrides(index::IndexConfig* cfg) {
   if (ForcedCrossCheck()) cfg->cross_check = true;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read before threads start
   if (const char* e = std::getenv("PXQ_PATH_CHAIN_DEPTH");
       e != nullptr && e[0] != '\0') {
     cfg->path_chain_depth = std::atoi(e);
@@ -36,10 +38,12 @@ void ApplyIndexEnvOverrides(index::IndexConfig* cfg) {
 /// and PXQ_SLOW_QUERY_MS=<ms> sets the slow-query threshold — both
 /// without a rebuild or a code change, mirroring the index overrides.
 void ApplyProfileEnvOverrides(Database::Options* opts) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read before threads start
   if (const char* e = std::getenv("PXQ_PROFILE");
       e != nullptr && e[0] != '\0') {
     opts->profile_sample_n = std::atoll(e);
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read before threads start
   if (const char* e = std::getenv("PXQ_SLOW_QUERY_MS");
       e != nullptr && e[0] != '\0') {
     opts->slow_query_ms = std::atoll(e);

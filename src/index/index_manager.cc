@@ -396,7 +396,7 @@ void IndexManager::Publish(std::vector<ShardBuilder>& bs, bool structural) {
 
 void IndexManager::Rebuild(const storage::PagedStore& store) {
   const auto t0 = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   node_state_.clear();
   std::vector<ShardBuilder> bs(static_cast<size_t>(nshards_));
   for (int i = 0; i < nshards_; ++i) {
@@ -445,7 +445,7 @@ void IndexManager::ApplyDirty(const storage::PagedStore& store,
   // to publish and the memoized pre-lists are still valid.
   if (delta.empty()) return;
   const auto t0 = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   std::vector<ShardBuilder> bs(static_cast<size_t>(nshards_));
   std::vector<NodeId> work = delta.dirty();
   std::vector<uint8_t> kinds;
@@ -1081,7 +1081,7 @@ IndexStats IndexManager::Stats() const {
   // Structure walk under writer_mu_: publication both swaps and
   // reclaims snapshots, so Stats() must not chase the raw pointers
   // concurrently with a writer.
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   s.build_micros = build_micros_;
   s.maintenance_ops = maintenance_ops_;
   s.applied_commits = applied_commits_;

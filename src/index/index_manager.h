@@ -109,12 +109,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "index/delta_index.h"
 #include "obs/metrics.h"
@@ -545,39 +546,50 @@ class IndexManager {
     return shards_[shard].snap.load(std::memory_order_acquire);
   }
 
-  // Writer helpers (hold writer_mu_).
-  ShardBuilder& BuilderFor(std::vector<ShardBuilder>& bs, QnameId qn);
-  Postings* MutablePostings(std::vector<ShardBuilder>& bs, QnameId qn);
-  ValueBucket* MutableValues(std::vector<ShardBuilder>& bs, QnameId qn);
-  AttrBucket* MutableAttrs(std::vector<ShardBuilder>& bs, QnameId qn);
-  Postings* MutablePaths(std::vector<ShardBuilder>& bs, const ChainKey& key);
+  // Writer helpers: REQUIRES(writer_mu_) — callers (Rebuild/ApplyDirty/
+  // Stats) must hold the writer lock, and the analysis proves they do.
+  ShardBuilder& BuilderFor(std::vector<ShardBuilder>& bs, QnameId qn)
+      PXQ_REQUIRES(writer_mu_);
+  Postings* MutablePostings(std::vector<ShardBuilder>& bs, QnameId qn)
+      PXQ_REQUIRES(writer_mu_);
+  ValueBucket* MutableValues(std::vector<ShardBuilder>& bs, QnameId qn)
+      PXQ_REQUIRES(writer_mu_);
+  AttrBucket* MutableAttrs(std::vector<ShardBuilder>& bs, QnameId qn)
+      PXQ_REQUIRES(writer_mu_);
+  Postings* MutablePaths(std::vector<ShardBuilder>& bs, const ChainKey& key)
+      PXQ_REQUIRES(writer_mu_);
   // Value/attr entry maintenance, shared by the full node paths and the
   // granular kValue/kAttrs-only refreshes. Every dictionary/sidecar/
   // owner mutation stamps the touched generations from next_gen_.
   void AddValueEntry(ValueBucket* vb, const storage::PagedStore& store,
-                     NodeId node, PreId pre, NodeState* st);
-  void RemoveValueEntry(ValueBucket* vb, NodeId node, const NodeState& st);
+                     NodeId node, PreId pre, NodeState* st)
+      PXQ_REQUIRES(writer_mu_);
+  void RemoveValueEntry(ValueBucket* vb, NodeId node, const NodeState& st)
+      PXQ_REQUIRES(writer_mu_);
   void AddAttrEntries(std::vector<ShardBuilder>& bs,
                       const storage::PagedStore& store, NodeId node,
-                      NodeState* st);
+                      NodeState* st) PXQ_REQUIRES(writer_mu_);
   void RemoveAttrEntries(std::vector<ShardBuilder>& bs, NodeId node,
-                         const NodeState& st);
-  void RemoveNode(std::vector<ShardBuilder>& bs, NodeId node);
+                         const NodeState& st) PXQ_REQUIRES(writer_mu_);
+  void RemoveNode(std::vector<ShardBuilder>& bs, NodeId node)
+      PXQ_REQUIRES(writer_mu_);
   void AddNode(std::vector<ShardBuilder>& bs, const storage::PagedStore& store,
                NodeId node, PreId pre,
-               const std::array<QnameId, kMaxChainDepth - 1>& anc);
+               const std::array<QnameId, kMaxChainDepth - 1>& anc)
+      PXQ_REQUIRES(writer_mu_);
   /// Insert/erase the node's chain keys (lengths 2..k) derived from
   /// (st.qn, st.anc) — the shared piece of full re-derivation and the
   /// granular kPath-only refresh.
   void AddChainEntries(std::vector<ShardBuilder>& bs, NodeId node,
-                       const NodeState& st);
+                       const NodeState& st) PXQ_REQUIRES(writer_mu_);
   void RemoveChainEntries(std::vector<ShardBuilder>& bs, NodeId node,
-                          const NodeState& st);
+                          const NodeState& st) PXQ_REQUIRES(writer_mu_);
   /// Nearest-ancestor tags of `pre` outward, -1-padded (store walk).
   std::array<QnameId, kMaxChainDepth - 1> AncTagsOf(
       const storage::PagedStore& store, PreId pre) const;
-  void Publish(std::vector<ShardBuilder>& bs, bool structural);
-  void PruneMemos();
+  void Publish(std::vector<ShardBuilder>& bs, bool structural)
+      PXQ_REQUIRES(writer_mu_);
+  void PruneMemos() PXQ_REQUIRES(writer_mu_);
 
   bool Gate(int64_t candidates, int64_t scan_cost) const;
   /// Swizzle a sorted NodeId postings list into a sorted pre list.
@@ -621,16 +633,18 @@ class IndexManager {
   /// Serializes writers (Rebuild vs direct test callers; commits are
   /// already exclusive) and guards the writer-only state below. Stats()
   /// takes it too (it walks the owned snapshots); probes never do.
-  mutable std::mutex writer_mu_;
+  mutable Mutex writer_mu_;
   /// Owning references for the raw pointers published in shards_;
   /// replaced (and thereby reclaimed) at publication, when the
   /// exclusive window guarantees no probe is in flight.
-  std::vector<std::shared_ptr<const ShardSnapshot>> owned_snaps_;
-  std::unordered_map<NodeId, NodeState> node_state_;
-  uint64_t next_gen_ = 0;
-  int64_t maintenance_ops_ = 0;
-  int64_t applied_commits_ = 0;
-  int64_t build_micros_ = 0;
+  std::vector<std::shared_ptr<const ShardSnapshot>> owned_snaps_
+      PXQ_GUARDED_BY(writer_mu_);
+  std::unordered_map<NodeId, NodeState> node_state_
+      PXQ_GUARDED_BY(writer_mu_);
+  uint64_t next_gen_ PXQ_GUARDED_BY(writer_mu_) = 0;
+  int64_t maintenance_ops_ PXQ_GUARDED_BY(writer_mu_) = 0;
+  int64_t applied_commits_ PXQ_GUARDED_BY(writer_mu_) = 0;
+  int64_t build_micros_ PXQ_GUARDED_BY(writer_mu_) = 0;
 
   std::atomic<uint64_t> publish_epoch_{0};
   std::atomic<uint64_t> structure_epoch_{1};

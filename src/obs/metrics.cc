@@ -155,7 +155,7 @@ MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name) {
 }
 
 Counter* MetricsRegistry::AddCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (Entry* e = Find(name)) {
     // Find-or-create: concurrent registrants share the counter (only
     // sensible for registry-owned metrics — external registration of a
@@ -172,7 +172,7 @@ Counter* MetricsRegistry::AddCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::AddGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (Entry* e = Find(name)) return const_cast<Gauge*>(e->gauge);
   owned_gauges_.emplace_back();
   Entry e;
@@ -184,7 +184,7 @@ Gauge* MetricsRegistry::AddGauge(const std::string& name) {
 }
 
 Histogram* MetricsRegistry::AddHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (Entry* e = Find(name)) return const_cast<Histogram*>(e->histogram);
   owned_histograms_.emplace_back();
   Entry e;
@@ -197,7 +197,7 @@ Histogram* MetricsRegistry::AddHistogram(const std::string& name) {
 
 void MetricsRegistry::RegisterCounter(const std::string& name,
                                       const Counter* c) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (Find(name) != nullptr) return;  // first registrant wins
   Entry e;
   e.name = name;
@@ -208,7 +208,7 @@ void MetricsRegistry::RegisterCounter(const std::string& name,
 
 void MetricsRegistry::RegisterHistogram(const std::string& name,
                                         const Histogram* h) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (Find(name) != nullptr) return;
   Entry e;
   e.name = name;
@@ -219,7 +219,7 @@ void MetricsRegistry::RegisterHistogram(const std::string& name,
 
 void MetricsRegistry::RegisterCallback(const std::string& name,
                                        std::function<int64_t()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (Find(name) != nullptr) return;
   Entry e;
   e.name = name;
@@ -229,13 +229,13 @@ void MetricsRegistry::RegisterCallback(const std::string& name,
 }
 
 void MetricsRegistry::RegisterGroup(Group fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   groups_.push_back(std::move(fn));
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   snap.values.reserve(entries_.size());
   for (const Entry& e : entries_) {
     MetricsSnapshot::Value v;
@@ -271,7 +271,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 size_t MetricsRegistry::MetricCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.size();
 }
 

@@ -43,10 +43,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace pxq::obs {
 
@@ -54,7 +56,10 @@ namespace pxq::obs {
 /// cache line (probe counters are bumped from many reader threads).
 class alignas(64) Counter {
  public:
+  // relaxed: pure event count — no reader orders other memory against
+  // it; exactness per counter is preserved by fetch_add atomicity.
   void Inc(int64_t n = 1) const { v_.fetch_add(n, std::memory_order_relaxed); }
+  // relaxed: see Inc.
   int64_t Value() const { return v_.load(std::memory_order_relaxed); }
 
  private:
@@ -64,8 +69,11 @@ class alignas(64) Counter {
 /// A settable level (sizes, occupancy).
 class alignas(64) Gauge {
  public:
+  // relaxed: observability level; nothing synchronizes-with a gauge.
   void Set(int64_t v) const { v_.store(v, std::memory_order_relaxed); }
+  // relaxed: see Set.
   void Add(int64_t n) const { v_.fetch_add(n, std::memory_order_relaxed); }
+  // relaxed: see Set.
   int64_t Value() const { return v_.load(std::memory_order_relaxed); }
 
  private:
@@ -94,8 +102,11 @@ class Histogram {
 
   void Record(int64_t v) const {
     if (v < 0) v = 0;
+    // relaxed: bucket counts and sum are independent stat counters;
+    // snapshots tolerate cross-field skew by design (see Snapshot::sum).
     counts_[static_cast<size_t>(BucketOf(v))].fetch_add(
         1, std::memory_order_relaxed);
+    // relaxed: see above.
     sum_.fetch_add(v, std::memory_order_relaxed);
   }
 
@@ -133,15 +144,18 @@ class Histogram {
   Snapshot Snap() const {
     Snapshot s;
     for (int i = 0; i < kBuckets; ++i) {
+      // relaxed: stat reads; each bucket is exact, the set is skewed.
       s.counts[static_cast<size_t>(i)] =
           counts_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
       s.count += s.counts[static_cast<size_t>(i)];
     }
+    // relaxed: see above.
     s.sum = sum_.load(std::memory_order_relaxed);
     return s;
   }
 
   int64_t Count() const { return Snap().count; }
+  // relaxed: stat read, same contract as Snap().
   int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
 
  private:
@@ -217,15 +231,18 @@ class MetricsRegistry {
     std::function<int64_t()> fn;  // callback gauge
   };
 
-  Entry* Find(const std::string& name);
+  Entry* Find(const std::string& name) PXQ_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Owned metrics live in deques for pointer stability across growth.
-  std::deque<Counter> owned_counters_;
-  std::deque<Gauge> owned_gauges_;
-  std::deque<Histogram> owned_histograms_;
-  std::vector<Entry> entries_;
-  std::vector<Group> groups_;
+  // The deques themselves are guarded; the metrics they hold are
+  // lock-free atomics, safe to bump through previously returned
+  // pointers without mu_.
+  std::deque<Counter> owned_counters_ PXQ_GUARDED_BY(mu_);
+  std::deque<Gauge> owned_gauges_ PXQ_GUARDED_BY(mu_);
+  std::deque<Histogram> owned_histograms_ PXQ_GUARDED_BY(mu_);
+  std::vector<Entry> entries_ PXQ_GUARDED_BY(mu_);
+  std::vector<Group> groups_ PXQ_GUARDED_BY(mu_);
 };
 
 }  // namespace pxq::obs

@@ -10,7 +10,7 @@ void Profiler::RecordSpan(QuerySpan span) {
   const bool slow = span.total_ns >= opts_.slow_ns;
   if (slow) slow_recorded_.Inc();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   span.seq = next_seq_;
   QuerySpan slow_copy;
   if (slow) slow_copy = span;
@@ -47,17 +47,17 @@ std::vector<QuerySpan> Profiler::CopyRing(const std::vector<QuerySpan>& ring,
 }
 
 std::vector<QuerySpan> Profiler::RecentSpans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return CopyRing(ring_, next_seq_);
 }
 
 std::vector<QuerySpan> Profiler::SlowQueries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return CopyRing(slow_ring_, slow_seq_);
 }
 
 uint64_t Profiler::SpanCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return next_seq_;
 }
 

@@ -24,10 +24,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace pxq::obs {
@@ -81,6 +82,8 @@ class Profiler {
     const int64_t n = opts_.sample_n;
     if (n <= 0) return false;
     if (n == 1) return true;
+    // relaxed: sampling ticket — occasional cross-thread skew only
+    // shifts which query gets sampled, never correctness.
     return ticket_.fetch_add(1, std::memory_order_relaxed) % n == 0;
   }
 
@@ -103,7 +106,7 @@ class Profiler {
 
  private:
   std::vector<QuerySpan> CopyRing(const std::vector<QuerySpan>& ring,
-                                  uint64_t filed) const;
+                                  uint64_t filed) const PXQ_REQUIRES(mu_);
 
   Options opts_;
   mutable std::atomic<int64_t> ticket_{0};
@@ -112,11 +115,11 @@ class Profiler {
   Counter spans_recorded_;
   Counter slow_recorded_;
 
-  mutable std::mutex mu_;
-  std::vector<QuerySpan> ring_;       // recent spans, ring_[seq % cap]
-  std::vector<QuerySpan> slow_ring_;  // slow spans, slow_ring_[n % cap]
-  uint64_t next_seq_ = 0;   // spans filed into ring_
-  uint64_t slow_seq_ = 0;   // spans filed into slow_ring_
+  mutable Mutex mu_;
+  std::vector<QuerySpan> ring_ PXQ_GUARDED_BY(mu_);   // ring_[seq % cap]
+  std::vector<QuerySpan> slow_ring_ PXQ_GUARDED_BY(mu_);
+  uint64_t next_seq_ PXQ_GUARDED_BY(mu_) = 0;  // spans filed into ring_
+  uint64_t slow_seq_ PXQ_GUARDED_BY(mu_) = 0;  // into slow_ring_
 };
 
 }  // namespace pxq::obs

@@ -21,7 +21,7 @@ int32_t Log2(int64_t v) {
 // ---------------------------------------------------------------------------
 
 std::vector<NodeId> NodeIdAllocator::Allocate(int64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<NodeId> out;
   out.reserve(static_cast<size_t>(n));
   while (n > 0 && !free_.empty()) {
@@ -39,17 +39,17 @@ std::vector<NodeId> NodeIdAllocator::Allocate(int64_t n) {
 }
 
 void NodeIdAllocator::Release(const std::vector<NodeId>& ids) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   free_.insert(free_.end(), ids.begin(), ids.end());
 }
 
 NodeId NodeIdAllocator::limit() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return next_;
 }
 
 void NodeIdAllocator::Seed(NodeId next, std::vector<NodeId> free) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   next_ = next;
   free_ = std::move(free);
 }
@@ -219,13 +219,13 @@ StatusOr<Page*> PagedStore::MutablePage(PageId phys) {
   // only at commit), so its extra refcount must not trigger a copy.
   bool owned = fresh || imaged_pages_.count(phys) > 0;
   if (!owned) {
-    std::lock_guard<std::mutex> lock(cow_mu_);
+    MutexLock lock(&cow_mu_);
     owned = cow_pages_.count(phys) > 0;
   }
   if (!owned && slot.use_count() > 1) {
     slot = std::make_shared<Page>(*slot);  // copy-on-write
     {
-      std::lock_guard<std::mutex> lock(cow_mu_);
+      MutexLock lock(&cow_mu_);
       cow_pages_.insert(phys);
     }
     RefreshView();
@@ -333,13 +333,13 @@ void PagedStore::WriteSizeRaw(PosId pos, int64_t size) {
   auto& slot = pages_[phys];
   bool owned = fresh_pages_.count(phys) > 0 || imaged_pages_.count(phys) > 0;
   if (!owned) {
-    std::lock_guard<std::mutex> lock(cow_mu_);
+    MutexLock lock(&cow_mu_);
     owned = cow_pages_.count(phys) > 0;
   }
   if (!owned && slot.use_count() > 1) {
     slot = std::make_shared<Page>(*slot);
     {
-      std::lock_guard<std::mutex> lock(cow_mu_);
+      MutexLock lock(&cow_mu_);
       cow_pages_.insert(phys);
     }
     RefreshView();
@@ -976,7 +976,7 @@ std::unique_ptr<PagedStore> PagedStore::Clone() const {
   // Every page is shared with the clone now; this store's next write to
   // any of them must copy again.
   {
-    std::lock_guard<std::mutex> lock(cow_mu_);
+    MutexLock lock(&cow_mu_);
     cow_pages_.clear();
   }
   return clone;
@@ -1025,7 +1025,7 @@ Status PagedStore::ReplayOpLog(const OpLog& log,
   // Installed pages alias the committed transaction's objects; they are
   // not privately owned by this store anymore.
   {
-    std::lock_guard<std::mutex> lock(cow_mu_);
+    MutexLock lock(&cow_mu_);
     for (PageId p : installed) cow_pages_.erase(p);
   }
   RefreshView();

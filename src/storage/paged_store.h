@@ -40,11 +40,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "index/delta_index.h"
 #include "storage/attr_table.h"
@@ -82,9 +83,9 @@ class NodeIdAllocator {
   void Seed(NodeId next, std::vector<NodeId> free);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<NodeId> free_;
-  NodeId next_ = 0;
+  mutable Mutex mu_;
+  std::vector<NodeId> free_ PXQ_GUARDED_BY(mu_);
+  NodeId next_ PXQ_GUARDED_BY(mu_) = 0;
 };
 
 /// Primitive-mutation log captured during a transaction so the same work
@@ -424,8 +425,8 @@ class PagedStore {
   // Clone(): afterwards every page is shared again and the next write
   // must copy. Mutable + mutex because concurrent readers may Clone()
   // under the shared global lock while writers mutate it exclusively.
-  mutable std::unordered_set<PageId> cow_pages_;
-  mutable std::mutex cow_mu_;
+  mutable std::unordered_set<PageId> cow_pages_ PXQ_GUARDED_BY(cow_mu_);
+  mutable Mutex cow_mu_;
 
   PagedStoreStats stats_;
 };

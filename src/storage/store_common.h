@@ -5,10 +5,11 @@
 #define PXQ_STORAGE_STORE_COMMON_H_
 
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "storage/qname_pool.h"
 #include "storage/value_pool.h"
@@ -33,39 +34,56 @@ class ContentPools {
         props_(/*dedup=*/true) {}
 
   QnameId InternQname(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return qnames_.Intern(name);
   }
   QnameId FindQname(std::string_view name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return qnames_.Find(name);
   }
-  const std::string& QnameOf(QnameId id) const { return qnames_.Name(id); }
+  // Lock-free reader: ids come from committed store state; the backing
+  // chunks are pointer-stable and published release/acquire by
+  // StableStrings (see value_pool.h), so no mutex is needed — the
+  // annotation opt-out below documents exactly that contract.
+  const std::string& QnameOf(QnameId id) const PXQ_NO_THREAD_SAFETY_ANALYSIS {
+    return qnames_.Name(id);
+  }
 
   ValueId AddText(std::string_view v) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return texts_.Add(v);
   }
   ValueId AddComment(std::string_view v) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return comments_.Add(v);
   }
   ValueId AddPi(std::string_view v) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return pis_.Add(v);
   }
   ValueId AddProp(std::string_view v) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return props_.Add(v);
   }
 
-  const std::string& Text(ValueId id) const { return texts_.Get(id); }
-  const std::string& Comment(ValueId id) const { return comments_.Get(id); }
-  const std::string& Pi(ValueId id) const { return pis_.Get(id); }
-  const std::string& Prop(ValueId id) const { return props_.Get(id); }
+  // Lock-free readers — same chunk-publication contract as QnameOf.
+  const std::string& Text(ValueId id) const PXQ_NO_THREAD_SAFETY_ANALYSIS {
+    return texts_.Get(id);
+  }
+  const std::string& Comment(ValueId id) const PXQ_NO_THREAD_SAFETY_ANALYSIS {
+    return comments_.Get(id);
+  }
+  const std::string& Pi(ValueId id) const PXQ_NO_THREAD_SAFETY_ANALYSIS {
+    return pis_.Get(id);
+  }
+  const std::string& Prop(ValueId id) const PXQ_NO_THREAD_SAFETY_ANALYSIS {
+    return props_.Get(id);
+  }
 
-  /// Value of a node given its kind and ref (elements have no value here).
-  const std::string& ValueOf(NodeKind kind, ValueId ref) const {
+  /// Value of a node given its kind and ref (elements have no value
+  /// here). Lock-free reader — same contract as QnameOf.
+  const std::string& ValueOf(NodeKind kind, ValueId ref) const
+      PXQ_NO_THREAD_SAFETY_ANALYSIS {
     switch (kind) {
       case NodeKind::kText: return texts_.Get(ref);
       case NodeKind::kComment: return comments_.Get(ref);
@@ -73,11 +91,14 @@ class ContentPools {
     }
   }
 
-  int64_t ByteSize() const {
+  // Lock-free stat reads (sizes are monotone; skew is acceptable).
+  int64_t ByteSize() const PXQ_NO_THREAD_SAFETY_ANALYSIS {
     return qnames_.ByteSize() + texts_.ByteSize() + comments_.ByteSize() +
            pis_.ByteSize() + props_.ByteSize();
   }
-  int64_t qname_count() const { return qnames_.size(); }
+  int64_t qname_count() const PXQ_NO_THREAD_SAFETY_ANALYSIS {
+    return qnames_.size();
+  }
 
   // --- WAL / snapshot support ------------------------------------------
   enum class PoolKind : uint8_t { kQname, kText, kComment, kPi, kProp };
@@ -87,12 +108,12 @@ class ContentPools {
   /// Current entry counts per pool (captured at transaction begin; the
   /// WAL logs entries appended after that point).
   PoolSizes Sizes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return {{qnames_.size(), texts_.size(), comments_.size(), pis_.size(),
              props_.size()}};
   }
   std::string Entry(PoolKind kind, int32_t id) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     switch (kind) {
       case PoolKind::kQname: return qnames_.Name(id);
       case PoolKind::kText: return texts_.Get(id);
@@ -104,7 +125,7 @@ class ContentPools {
   }
   /// Idempotent positional install (WAL replay / snapshot load).
   void SetEntry(PoolKind kind, int32_t id, std::string_view value) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     switch (kind) {
       case PoolKind::kQname: qnames_.SetAt(id, value); break;
       case PoolKind::kText: texts_.SetAt(id, value); break;
@@ -115,12 +136,15 @@ class ContentPools {
   }
 
  private:
-  mutable std::mutex mu_;
-  QnamePool qnames_;
-  ValuePool texts_;
-  ValuePool comments_;
-  ValuePool pis_;
-  ValuePool props_;
+  mutable Mutex mu_;
+  // Guarded for WRITES (Intern/Add/SetAt) and map lookups (Find);
+  // value reads by id bypass mu_ through the NO_THREAD_SAFETY_ANALYSIS
+  // readers above, riding the pools' release/acquire chunk publication.
+  QnamePool qnames_ PXQ_GUARDED_BY(mu_);
+  ValuePool texts_ PXQ_GUARDED_BY(mu_);
+  ValuePool comments_ PXQ_GUARDED_BY(mu_);
+  ValuePool pis_ PXQ_GUARDED_BY(mu_);
+  ValuePool props_ PXQ_GUARDED_BY(mu_);
 };
 
 /// One node of a subtree being inserted, in document order. `level_rel`

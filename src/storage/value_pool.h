@@ -43,7 +43,11 @@ class StableStrings {
     std::atomic<Chunk*>* t = table_.load(std::memory_order_acquire);
     if (t == nullptr) return;
     for (size_t c = 0; c < kMaxChunks; ++c) {
-      delete t[c].load(std::memory_order_relaxed);
+      // acquire: pointer loads stay release/acquire everywhere (the
+      // concurrency lint forbids relaxed pointer traffic) — the
+      // destructor races with nothing, but uniformity is cheaper than
+      // an exemption.
+      delete t[c].load(std::memory_order_acquire);
     }
     delete[] t;
   }
@@ -77,7 +81,7 @@ class StableStrings {
                    static_cast<long long>(id));
       std::abort();
     }
-    std::atomic<Chunk*>* t = table_.load(std::memory_order_relaxed);
+    std::atomic<Chunk*>* t = table_.load(std::memory_order_acquire);
     if (t == nullptr) {
       t = new std::atomic<Chunk*>[kMaxChunks]();
       table_.store(t, std::memory_order_release);
@@ -86,8 +90,11 @@ class StableStrings {
       t[allocated_chunks_].store(new Chunk(), std::memory_order_release);
       ++allocated_chunks_;
     }
-    t[c].load(std::memory_order_relaxed)->vals[i & kChunkMask] =
+    t[c].load(std::memory_order_acquire)->vals[i & kChunkMask] =
         std::string(value);
+    // relaxed: writer-private read — appends are externally serialized,
+    // so the writer sees its own latest size; publication to readers is
+    // the release store below.
     if (id >= size_.load(std::memory_order_relaxed)) {
       size_.store(id + 1, std::memory_order_release);
     }

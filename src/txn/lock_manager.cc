@@ -5,7 +5,7 @@
 namespace pxq::txn {
 
 Status PageLockManager::Acquire(TxnId owner, PageId page) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto deadline = std::chrono::steady_clock::now() + timeout_;
   for (;;) {
     auto it = owner_of_.find(page);
@@ -15,7 +15,7 @@ Status PageLockManager::Acquire(TxnId owner, PageId page) {
       return Status::OK();
     }
     if (it->second == owner) return Status::OK();  // re-entrant
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (cv_.WaitUntil(lock, deadline) == std::cv_status::timeout) {
       return Status::Conflict(StrFormat(
           "page %lld is write-locked by txn %llu (deadlock timeout)",
           static_cast<long long>(page),
@@ -26,17 +26,17 @@ Status PageLockManager::Acquire(TxnId owner, PageId page) {
 
 void PageLockManager::ReleaseAll(TxnId owner) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = held_.find(owner);
     if (it == held_.end()) return;
     for (PageId p : it->second) owner_of_.erase(p);
     held_.erase(it);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 std::unordered_set<PageId> PageLockManager::HeldBy(TxnId owner) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = held_.find(owner);
   return it == held_.end() ? std::unordered_set<PageId>{} : it->second;
 }

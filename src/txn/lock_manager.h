@@ -11,17 +11,22 @@
 // ancestor `size` maintenance travels as commutative deltas applied in
 // the commit window, so a transaction never takes page locks on the
 // ancestor chain — in particular the root's page is not a bottleneck.
+//
+// Lock hierarchy (DESIGN.md §6): GlobalLock is the outermost capability;
+// PageLockManager::mu_ and TransactionManager::meta_mu_ nest inside it
+// and never nest inside each other while also holding further locks.
+// Both classes are capability-annotated, so -Wthread-safety proves the
+// guarded-field discipline on every Clang build.
 #ifndef PXQ_TXN_LOCK_MANAGER_H_
 #define PXQ_TXN_LOCK_MANAGER_H_
 
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "obs/metrics.h"
 
@@ -35,20 +40,21 @@ class PageLockManager {
 
   /// Acquire the write lock on `page` for `owner`. Re-entrant for the
   /// same owner. Returns Conflict after the deadlock timeout.
-  Status Acquire(TxnId owner, PageId page);
+  Status Acquire(TxnId owner, PageId page) PXQ_EXCLUDES(mu_);
 
   /// Release every page lock held by `owner` (commit/abort).
-  void ReleaseAll(TxnId owner);
+  void ReleaseAll(TxnId owner) PXQ_EXCLUDES(mu_);
 
   /// Pages currently locked by `owner` (tests).
-  std::unordered_set<PageId> HeldBy(TxnId owner) const;
+  std::unordered_set<PageId> HeldBy(TxnId owner) const PXQ_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<PageId, TxnId> owner_of_;
-  std::unordered_map<TxnId, std::unordered_set<PageId>> held_;
-  std::chrono::milliseconds timeout_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::unordered_map<PageId, TxnId> owner_of_ PXQ_GUARDED_BY(mu_);
+  std::unordered_map<TxnId, std::unordered_set<PageId>> held_
+      PXQ_GUARDED_BY(mu_);
+  const std::chrono::milliseconds timeout_;
 };
 
 /// The global lock: shared for readers, exclusive for the commit window.
@@ -61,7 +67,11 @@ class PageLockManager {
 /// blocks NEW readers, so the commit window opens as soon as in-flight
 /// reads drain; commits are short, so readers stall only briefly.
 /// Writers are serialized amongst themselves by writer_active_.
-class GlobalLock {
+///
+/// GlobalLock is itself a thread-safety capability: LockShared /
+/// LockExclusive acquire it (shared / exclusive), so an unbalanced
+/// commit-window path is a compile error under -Wthread-safety.
+class PXQ_CAPABILITY("GlobalLock") GlobalLock {
  public:
   /// Acquire-contention counters (see stats()): `*_waits` counts
   /// acquires that found the lock unavailable and blocked, `*_acquires`
@@ -80,8 +90,8 @@ class GlobalLock {
     int64_t writer_wait_ns = 0;
   };
 
-  void LockShared() {
-    std::unique_lock<std::mutex> l(m_);
+  void LockShared() PXQ_ACQUIRE_SHARED() {
+    MutexLock l(&m_);
     ++reader_acquires_;
     if (writers_waiting_ != 0 || writer_active_) {
       ++reader_waits_;
@@ -89,7 +99,7 @@ class GlobalLock {
       // increments under the mutex, no clock reads. Recording happens
       // while m_ is held — fine, Record is two relaxed fetch_adds.
       const auto t0 = std::chrono::steady_clock::now();
-      cv_.wait(l, [&] { return writers_waiting_ == 0 && !writer_active_; });
+      while (writers_waiting_ != 0 || writer_active_) cv_.Wait(l);
       reader_wait_ns_.Record(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - t0)
@@ -97,18 +107,18 @@ class GlobalLock {
     }
     ++readers_;
   }
-  void UnlockShared() {
-    std::unique_lock<std::mutex> l(m_);
-    if (--readers_ == 0) cv_.notify_all();
+  void UnlockShared() PXQ_RELEASE_SHARED() {
+    MutexLock l(&m_);
+    if (--readers_ == 0) cv_.NotifyAll();
   }
-  void LockExclusive() {
-    std::unique_lock<std::mutex> l(m_);
+  void LockExclusive() PXQ_ACQUIRE() {
+    MutexLock l(&m_);
     ++writer_acquires_;
     ++writers_waiting_;
     if (readers_ != 0 || writer_active_) {
       ++writer_waits_;
       const auto t0 = std::chrono::steady_clock::now();
-      cv_.wait(l, [&] { return readers_ == 0 && !writer_active_; });
+      while (readers_ != 0 || writer_active_) cv_.Wait(l);
       writer_wait_ns_.Record(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - t0)
@@ -117,14 +127,14 @@ class GlobalLock {
     --writers_waiting_;
     writer_active_ = true;
   }
-  void UnlockExclusive() {
-    std::unique_lock<std::mutex> l(m_);
+  void UnlockExclusive() PXQ_RELEASE() {
+    MutexLock l(&m_);
     writer_active_ = false;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
-  Stats stats() const {
-    std::unique_lock<std::mutex> l(m_);
+  Stats stats() const PXQ_EXCLUDES(m_) {
+    MutexLock l(&m_);
     return {reader_acquires_,       reader_waits_,
             writer_acquires_,       writer_waits_,
             reader_wait_ns_.Sum(),  writer_wait_ns_.Sum()};
@@ -136,12 +146,13 @@ class GlobalLock {
   const obs::Histogram& writer_wait_hist() const { return writer_wait_ns_; }
 
   /// RAII reader guard for query execution.
-  class ReadGuard {
+  class PXQ_SCOPED_CAPABILITY ReadGuard {
    public:
-    explicit ReadGuard(GlobalLock* lock) : lock_(lock) {
+    explicit ReadGuard(GlobalLock* lock) PXQ_ACQUIRE_SHARED(lock)
+        : lock_(lock) {
       lock_->LockShared();
     }
-    ~ReadGuard() { lock_->UnlockShared(); }
+    ~ReadGuard() PXQ_RELEASE_GENERIC() { lock_->UnlockShared(); }
     ReadGuard(const ReadGuard&) = delete;
     ReadGuard& operator=(const ReadGuard&) = delete;
 
@@ -150,15 +161,17 @@ class GlobalLock {
   };
 
  private:
-  mutable std::mutex m_;
-  std::condition_variable cv_;
-  int64_t readers_ = 0;
-  int64_t writers_waiting_ = 0;
-  bool writer_active_ = false;
-  int64_t reader_acquires_ = 0;
-  int64_t reader_waits_ = 0;
-  int64_t writer_acquires_ = 0;
-  int64_t writer_waits_ = 0;
+  mutable Mutex m_;
+  CondVar cv_;
+  int64_t readers_ PXQ_GUARDED_BY(m_) = 0;
+  int64_t writers_waiting_ PXQ_GUARDED_BY(m_) = 0;
+  bool writer_active_ PXQ_GUARDED_BY(m_) = false;
+  int64_t reader_acquires_ PXQ_GUARDED_BY(m_) = 0;
+  int64_t reader_waits_ PXQ_GUARDED_BY(m_) = 0;
+  int64_t writer_acquires_ PXQ_GUARDED_BY(m_) = 0;
+  int64_t writer_waits_ PXQ_GUARDED_BY(m_) = 0;
+  // Wait-time histograms are lock-free (relaxed atomics) — recorded
+  // under m_ but readable by RegisterMetrics snapshots without it.
   obs::Histogram reader_wait_ns_;
   obs::Histogram writer_wait_ns_;
 };

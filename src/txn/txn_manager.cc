@@ -18,15 +18,15 @@ using storage::PagedStore;
 TransactionManager::TransactionManager(std::shared_ptr<PagedStore> base,
                                        TxnOptions options)
     : base_(std::move(base)),
-      options_(options),
-      page_locks_(options.lock_timeout) {}
+      options_(std::move(options)),
+      page_locks_(options_.lock_timeout) {}
 
 StatusOr<std::unique_ptr<TransactionManager>> TransactionManager::Create(
     std::shared_ptr<PagedStore> base, TxnOptions options) {
   auto mgr = std::unique_ptr<TransactionManager>(
-      new TransactionManager(std::move(base), options));
-  if (!options.wal_path.empty()) {
-    PXQ_ASSIGN_OR_RETURN(mgr->wal_, Wal::Open(options.wal_path));
+      new TransactionManager(std::move(base), std::move(options)));
+  if (!mgr->options_.wal_path.empty()) {
+    PXQ_ASSIGN_OR_RETURN(mgr->wal_, Wal::Open(mgr->options_.wal_path));
   }
   return mgr;
 }
@@ -43,7 +43,7 @@ StatusOr<std::unique_ptr<Transaction>> TransactionManager::Begin() {
     GlobalLock::ReadGuard guard(&global_);
     snapshot = commit_lsn_.load();
     clone = base_->Clone();
-    std::lock_guard<std::mutex> lock(meta_mu_);
+    MutexLock lock(&meta_mu_);
     active_snapshots_[id] = snapshot;
   }
   auto txn = std::unique_ptr<Transaction>(new Transaction(
@@ -68,7 +68,7 @@ Status TransactionManager::OnFirstPageWrite(Transaction* txn, PageId page) {
   }
   // First-updater-wins: a page structurally committed after our snapshot
   // means our copy-on-write image would clobber that commit.
-  std::lock_guard<std::mutex> lock(meta_mu_);
+  MutexLock lock(&meta_mu_);
   auto it = page_version_.find(page);
   if (it != page_version_.end() && it->second > txn->snapshot_lsn()) {
     txn->poisoned_ = Status::Conflict(
@@ -167,7 +167,7 @@ Status TransactionManager::CommitInternal(Transaction* txn) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(meta_mu_);
+    MutexLock lock(&meta_mu_);
     // Size resolution: every region extent this transaction claimed to
     // change, plus every extent claimed by commits since our snapshot
     // (our page images may have clobbered their stored values), is
@@ -226,7 +226,7 @@ Status TransactionManager::CommitInternal(Transaction* txn) {
 
 void TransactionManager::EndTransaction(Transaction* txn) {
   page_locks_.ReleaseAll(txn->id());
-  std::lock_guard<std::mutex> lock(meta_mu_);
+  MutexLock lock(&meta_mu_);
   active_snapshots_.erase(txn->id());
 }
 

@@ -26,11 +26,12 @@
 #include <atomic>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "index/delta_index.h"
 #include "storage/paged_store.h"
 #include "txn/lock_manager.h"
@@ -123,14 +124,17 @@ class TransactionManager {
   std::atomic<uint64_t> commit_lsn_{0};
   obs::Histogram commit_window_ns_;
 
-  std::mutex meta_mu_;  // guards the three maps below
-  std::unordered_map<PageId, uint64_t> page_version_;
+  // meta_mu_ nests inside the commit window (GlobalLock exclusive) and
+  // never wraps any other lock acquisition.
+  Mutex meta_mu_;
+  std::unordered_map<PageId, uint64_t> page_version_ PXQ_GUARDED_BY(meta_mu_);
   struct CommittedClaim {
     uint64_t lsn;
     NodeId node;
   };
-  std::deque<CommittedClaim> committed_claims_;
-  std::unordered_map<TxnId, uint64_t> active_snapshots_;
+  std::deque<CommittedClaim> committed_claims_ PXQ_GUARDED_BY(meta_mu_);
+  std::unordered_map<TxnId, uint64_t> active_snapshots_
+      PXQ_GUARDED_BY(meta_mu_);
 };
 
 /// A single write transaction. Work against store() (read-your-writes);

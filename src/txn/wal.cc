@@ -279,7 +279,8 @@ Status Wal::AppendCommit(TxnId txn_id, uint64_t snapshot_lsn,
   if (std::fflush(file_) != 0 || fsync(fileno(file_)) != 0) {
     return Status::IOError("WAL fsync failed");
   }
-  ++commit_count_;
+  // relaxed: stat counter; the commit window serializes writers.
+  commit_count_.fetch_add(1, std::memory_order_relaxed);
   appended_bytes_.Inc(static_cast<int64_t>(record.size()));
   append_ns_.Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
                         std::chrono::steady_clock::now() - t0)
@@ -291,7 +292,8 @@ Status Wal::Reset() {
   std::fclose(file_);
   file_ = std::fopen(path_.c_str(), "wb");
   if (file_ == nullptr) return Status::IOError("cannot truncate WAL");
-  commit_count_ = 0;
+  // relaxed: stat counter reset inside the exclusive window.
+  commit_count_.store(0, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -11,6 +11,7 @@
 #ifndef PXQ_TXN_WAL_H_
 #define PXQ_TXN_WAL_H_
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -31,6 +32,13 @@ struct PoolDelta {
   std::string value;
 };
 
+/// Thread compatibility: the WAL holds no lock of its own. AppendCommit
+/// and Reset are called only inside the exclusive commit window
+/// (GlobalLock held exclusively by TransactionManager), which both
+/// serializes appends and orders them against readers — adding a mutex
+/// here would annotate a capability nothing else can contend on. The
+/// accessors expose a plain counter written only in that window plus
+/// lock-free histogram/counter atomics, all safe to sample concurrently.
 class Wal {
  public:
   ~Wal();
@@ -48,7 +56,11 @@ class Wal {
   /// Truncate the log (after a checkpoint snapshot was written).
   Status Reset();
 
-  int64_t commit_count() const { return commit_count_; }
+  int64_t commit_count() const {
+    // relaxed: monotonic stat counter scraped by metrics callbacks; no
+    // other data is ordered against it.
+    return commit_count_.load(std::memory_order_relaxed);
+  }
 
   /// Durability observability: the single-I/O commit point, measured.
   /// append_hist is ns per AppendCommit (serialize + write + fsync);
@@ -76,7 +88,9 @@ class Wal {
 
   std::string path_;
   FILE* file_ = nullptr;
-  int64_t commit_count_ = 0;
+  // Written only inside the exclusive commit window; atomic because
+  // metrics scrapes read it from outside that window.
+  std::atomic<int64_t> commit_count_{0};
   obs::Histogram append_ns_;
   obs::Counter appended_bytes_;
 };

@@ -5,7 +5,7 @@ namespace pxq::xpath {
 std::shared_ptr<const Plan> PlanCache::Lookup(std::string_view text,
                                               uint64_t pool_gen,
                                               uint64_t env_fp) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = map_.find(text);
   if (it == map_.end()) {
     ++stats_.misses;
@@ -28,7 +28,7 @@ std::shared_ptr<const Plan> PlanCache::Lookup(std::string_view text,
 
 void PlanCache::Insert(std::string_view text,
                        std::shared_ptr<const Plan> plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = map_.find(text);
   if (it != map_.end()) {
     // Concurrent compile race: last writer wins, LRU position refreshed.
@@ -46,17 +46,17 @@ void PlanCache::Insert(std::string_view text,
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return map_.size();
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   map_.clear();
   lru_.clear();
 }

@@ -15,13 +15,14 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "xpath/plan.h"
 
@@ -74,11 +75,12 @@ class PlanCache {
     }
   };
 
-  mutable std::mutex mu_;
-  size_t capacity_;
-  std::list<std::string> lru_;  // front = most recently used
-  std::unordered_map<std::string, Entry, StringHash, std::equal_to<>> map_;
-  Stats stats_;
+  mutable Mutex mu_;
+  size_t capacity_;  // set at construction, immutable thereafter
+  std::list<std::string> lru_ PXQ_GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<std::string, Entry, StringHash, std::equal_to<>> map_
+      PXQ_GUARDED_BY(mu_);
+  Stats stats_ PXQ_GUARDED_BY(mu_);
   /// Compile wall-time (ns); recorded outside mu_ (lock-free histogram).
   obs::Histogram compile_ns_;
 };

@@ -570,7 +570,6 @@ TEST(IndexManagerTest, ChainMemoPerBucketInvalidation) {
   QnameId r = store->pools().FindQname("r");
   QnameId g = store->pools().FindQname("g");
   QnameId p = store->pools().FindQname("p");
-  QnameId u = store->pools().FindQname("u");
 
   const std::vector<PreId>* warm_ptr =
       idx.PathChainProbe(*store, {r, g, p}, big);

@@ -156,7 +156,9 @@ TEST_P(AxisSweep, AllAxesMatchReference) {
       auto a = fast.Eval(parsed.value());
       auto b = slow.Eval(parsed.value());
       ASSERT_EQ(a.ok(), b.ok()) << path;
-      if (a.ok()) EXPECT_EQ(a.value(), b.value()) << path;
+      if (a.ok()) {
+        EXPECT_EQ(a.value(), b.value()) << path;
+      }
     }
   }
 }
