@@ -11,9 +11,22 @@
 //   root-lock  — strawman emulating "every update locks all ancestors":
 //                each transaction additionally makes a structural write
 //                to the root's page, so every commit serializes on it.
+//
+// Besides the E4 table, two google-benchmark-shaped legs cover the
+// sharded-reader-slot global lock and WAL group commit:
+//   BM_ConcurrentReadAcquire/threads:N — per-op latency of a shared-lock
+//       read section under N concurrent reader threads; flat scaling is
+//       the acceptance bar for the slot design.
+//   BM_ConcurrentGroupCommit/writers:N — per-commit latency of a durable
+//       commit burst from N writers with a group-commit window, i.e.
+//       fsyncs amortized across a batch.
+// `--json PATH` writes the legs in google-benchmark JSON format so
+// ci/bench_compare.py can watch BM_Concurrent.* for regressions.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -105,11 +118,156 @@ double RunConfig(int threads, bool root_lock, int seconds_budget_ms) {
   return static_cast<double>(committed.load()) / dt;
 }
 
+struct BenchResult {
+  std::string name;
+  double real_ns;   // average wall time per operation
+  int64_t iters;
+};
+
+std::shared_ptr<storage::PagedStore> BuildSectionedStore(int sections) {
+  std::string doc = "<db>";
+  for (int i = 0; i < sections; ++i) {
+    doc += StrFormat("<sec%d>", i);
+    for (int j = 0; j < 40; ++j) doc += "<x/>";
+    doc += StrFormat("</sec%d>", i);
+  }
+  doc += "</db>";
+  storage::PagedStore::Config cfg;
+  cfg.page_tuples = 64;
+  cfg.shred_fill = 0.7;
+  return std::move(
+      storage::PagedStore::Build(storage::ShredXml(doc).value(), cfg)
+          .value());
+}
+
+// Per-op latency of the shared-lock read fast path under N readers.
+// With sharded slots this should stay flat; a single contended counter
+// would make it grow with the thread count.
+BenchResult RunReadAcquire(int threads, int budget_ms) {
+  auto base = BuildSectionedStore(1);
+  txn::TxnOptions topts;
+  topts.reader_slots = 64;
+  auto mgr = std::move(txn::TransactionManager::Create(base, topts).value());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> ops{0};
+  std::vector<std::thread> workers;
+  for (int i = 0; i < threads; ++i) {
+    workers.emplace_back([&] {
+      int64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        int64_t n = mgr->Read(
+            [](const storage::PagedStore& s) { return s.used_count(); });
+        if (n < 0) std::abort();  // keep the read from being optimized out
+        ++local;
+      }
+      ops.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  double t0 = Now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(budget_ms));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  double dt = Now() - t0;
+  int64_t total = ops.load();
+  // Average latency as experienced per thread: threads run concurrently
+  // for dt seconds, so each op cost (dt * threads / total) on average.
+  double per_op_ns = total > 0 ? dt * 1e9 * threads / total : 0.0;
+  return {StrFormat("BM_ConcurrentReadAcquire/threads:%d", threads),
+          per_op_ns, total};
+}
+
+// Per-commit latency of a durable write burst under group commit: N
+// writers on disjoint sections, a batching window amortizing fsyncs.
+BenchResult RunGroupCommit(int writers, int budget_ms) {
+  auto base = BuildSectionedStore(writers);
+  std::string wal_path =
+      (std::filesystem::temp_directory_path() /
+       StrFormat("pxq_bench_gc_%d.wal", writers))
+          .string();
+  std::filesystem::remove(wal_path);
+  txn::TxnOptions topts;
+  topts.lock_timeout = std::chrono::milliseconds(100);
+  topts.wal_path = wal_path;
+  topts.group_commit_window_us = 200;
+  auto mgr = std::move(txn::TransactionManager::Create(base, topts).value());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> committed{0};
+  std::vector<std::thread> workers;
+  for (int i = 0; i < writers; ++i) {
+    workers.emplace_back([&, i] {
+      std::string up = StrFormat(
+          "<xupdate:modifications version=\"1.0\" "
+          "xmlns:xupdate=\"http://www.xmldb.org/xupdate\">"
+          "<xupdate:append select=\"/db/sec%d\" child=\"1\"><y/>"
+          "</xupdate:append>"
+          "</xupdate:modifications>",
+          i);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto t = mgr->Begin();
+        if (!t.ok()) continue;
+        if (!xupdate::ApplyXUpdate(t.value()->store(), up).ok()) {
+          t.value()->Abort().ok();
+          continue;
+        }
+        if (t.value()->Commit().ok()) {
+          committed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  double t0 = Now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(budget_ms));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  double dt = Now() - t0;
+  int64_t total = committed.load();
+  std::filesystem::remove(wal_path);
+  double per_commit_ns = total > 0 ? dt * 1e9 * writers / total : 0.0;
+  return {StrFormat("BM_ConcurrentGroupCommit/writers:%d", writers),
+          per_commit_ns, total};
+}
+
+void WriteJson(const std::string& path,
+               const std::vector<BenchResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f,
+               "{\n  \"context\": {\"executable\": \"bench_concurrency\"},\n"
+               "  \"benchmarks\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"run_name\": \"%s\", "
+                 "\"run_type\": \"iteration\", \"iterations\": %lld, "
+                 "\"real_time\": %.2f, \"cpu_time\": %.2f, "
+                 "\"time_unit\": \"ns\"}%s\n",
+                 r.name.c_str(), r.name.c_str(),
+                 static_cast<long long>(r.iters), r.real_ns, r.real_ns,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 }  // namespace pxq
 
 int main(int argc, char** argv) {
-  int budget_ms = argc > 1 ? std::atoi(argv[1]) : 1000;
+  int budget_ms = 1000;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      budget_ms = std::atoi(argv[i]);
+    }
+  }
   std::printf(
       "E4: update transaction throughput, disjoint subtrees per writer\n"
       "(commutative ancestor maintenance vs root-page-locking strawman)\n\n");
@@ -125,5 +283,22 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper §3.2): with root locking every transaction\n"
       "serializes on the root's page; with delta/claim maintenance only\n"
       "the touched pages are locked and disjoint writers overlap.\n");
+
+  std::printf("\nReader scale-out + group commit (ns/op, lower is better):\n");
+  std::vector<pxq::BenchResult> results;
+  for (int threads : {1, 4, 16, 32}) {
+    results.push_back(pxq::RunReadAcquire(threads, budget_ms));
+  }
+  for (int writers : {1, 4, 8}) {
+    results.push_back(pxq::RunGroupCommit(writers, budget_ms));
+  }
+  for (const auto& r : results) {
+    std::printf("%-44s %12.0f ns  (%lld ops)\n", r.name.c_str(), r.real_ns,
+                static_cast<long long>(r.iters));
+  }
+  if (!json_path.empty()) {
+    pxq::WriteJson(json_path, results);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

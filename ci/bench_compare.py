@@ -8,9 +8,10 @@ reported but never fail the comparison (benches come and go).
 
 Warn-only by default: CI runners are noisy, so the trajectory is a
 trend line, not a hard gate — pass --fail to turn regressions beyond
-the threshold into a nonzero exit (used for the plan-cache and
-deep-path benches, whose costs are dominated by in-memory work and
-therefore comparatively stable).
+the threshold into a nonzero exit (used for the plan-cache, deep-path,
+and concurrency benches — plan-cache/deep-path costs are dominated
+by in-memory work, and BM_Concurrent.* reader-scaling regressions
+are exactly what the sharded-lock redesign must not reintroduce).
 
 Usage:
   bench_compare.py baseline.json current.json \
@@ -46,7 +47,7 @@ def main(argv=None):
     ap.add_argument("current")
     ap.add_argument(
         "--filter",
-        default=r"BM_(PlanCache|DeepPath)",
+        default=r"BM_(PlanCache|DeepPath|Concurrent)",
         help="only compare benchmarks whose name matches this regex",
     )
     ap.add_argument(

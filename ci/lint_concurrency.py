@@ -28,6 +28,24 @@ Rules (over src/**/*.h, src/**/*.cc unless noted):
                          RATIONALE_WINDOW lines, so each relaxation is
                          a reviewed decision, not a habit.
 
+  4. slot-explicit-order in the global lock's sharded reader-slot files
+                         (src/txn/lock_manager.{h,cc}) every atomic
+                         load/store/RMW must spell an explicit
+                         std::memory_order_* argument on the same line
+                         or within the statement's next few lines. The
+                         slot protocol's reader-vs-writer visibility is
+                         a seq_cst store-buffer (Dekker) argument — an
+                         implicit-order op there is an unreviewed
+                         ordering decision. relaxed ops additionally
+                         fall under rule 3's rationale requirement.
+
+  5. slot-encapsulation  the reader-slot state members (slots_,
+                         overflow_, writer_state_) may be named only in
+                         src/txn/lock_manager.{h,cc}. No code outside
+                         the lock may touch or even read slot state —
+                         the lock's invariants hold only through its
+                         public Lock/Unlock/stats interface.
+
 Exit status 0 when clean; 1 with one `file:line: [rule] message` per
 violation otherwise. Run from anywhere: paths resolve against the repo
 root (the parent of this script's directory) unless --root is given.
@@ -72,6 +90,16 @@ ATOMIC_OP_RE = re.compile(
     r"(?P<name>\w+)\s*(?:\[[^\]]*\])?\s*\.\s*"
     r"(?:load|store|exchange|compare_exchange_\w+|fetch_\w+)\s*\("
 )
+
+# The global lock's sharded reader-slot implementation (rule 4: every
+# atomic op here spells its memory_order) and the slot-state member
+# names nothing else may touch (rule 5).
+SLOT_FILES = {
+    os.path.join("src", "txn", "lock_manager.h"),
+    os.path.join("src", "txn", "lock_manager.cc"),
+}
+SLOT_STATE_RE = re.compile(r"\b(slots_|overflow_|writer_state_)\b")
+MEMORY_ORDER_RE = re.compile(r"\bstd::memory_order_\w+|\bmemory_order_\w+")
 
 
 def strip_comments(line: str) -> str:
@@ -118,6 +146,30 @@ def lint_file(relpath: str, text: str) -> list[tuple[str, int, str, str]]:
                      f"raw std::{m.group(1)} outside src/common/mutex.h — "
                      "use the pxq::Mutex wrappers so the thread-safety "
                      "analysis sees this critical section"))
+
+        if relpath in SLOT_FILES:
+            # Rule 4: atomic ops in the lock files must carry an
+            # explicit memory_order — on this line, or (multi-line call
+            # expressions) within the next RATIONALE_WINDOW lines.
+            if ATOMIC_OP_RE.search(code):
+                stmt = [code] + [
+                    strip_comments(l)
+                    for l in lines[i : i + RATIONALE_WINDOW - 1]
+                ]
+                if not any(MEMORY_ORDER_RE.search(s) for s in stmt):
+                    violations.append(
+                        (relpath, i, "slot-explicit-order",
+                         "atomic operation in the reader-slot lock "
+                         "without an explicit std::memory_order_* — the "
+                         "slot protocol's ordering is load-bearing; "
+                         "spell it (and justify relaxed per rule 3)"))
+        elif SLOT_STATE_RE.search(code):
+            # Rule 5: slot state is private to the lock.
+            violations.append(
+                (relpath, i, "slot-encapsulation",
+                 f"'{SLOT_STATE_RE.search(code).group(1)}' named outside "
+                 "src/txn/lock_manager.{h,cc} — reader-slot state may "
+                 "only be touched through the GlobalLock interface"))
 
         if RELAXED_RE.search(code):
             # Which atomic is this operation on?

@@ -193,5 +193,40 @@ class ThresholdLogic(unittest.TestCase):
         self.assertEqual(rc, 0)
 
 
+class ConcurrencyBenchWatchList(unittest.TestCase):
+    """BM_Concurrent.* (bench_concurrency's reader-scaling and
+    group-commit legs) is on the default --fail watch list."""
+
+    def test_concurrent_read_regression_fails(self):
+        base = bench_json(
+            [("BM_ConcurrentReadAcquire/threads:16", 100.0, "ns")])
+        cur = bench_json(
+            [("BM_ConcurrentReadAcquire/threads:16", 300.0, "ns")])
+        with TempJson(base, cur) as (b, c):
+            rc, out = run_main([b, c, "--fail"])  # default filter
+        self.assertEqual(rc, 1)
+        self.assertIn("REGRESSED", out)
+
+    def test_group_commit_regression_fails(self):
+        base = bench_json(
+            [("BM_ConcurrentGroupCommit/writers:8", 1e6, "ns")])
+        cur = bench_json(
+            [("BM_ConcurrentGroupCommit/writers:8", 2e6, "ns")])
+        with TempJson(base, cur) as (b, c):
+            rc, out = run_main([b, c, "--fail"])
+        self.assertEqual(rc, 1)
+        self.assertIn("REGRESSED", out)
+
+    def test_concurrent_within_threshold_passes(self):
+        base = bench_json(
+            [("BM_ConcurrentReadAcquire/threads:32", 100.0, "ns")])
+        cur = bench_json(
+            [("BM_ConcurrentReadAcquire/threads:32", 110.0, "ns")])
+        with TempJson(base, cur) as (b, c):
+            rc, out = run_main([b, c, "--fail"])
+        self.assertEqual(rc, 0)
+        self.assertIn("no regressions", out)
+
+
 if __name__ == "__main__":
     unittest.main()

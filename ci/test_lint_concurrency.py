@@ -157,6 +157,83 @@ class PointerAtomicDetection(unittest.TestCase):
         self.assertEqual(names, set())
 
 
+LOCK_H = os.path.join("src", "txn", "lock_manager.h")
+LOCK_CC = os.path.join("src", "txn", "lock_manager.cc")
+
+
+class SlotExplicitOrderRule(unittest.TestCase):
+    def test_flags_implicit_order_load_in_lock_header(self):
+        src = ("std::atomic<int64_t> writer_state_{0};\n"
+               "bool f() { return writer_state_.load() != 0; }\n")
+        v = lint.lint_file(LOCK_H, src)
+        self.assertEqual(rules(v), ["slot-explicit-order"])
+
+    def test_flags_implicit_order_fetch_add_in_lock_cc(self):
+        src = "void f() { writer_state_.fetch_add(1); }\n"
+        v = lint.lint_file(LOCK_CC, src)
+        self.assertEqual(rules(v), ["slot-explicit-order"])
+
+    def test_explicit_seq_cst_passes(self):
+        src = ("std::atomic<int64_t> writer_state_{0};\n"
+               "bool f() {\n"
+               "  return writer_state_.load(std::memory_order_seq_cst) != 0;\n"
+               "}\n")
+        v = lint.lint_file(LOCK_H, src)
+        self.assertEqual(v, [])
+
+    def test_multiline_call_with_order_on_next_line_passes(self):
+        src = ("std::atomic<int64_t> v{0};\n"
+               "bool f(int64_t e) {\n"
+               "  return v.compare_exchange_strong(\n"
+               "      e, 1, std::memory_order_seq_cst);\n"
+               "}\n")
+        v = lint.lint_file(LOCK_H, src)
+        self.assertEqual(v, [])
+
+    def test_relaxed_in_lock_file_still_needs_rationale(self):
+        # Explicit relaxed satisfies rule 4 but falls through to rule 3.
+        src = ("std::atomic<int64_t> v{0};\n"
+               "void f() { v.fetch_add(1, std::memory_order_relaxed); }\n")
+        v = lint.lint_file(LOCK_H, src)
+        self.assertEqual(rules(v), ["relaxed-rationale"])
+
+    def test_other_files_not_held_to_rule4(self):
+        # Implicit (seq_cst-by-default) ops are fine outside the lock.
+        src = ("std::atomic<int64_t> n_{0};\n"
+               "void f() { n_.fetch_add(1); }\n")
+        v = lint.lint_file("src/foo.h", src)
+        self.assertEqual(v, [])
+
+
+class SlotEncapsulationRule(unittest.TestCase):
+    def test_flags_slot_state_outside_lock_files(self):
+        for member in ("slots_", "overflow_", "writer_state_"):
+            with self.subTest(member=member):
+                v = lint.lint_file(
+                    "src/txn/txn_manager.cc",
+                    "void f() { auto x = lock.%s; }\n" % member)
+                self.assertEqual(rules(v), ["slot-encapsulation"])
+
+    def test_lock_files_may_name_slot_state(self):
+        v = lint.lint_file(
+            LOCK_H, "std::array<PaddedSlot, 64> slots_;\n")
+        self.assertEqual(v, [])
+
+    def test_comment_mentions_do_not_trip(self):
+        v = lint.lint_file(
+            "src/foo.h", "// the lock drains slots_ before writing\n")
+        self.assertEqual(v, [])
+
+    def test_similar_identifiers_do_not_trip(self):
+        # overflow_inserts etc. share a prefix but are different tokens.
+        v = lint.lint_file(
+            "src/foo.h",
+            "int64_t overflow_inserts = 0;\n"
+            "int64_t writer_state_machine = 0;\n"
+            "int64_t my_slots_total = 0;\n")
+        self.assertEqual(v, [])
+
+
 class RepoIsClean(unittest.TestCase):
     def test_linting_the_repo_passes(self):
         root = os.path.dirname(

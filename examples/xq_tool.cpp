@@ -206,6 +206,11 @@ int main(int argc, char** argv) {
                 static_cast<long long>(lk.reader_waits),
                 static_cast<long long>(lk.writer_acquires),
                 static_cast<long long>(lk.writer_waits));
+    std::printf("reader slots:   %lld slots, %lld collisions, "
+                "%lld drain notifies\n",
+                static_cast<long long>(lk.reader_slots),
+                static_cast<long long>(lk.slot_collisions),
+                static_cast<long long>(lk.drain_notifies));
     return 0;
   }
   return Usage();

@@ -19,6 +19,7 @@ TransactionManager::TransactionManager(std::shared_ptr<PagedStore> base,
                                        TxnOptions options)
     : base_(std::move(base)),
       options_(std::move(options)),
+      global_(options_.reader_slots),
       page_locks_(options_.lock_timeout) {}
 
 StatusOr<std::unique_ptr<TransactionManager>> TransactionManager::Create(
@@ -138,31 +139,106 @@ Status TransactionManager::CommitInternal(Transaction* txn) {
     }
   }
 
+  // Group commit: take a seat in the queue. Whoever finds no leader
+  // becomes one and commits batches until the queue drains; everyone
+  // else waits for their verdict. Batches form naturally from commits
+  // arriving while a leader is mid-window; group_commit_window_us adds
+  // an explicit pile-up wait for bursty workloads.
+  PendingCommit req;
+  req.txn = txn;
+  req.pool_delta = &pool_delta;
+  {
+    MutexLock l(&gc_mu_);
+    gc_queue_.push_back(&req);
+    if (gc_leader_active_) {
+      while (!req.done) gc_cv_.Wait(l);
+      return req.result;
+    }
+    gc_leader_active_ = true;
+    if (options_.group_commit_window_us > 0) {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(options_.group_commit_window_us);
+      while (std::chrono::steady_clock::now() < deadline) {
+        gc_cv_.WaitUntil(l, deadline);
+      }
+    }
+  }
+  for (;;) {
+    std::vector<PendingCommit*> batch;
+    {
+      MutexLock l(&gc_mu_);
+      batch.swap(gc_queue_);
+    }
+    CommitBatch(batch);
+    MutexLock l(&gc_mu_);
+    for (PendingCommit* r : batch) r->done = true;
+    gc_cv_.NotifyAll();
+    if (gc_queue_.empty()) {
+      gc_leader_active_ = false;
+      break;
+    }
+    // Committers arrived while the batch was in flight: lead one more
+    // round instead of waking a follower to re-elect.
+  }
+  return req.result;
+}
+
+void TransactionManager::CommitBatch(
+    const std::vector<PendingCommit*>& batch) {
   global_.LockExclusive();
   // Commit-window latency: everything readers are locked out for (WAL
-  // append + replay + size resolution + index publish). Failure paths
-  // skip the record — an aborted window's duration is not a commit
-  // latency, and aborts here are corruption-grade anyway.
+  // append + replay + size resolution + index publish), once per batch.
   const auto window_t0 = std::chrono::steady_clock::now();
-  uint64_t lsn = commit_lsn_.load() + 1;
+  const uint64_t base_lsn = commit_lsn_.load();
 
-  // Atomicity: the WAL append is the commit point (single fsynced I/O).
+  // Atomicity: the batch's single fsynced WAL append is the commit
+  // point for every member (the paper's single-I/O commit, amortized
+  // across the group). Page locks held until EndTransaction guarantee
+  // members touch disjoint pages, so applying them back to back inside
+  // one window is equivalent to consecutive solo windows.
   if (wal_ != nullptr) {
-    Status s = wal_->AppendCommit(txn->id(), txn->snapshot_lsn(), lsn,
-                                  txn->oplog_, pool_delta);
+    std::vector<Wal::BatchEntry> entries;
+    entries.reserve(batch.size());
+    uint64_t lsn = base_lsn;
+    for (PendingCommit* r : batch) {
+      entries.push_back({r->txn->id(), r->txn->snapshot_lsn(), ++lsn,
+                         &r->txn->oplog_, r->pool_delta});
+    }
+    Status s = wal_->AppendBatch(entries);
     if (!s.ok()) {
       global_.UnlockExclusive();
-      EndTransaction(txn);
-      return Status::Aborted("WAL append failed: " + s.ToString());
+      for (PendingCommit* r : batch) {
+        r->result = Status::Aborted("WAL append failed: " + s.ToString());
+        EndTransaction(r->txn);
+      }
+      return;
     }
   }
 
+  group_commits_.Inc();
+  commits_per_group_.Record(static_cast<int64_t>(batch.size()));
+
+  uint64_t lsn = base_lsn;
+  for (PendingCommit* r : batch) {
+    r->result = ApplyCommitLocked(r->txn, ++lsn);
+  }
+  commit_window_ns_.Record(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - window_t0)
+          .count());
+  global_.UnlockExclusive();
+  for (PendingCommit* r : batch) EndTransaction(r->txn);
+}
+
+Status TransactionManager::ApplyCommitLocked(Transaction* txn, uint64_t lsn) {
   std::vector<PageId> installed;
   Status s = base_->ReplayOpLog(txn->oplog_, &installed);
   if (!s.ok()) {
-    // Base replay can only fail on corruption; surface loudly.
-    global_.UnlockExclusive();
-    EndTransaction(txn);
+    // Base replay can only fail on corruption; surface loudly. The
+    // member's WAL record is already durable — like the old solo path's
+    // post-append failures, this is corruption-grade, not recoverable
+    // bookkeeping. Later batch members still apply (disjoint pages).
     return Status::Corruption("oplog replay failed: " + s.ToString());
   }
 
@@ -174,14 +250,15 @@ Status TransactionManager::CommitInternal(Transaction* txn) {
     // recomputed exactly against the merged structure. Resolution is a
     // pure function of the current structure, so commit order cannot
     // matter — the property the paper obtains from delta commutativity.
+    // Earlier batch members' claims are in committed_claims_ with their
+    // (higher-than-snapshot) LSNs by the time this member runs, exactly
+    // as if they had committed in their own windows.
     std::vector<NodeId> claims = txn->oplog_.size_claims;
     for (const CommittedClaim& cc : committed_claims_) {
       if (cc.lsn > txn->snapshot_lsn()) claims.push_back(cc.node);
     }
     s = base_->ResolveSizes(claims);
     if (!s.ok()) {
-      global_.UnlockExclusive();
-      EndTransaction(txn);
       return Status::Corruption("size resolution failed: " + s.ToString());
     }
     for (PageId p : installed) page_version_[p] = lsn;
@@ -206,21 +283,14 @@ Status TransactionManager::CommitInternal(Transaction* txn) {
   // never see a store/index mismatch; they observe the swap through the
   // shard snapshot pointers. The overlay's structural flag tells the
   // index whether pre ranks shifted (memo invalidation granularity).
-  // Every non-commit exit from this function (poisoned, validation,
-  // WAL/replay failure, Abort) ends the transaction WITHOUT this call:
-  // the overlay dies with the Transaction and the index never observes
-  // it.
+  // Every non-commit exit (poisoned, validation, WAL failure, Abort)
+  // ends the transaction WITHOUT this call: the overlay dies with the
+  // Transaction and the index never observes it.
   if (options_.index != nullptr) {
     options_.index->ApplyDirty(*base_, txn->idx_delta_);
   }
 
   commit_lsn_.store(lsn);
-  commit_window_ns_.Record(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - window_t0)
-          .count());
-  global_.UnlockExclusive();
-  EndTransaction(txn);
   return Status::OK();
 }
 
@@ -236,14 +306,18 @@ void TransactionManager::RegisterMetrics(obs::MetricsRegistry* reg) const {
                          &global_.reader_wait_hist());
   reg->RegisterHistogram("pxq_lock_writer_wait_ns",
                          &global_.writer_wait_hist());
-  // Acquire counters are mutex-guarded in GlobalLock: one stats() copy
-  // per snapshot keeps waits <= acquires within the group.
+  reg->RegisterHistogram("pxq_commits_per_group", &commits_per_group_);
+  reg->RegisterCounter("pxq_group_commits", &group_commits_);
+  // One stats() copy per snapshot: stats() reads waits before acquires,
+  // so waits <= acquires holds within the group.
   reg->RegisterGroup([this](std::vector<std::pair<std::string, int64_t>>* o) {
     const GlobalLock::Stats s = global_.stats();
     o->emplace_back("pxq_lock_reader_acquires", s.reader_acquires);
     o->emplace_back("pxq_lock_reader_waits", s.reader_waits);
     o->emplace_back("pxq_lock_writer_acquires", s.writer_acquires);
     o->emplace_back("pxq_lock_writer_waits", s.writer_waits);
+    o->emplace_back("pxq_lock_slot_collisions", s.slot_collisions);
+    o->emplace_back("pxq_lock_drain_notifies", s.drain_notifies);
   });
   if (wal_ != nullptr) {
     reg->RegisterHistogram("pxq_wal_append_ns", &wal_->append_hist());

@@ -57,6 +57,16 @@ struct TxnOptions {
   /// DeltaIndex overlay that is merged here inside the exclusive commit
   /// window — and simply dropped on abort.
   index::IndexManager* index = nullptr;
+  /// Reader-slot count for the global lock's sharded registration
+  /// (rounded up to a power of two, clamped to GlobalLock::kMaxSlots).
+  /// 0 = auto: 2×hardware_concurrency.
+  int32_t reader_slots = 0;
+  /// Group-commit batching window: a commit leader waits this long for
+  /// more committers to join its batch before opening the exclusive
+  /// window, trading commit latency for fewer fsyncs. 0 = no artificial
+  /// wait — batches still form naturally from commits that arrive while
+  /// a leader is mid-window.
+  int64_t group_commit_window_us = 0;
 };
 
 class Transaction;
@@ -90,15 +100,23 @@ class TransactionManager {
   storage::PagedStore& base() { return *base_; }
   uint64_t commit_lsn() const { return commit_lsn_.load(); }
 
-  /// Global-lock acquire/contention counters (reader vs writer waits):
-  /// the profiling input for the per-core-reader-slots question.
+  /// Global-lock acquire/contention counters (reader vs writer waits,
+  /// slot collisions, drain wakeups).
   GlobalLock::Stats lock_stats() const { return global_.stats(); }
 
   /// Latency of the exclusive commit window (ns from LockExclusive to
   /// UnlockExclusive on successful commits: WAL append + oplog replay +
-  /// size resolution + index publish).
+  /// size resolution + index publish). One record per BATCH under group
+  /// commit.
   const obs::Histogram& commit_window_hist() const {
     return commit_window_ns_;
+  }
+
+  /// Group-commit effectiveness: batches led (one WAL fsync each) and
+  /// the distribution of commits folded into each batch.
+  int64_t group_commits() const { return group_commits_.Value(); }
+  const obs::Histogram& commits_per_group_hist() const {
+    return commits_per_group_;
   }
 
   /// Expose lock contention (wait-time histograms + acquire counters),
@@ -110,8 +128,28 @@ class TransactionManager {
   TransactionManager(std::shared_ptr<storage::PagedStore> base,
                      TxnOptions options);
 
+  /// One committer's seat in the group-commit queue. Lives on the
+  /// committing thread's stack; the leader fills `result` and flips
+  /// `done` under gc_mu_.
+  struct PendingCommit {
+    Transaction* txn;
+    const std::vector<PoolDelta>* pool_delta;
+    Status result;
+    bool done = false;
+  };
+
   Status OnFirstPageWrite(Transaction* txn, PageId page);
   Status CommitInternal(Transaction* txn);
+  /// Commit a whole batch inside ONE exclusive window: a single
+  /// AppendBatch fsync, then per-member replay/size/index application
+  /// in batch order. Fills each member's result and ends its
+  /// transaction.
+  void CommitBatch(const std::vector<PendingCommit*>& batch)
+      PXQ_EXCLUDES(gc_mu_);
+  /// Apply one member onto the base (oplog replay, size resolution,
+  /// page versions, index merge, commit_lsn). Exclusive window only.
+  Status ApplyCommitLocked(Transaction* txn, uint64_t lsn)
+      PXQ_REQUIRES(global_);
   void EndTransaction(Transaction* txn);
 
   std::shared_ptr<storage::PagedStore> base_;
@@ -123,6 +161,18 @@ class TransactionManager {
   std::atomic<TxnId> next_txn_id_{1};
   std::atomic<uint64_t> commit_lsn_{0};
   obs::Histogram commit_window_ns_;
+
+  // Group commit: committers enqueue their PendingCommit; the first one
+  // to find no leader becomes the leader and drains the queue in
+  // batches, each batch committed under one exclusive window with one
+  // WAL fsync. gc_mu_ is never held across CommitBatch — it sits
+  // OUTSIDE the GlobalLock in the hierarchy and nests nothing.
+  Mutex gc_mu_;
+  CondVar gc_cv_;
+  std::vector<PendingCommit*> gc_queue_ PXQ_GUARDED_BY(gc_mu_);
+  bool gc_leader_active_ PXQ_GUARDED_BY(gc_mu_) = false;
+  obs::Counter group_commits_;
+  obs::Histogram commits_per_group_;
 
   // meta_mu_ nests inside the commit window (GlobalLock exclusive) and
   // never wraps any other lock acquisition.

@@ -32,13 +32,14 @@ struct PoolDelta {
   std::string value;
 };
 
-/// Thread compatibility: the WAL holds no lock of its own. AppendCommit
-/// and Reset are called only inside the exclusive commit window
-/// (GlobalLock held exclusively by TransactionManager), which both
-/// serializes appends and orders them against readers — adding a mutex
-/// here would annotate a capability nothing else can contend on. The
-/// accessors expose a plain counter written only in that window plus
-/// lock-free histogram/counter atomics, all safe to sample concurrently.
+/// Thread compatibility: the WAL holds no lock of its own. AppendBatch
+/// (and AppendCommit, its batch-of-one shorthand) and Reset are called
+/// only inside the exclusive commit window (GlobalLock held exclusively
+/// by TransactionManager), which both serializes appends and orders
+/// them against readers — adding a mutex here would annotate a
+/// capability nothing else can contend on. The accessors expose a plain
+/// counter written only in that window plus lock-free histogram/counter
+/// atomics, all safe to sample concurrently.
 class Wal {
  public:
   ~Wal();
@@ -46,9 +47,26 @@ class Wal {
   /// Open (creating if absent) a WAL file for appending.
   static StatusOr<std::unique_ptr<Wal>> Open(const std::string& path);
 
-  /// Append one commit record and fsync it (the commit point).
-  /// `snapshot_lsn`/`commit_lsn` let recovery replay the same
-  /// concurrent-delta fixup the live commit performed (see txn_manager).
+  /// One member of a group-commit batch. `snapshot_lsn`/`commit_lsn`
+  /// let recovery replay the same concurrent-delta fixup the live
+  /// commit performed (see txn_manager). The referenced oplog and pool
+  /// delta must outlive the AppendBatch call.
+  struct BatchEntry {
+    TxnId txn_id;
+    uint64_t snapshot_lsn;
+    uint64_t commit_lsn;
+    const storage::OpLog* log;
+    const std::vector<PoolDelta>* pool_delta;
+  };
+
+  /// Group commit: append the batch's records back to back and fsync
+  /// ONCE (one I/O is the commit point for every member). Records keep
+  /// the exact single-commit wire format, so ReadAll recovers a batched
+  /// log identically to a sequential one — in entry order, and a torn
+  /// tail drops a suffix of the batch, never reorders it.
+  Status AppendBatch(const std::vector<BatchEntry>& entries);
+
+  /// Append one commit record and fsync it (a batch of one).
   Status AppendCommit(TxnId txn_id, uint64_t snapshot_lsn,
                       uint64_t commit_lsn, const storage::OpLog& log,
                       const std::vector<PoolDelta>& pool_delta);

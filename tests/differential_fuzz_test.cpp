@@ -24,12 +24,17 @@
 //   PXQ_FUZZ_OPS    interleaved ops per seed    (default 10000)
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
 #include "database.h"
+#include "xpath/evaluator.h"
 #include "xpath/parser.h"
 #include "xpath/reference_eval.h"
 
@@ -394,6 +399,127 @@ TEST(DifferentialFuzzTest, PairwiseConfigurationStaysExact) {
   } else {
     unsetenv("PXQ_PATH_CHAIN_DEPTH");
   }
+}
+
+// Reader threads racing group-committed writers. Unlike VerifyOne above
+// (indexed and reference evaluation in two separate shared-lock
+// sections — fine single-threaded), each check here runs BOTH inside
+// ONE Read section, so a batched commit can never slip between them and
+// fake a divergence. The TSan CI job runs this binary, which makes the
+// sharded reader slots, the writer-intent drain, and Wal::AppendBatch
+// race-checked paths.
+TEST(DifferentialFuzzTest, ConcurrentReadersVsGroupCommitters) {
+  const int64_t ops = EnvInt("PXQ_FUZZ_OPS", 10000);
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 3;
+  const int commits_per_writer =
+      static_cast<int>(std::clamp<int64_t>(ops / 250, 8, 60));
+
+  Database::Options opt;
+  // Small pages: each writer's area lands on its own page, so the two
+  // writers mostly commit disjoint pages (residual conflicts retry).
+  opt.store.page_tuples = 16;
+  opt.store.shred_fill = 0.8;
+  opt.index.cross_check = true;  // oracle 1 stays armed under the race
+  opt.txn.reader_slots = 16;
+  opt.txn.group_commit_window_us = 300;  // let concurrent commits batch
+  auto db_or = Database::CreateFromXml(SeedDoc(), opt);
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  auto db = std::move(db_or).value();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> checks{0};
+  std::atomic<int64_t> divergences{0};
+  std::atomic<int64_t> commit_errors{0};
+  std::mutex first_mu;
+  std::string first_divergence;
+
+  auto check_one = [&](const char* q) {
+    auto same = db->txn_manager().Read(
+        [&](const storage::PagedStore& s) -> StatusOr<bool> {
+          PXQ_ASSIGN_OR_RETURN(
+              std::vector<PreId> indexed,
+              xpath::EvaluatePath(s, q, db->index_manager(),
+                                  &db->plan_cache()));
+          xpath::ReferenceEvaluator<storage::PagedStore> rev(s);
+          PXQ_ASSIGN_OR_RETURN(xpath::Path path, xpath::ParsePath(q));
+          PXQ_ASSIGN_OR_RETURN(std::vector<PreId> refd, rev.Eval(path));
+          return indexed == refd;
+        });
+    checks.fetch_add(1);
+    if (same.ok() && same.value()) return;
+    divergences.fetch_add(1);
+    std::lock_guard<std::mutex> g(first_mu);
+    if (first_divergence.empty()) {
+      first_divergence =
+          std::string(q) +
+          (same.ok() ? " (result mismatch)"
+                     : " (" + same.status().ToString() + ")");
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (int i = 0; i < kReaders; ++i) {
+    readers.emplace_back([&, i] {
+      Random rng(1000 + static_cast<uint64_t>(i));
+      while (!stop.load(std::memory_order_relaxed)) {
+        check_one(kQueries[rng.Uniform(std::size(kQueries))]);
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int wi = 0; wi < kWriters; ++wi) {
+    writers.emplace_back([&, wi] {
+      Random rng(7000 + static_cast<uint64_t>(wi));
+      const std::string area =
+          "/site/regions/zone[1]/area[" + std::to_string(wi + 1) + "]";
+      for (int c = 0; c < commits_per_writer; ++c) {
+        const std::string v = std::to_string(rng.Range(0, 500));
+        std::string body;
+        switch (rng.Uniform(4)) {
+          case 0:
+            body = "<xupdate:append select=\"" + area + "\"><item k=\"" + v +
+                   "\"><price>" + v + "</price></item></xupdate:append>";
+            break;
+          case 1:
+            body = "<xupdate:update select=\"" + area + "/item[1]/price\">" +
+                   v + "</xupdate:update>";
+            break;
+          case 2:
+            // Bounds document growth; a no-match remove is a no-op.
+            body = "<xupdate:remove select=\"" + area + "/item[3]\"/>";
+            break;
+          default:
+            // Rename flip: index re-key racing the readers' probes.
+            body = rng.Bernoulli(0.5)
+                       ? "<xupdate:rename select=\"//person[1]\">personx"
+                         "</xupdate:rename>"
+                       : "<xupdate:rename select=\"//personx[1]\">person"
+                         "</xupdate:rename>";
+        }
+        if (!db->Update(Wrap(body)).ok()) commit_errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(divergences.load(), 0)
+      << "first divergence: " << first_divergence;
+  EXPECT_GT(checks.load(), 0);
+  // Most commits must get through (disjoint pages; conflicts retried
+  // inside Update).
+  EXPECT_LT(commit_errors.load(),
+            int64_t{kWriters} * commits_per_writer / 2);
+  const auto stats = db->IndexStats();
+  EXPECT_EQ(stats.cross_check_mismatches, 0);
+  EXPECT_GT(stats.applied_commits, 0);
+  EXPECT_GT(db->txn_manager().group_commits(), 0);
+  // Single-threaded closing sweep: the final state is exact.
+  for (const char* q : kQueries) check_one(q);
+  EXPECT_EQ(divergences.load(), 0)
+      << "first divergence: " << first_divergence;
 }
 
 }  // namespace
