@@ -18,6 +18,7 @@
 //                                           with stable keys, --prom the
 //                                           Prometheus text exposition
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -31,7 +32,9 @@ int Usage() {
                "usage: xq query [--explain] <file.xml> <xpath>\n"
                "       xq values|count|explain|profile <file.xml> <xpath>\n"
                "       xq update <file.xml> <xupdate.xml>\n"
-               "       xq stats [--json|--prom] <file.xml>\n");
+               "       xq stats [--json|--prom] <file.xml>\n"
+               "<file.xml> may also be a durable database directory\n"
+               "(data_dir): updates then commit through the WAL.\n");
   return 2;
 }
 
@@ -68,18 +71,42 @@ int main(int argc, char** argv) {
     }
     if (argc != file_arg + 1) return Usage();
   }
-  std::string xml;
-  if (!ReadFile(argv[file_arg], &xml)) {
-    std::fprintf(stderr, "cannot read %s\n", argv[file_arg]);
-    return 1;
+  // A directory argument is a durable database (data_dir with the
+  // default name): open it, replaying the WAL if the last process
+  // crashed. Updates then commit through the WAL instead of being
+  // thrown away with the process.
+  std::unique_ptr<pxq::Database> db;
+  if (std::filesystem::is_directory(argv[file_arg])) {
+    pxq::Database::Options opt;
+    opt.data_dir = argv[file_arg];
+    // The database name is whatever <name>.snapshot lives there.
+    for (const auto& e : std::filesystem::directory_iterator(opt.data_dir)) {
+      if (e.path().extension() == ".snapshot") {
+        opt.name = e.path().stem().string();
+        break;
+      }
+    }
+    auto db_or = pxq::Database::Open(opt);
+    if (!db_or.ok()) {
+      std::fprintf(stderr, "cannot open database %s: %s\n", argv[file_arg],
+                   db_or.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(db_or).value();
+  } else {
+    std::string xml;
+    if (!ReadFile(argv[file_arg], &xml)) {
+      std::fprintf(stderr, "cannot read %s\n", argv[file_arg]);
+      return 1;
+    }
+    auto db_or = pxq::Database::CreateFromXml(xml);
+    if (!db_or.ok()) {
+      std::fprintf(stderr, "parse error: %s\n",
+                   db_or.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(db_or).value();
   }
-  auto db_or = pxq::Database::CreateFromXml(xml);
-  if (!db_or.ok()) {
-    std::fprintf(stderr, "parse error: %s\n",
-                 db_or.status().ToString().c_str());
-    return 1;
-  }
-  auto db = std::move(db_or).value();
 
   if (cmd == "query" || cmd == "count") {
     if (argc != file_arg + 2) return Usage();
@@ -211,6 +238,18 @@ int main(int argc, char** argv) {
                 static_cast<long long>(lk.reader_slots),
                 static_cast<long long>(lk.slot_collisions),
                 static_cast<long long>(lk.drain_notifies));
+    if (db->durable()) {
+      auto& tm = db->txn_manager();
+      std::printf("durability:     WAL on, %lld commits in log, "
+                  "%lld replayed at open, %lld checkpoints "
+                  "(each a full read+write stall)\n",
+                  static_cast<long long>(tm.wal_commits()),
+                  static_cast<long long>(db->recovered_commits()),
+                  static_cast<long long>(tm.checkpoint_hist().Count()));
+    } else {
+      std::printf("durability:     off (in-memory only; pass a data "
+                  "dir to enable WAL + snapshots)\n");
+    }
     return 0;
   }
   return Usage();

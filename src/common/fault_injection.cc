@@ -1,0 +1,151 @@
+#include "common/fault_injection.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace pxq {
+namespace {
+
+// Fast-path gate: false whenever the injector is fully off, so
+// production I/O pays one load and no lock.
+// relaxed: the flag is a pure hint — the slow path re-checks the real
+// state under state_mu_; a stale read only costs one mutex round-trip.
+std::atomic<bool> active{false};
+
+Mutex state_mu_;
+
+struct State {
+  bool counting = false;
+  bool armed = false;
+  bool fired = false;
+  int64_t countdown = 0;  // ops remaining before the armed one fires
+  double torn_fraction = -1.0;
+  std::string op_filter;  // env "<op>:<n>" form: count only this op
+  std::vector<std::string> ops;
+};
+State* MutableState() PXQ_REQUIRES(state_mu_) {
+  static State* s = new State();
+  return s;
+}
+
+void RefreshActive() PXQ_REQUIRES(state_mu_) {
+  // relaxed: see the declaration — gate only, state_mu_ is the truth.
+  active.store(MutableState()->counting || MutableState()->armed,
+               std::memory_order_relaxed);
+}
+
+// One-time env arming (CI legs crash whole binaries: PXQ_IO_FAIL_AT=n,
+// optionally PXQ_IO_TORN_FRACTION=f). Called under state_mu_.
+void InitFromEnvOnce() PXQ_REQUIRES(state_mu_) {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read before threads start
+  const char* at = std::getenv("PXQ_IO_FAIL_AT");
+  if (at == nullptr || at[0] == '\0') return;
+  State* s = MutableState();
+  s->armed = true;
+  s->fired = false;
+  // Two forms: "<n>" fails the nth I/O op of any kind; "<op>:<n>"
+  // (e.g. "rename:2") counts only that op.
+  std::string spec(at);
+  if (auto colon = spec.find(':'); colon != std::string::npos) {
+    s->op_filter = spec.substr(0, colon);
+    s->countdown = std::atoll(spec.c_str() + colon + 1);
+  } else {
+    s->countdown = std::atoll(at);
+  }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read before threads start
+  if (const char* tf = std::getenv("PXQ_IO_TORN_FRACTION");
+      tf != nullptr && tf[0] != '\0') {
+    s->torn_fraction = std::atof(tf);
+  }
+  RefreshActive();
+}
+
+// One-time latch so the production fast path never takes state_mu_.
+std::atomic<bool> env_checked{false};
+
+}  // namespace
+
+bool FaultInjector::ShouldFail(const char* op, size_t write_size,
+                               size_t* torn_bytes) {
+  if (!env_checked.load(std::memory_order_acquire)) {
+    MutexLock lock(&state_mu_);
+    InitFromEnvOnce();
+    env_checked.store(true, std::memory_order_release);
+  }
+  // relaxed: gate only; armed/counting transitions are rare and tests
+  // arm the injector before issuing the I/O under test.
+  if (!active.load(std::memory_order_relaxed)) return false;
+  MutexLock lock(&state_mu_);
+  State* s = MutableState();
+  if (s->counting) {
+    s->ops.emplace_back(op);
+    return false;
+  }
+  if (!s->armed) return false;
+  if (!s->op_filter.empty() && s->op_filter != op) return false;
+  if (--s->countdown > 0) return false;
+  // The armed op: fire once, then disarm so the caller's own
+  // rollback/cleanup I/O runs against a working filesystem.
+  s->armed = false;
+  s->fired = true;
+  if (torn_bytes != nullptr && write_size > 0 && s->torn_fraction >= 0.0) {
+    *torn_bytes = static_cast<size_t>(
+        std::floor(static_cast<double>(write_size) * s->torn_fraction));
+  }
+  RefreshActive();
+  return true;
+}
+
+void FaultInjector::ArmFailAt(int64_t nth, double torn_fraction) {
+  MutexLock lock(&state_mu_);
+  State* s = MutableState();
+  s->armed = nth > 0;
+  s->fired = false;
+  s->countdown = nth;
+  s->torn_fraction = torn_fraction;
+  s->op_filter.clear();
+  RefreshActive();
+}
+
+void FaultInjector::Disarm() {
+  MutexLock lock(&state_mu_);
+  State* s = MutableState();
+  s->armed = false;
+  s->counting = false;
+  s->torn_fraction = -1.0;
+  s->op_filter.clear();
+  s->ops.clear();
+  RefreshActive();
+}
+
+bool FaultInjector::Fired() {
+  MutexLock lock(&state_mu_);
+  return MutableState()->fired;
+}
+
+void FaultInjector::StartCounting() {
+  MutexLock lock(&state_mu_);
+  State* s = MutableState();
+  s->counting = true;
+  s->ops.clear();
+  RefreshActive();
+}
+
+std::vector<std::string> FaultInjector::StopCounting() {
+  MutexLock lock(&state_mu_);
+  State* s = MutableState();
+  s->counting = false;
+  std::vector<std::string> out = std::move(s->ops);
+  s->ops.clear();
+  RefreshActive();
+  return out;
+}
+
+}  // namespace pxq

@@ -1,0 +1,72 @@
+// Deterministic I/O fault injection for crash-safety tests.
+//
+// Every mutating file-system operation in the durability path (open /
+// write / fsync / close / rename / directory-fsync / truncate — see
+// common/io_file.h) asks the process-wide injector whether it should
+// fail before touching the OS. In production nothing is armed and the
+// check is a single relaxed atomic load; tests arm the injector to
+// make exactly the Nth faultable operation fail, simulating a crash at
+// that protocol step (ENOSPC, power loss between write and rename,
+// a dirty WAL truncate, ...).
+//
+// Two modes beyond "off":
+//
+//   counting  StartCounting() records the name of every faultable op
+//             without failing any; StopCounting() returns the ordered
+//             names. Tests use one counting pass to learn a protocol's
+//             op sequence, then replay it failing each step in turn —
+//             the crash matrix needs no hard-coded op indices.
+//
+//   armed     ArmFailAt(n) makes the nth subsequent faultable op
+//             (1-based) return an injected error. A non-negative
+//             torn_fraction makes a failing *write* first persist that
+//             fraction of its payload — a torn write, the on-disk state
+//             a real crash leaves mid-write. The injector auto-disarms
+//             after firing once: a crash happens at one instant, and
+//             the code's own cleanup/rollback I/O after the failure is
+//             the behavior under test, not a second victim.
+//
+// Environment knobs (read once, at first use — for CI legs that crash
+// a whole binary rather than a single call): PXQ_IO_FAIL_AT=<n> arms
+// fail-at-op-n at startup, and PXQ_IO_FAIL_AT=<op>:<n> (e.g.
+// "rename:2") counts only ops of that kind (open, write, sync, close,
+// rename, dirsync, truncate); PXQ_IO_TORN_FRACTION=<f in [0,1]> makes
+// that injected failure a torn write.
+#ifndef PXQ_COMMON_FAULT_INJECTION_H_
+#define PXQ_COMMON_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pxq {
+
+class FaultInjector {
+ public:
+  /// Called by io_file.h primitives before each faultable operation.
+  /// Returns true when the op must fail. For a torn write,
+  /// `*torn_bytes` receives how many payload bytes to persist before
+  /// failing (otherwise left untouched); `write_size` is the payload
+  /// size of a write op, 0 for non-writes.
+  static bool ShouldFail(const char* op, size_t write_size,
+                         size_t* torn_bytes);
+
+  /// Arm: the nth (1-based) subsequent faultable op fails. If
+  /// `torn_fraction` is in [0, 1] and that op is a write, it persists
+  /// floor(size * fraction) bytes first. Resets the fired flag.
+  static void ArmFailAt(int64_t nth, double torn_fraction = -1.0);
+
+  /// Disarm everything (also stops counting). Idempotent.
+  static void Disarm();
+
+  /// True iff an armed fault has fired since the last ArmFailAt.
+  static bool Fired();
+
+  /// Record op names instead of failing; returns the ordered names.
+  static void StartCounting();
+  static std::vector<std::string> StopCounting();
+};
+
+}  // namespace pxq
+
+#endif  // PXQ_COMMON_FAULT_INJECTION_H_

@@ -100,12 +100,24 @@ StatusOr<std::unique_ptr<Database>> Database::Open(Options options) {
   db->options_ = std::move(options);
   ApplyIndexEnvOverrides(&db->options_.index);
   ApplyProfileEnvOverrides(&db->options_);
+  const auto recovery_t0 = std::chrono::steady_clock::now();
   PXQ_ASSIGN_OR_RETURN(
-      db->store_,
+      txn::TransactionManager::RecoveryResult rec,
       txn::TransactionManager::Recover(db->SnapshotPath(), db->WalPath()));
+  db->store_ = std::move(rec.store);
+  db->recovery_replay_ns_.Record(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - recovery_t0)
+          .count());
+  db->recovery_replayed_commits_.Inc(rec.replayed_commits);
   // Fold the recovered WAL into a fresh checkpoint so the log restarts
-  // empty (recovered work must not be replayed twice).
-  PXQ_RETURN_IF_ERROR(db->store_->SaveSnapshot(db->SnapshotPath()));
+  // empty (recovered work must not be replayed twice). The snapshot
+  // carries the recovered last_lsn with no outstanding claims: every
+  // future transaction's snapshot LSN will be >= last_lsn, so none can
+  // need pre-recovery claim history. Ordering as in CheckpointLocked:
+  // snapshot rename first, WAL reset after.
+  PXQ_RETURN_IF_ERROR(
+      db->store_->SaveSnapshot(db->SnapshotPath(), rec.last_lsn, {}));
   {
     PXQ_ASSIGN_OR_RETURN(std::unique_ptr<txn::Wal> wal,
                          txn::Wal::Open(db->WalPath()));
@@ -113,6 +125,10 @@ StatusOr<std::unique_ptr<Database>> Database::Open(Options options) {
   }
   txn::TxnOptions topts = db->options_.txn;
   topts.wal_path = db->WalPath();
+  // Continue the LSN space where the checkpoint left off (fresh LSNs
+  // must stay above the snapshot's recorded last_lsn, or recovery
+  // would skip them as already-absorbed).
+  topts.start_lsn = rec.last_lsn;
   if (db->options_.index.enabled) {
     // Recovery path: the WAL replay reconstructed the base store, so
     // the secondary indexes are re-derived from a single full scan.
@@ -139,6 +155,12 @@ void Database::InitObservability() {
   plan_cache_.RegisterMetrics(&metrics_);
   if (index_ != nullptr) index_->RegisterMetrics(&metrics_);
   txns_->RegisterMetrics(&metrics_);
+  // Recovery metrics live on the Database (recovery runs before the
+  // manager exists). Registered unconditionally for stable keys; a
+  // fresh CreateFromXml database reports zeros.
+  metrics_.RegisterHistogram("pxq_recovery_replay_ns", &recovery_replay_ns_);
+  metrics_.RegisterCounter("pxq_recovery_replayed_commits",
+                           &recovery_replayed_commits_);
 }
 
 StatusOr<std::vector<PreId>> Database::Query(std::string_view xpath) {

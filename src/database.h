@@ -106,11 +106,22 @@ class Database {
   /// Explicit transaction control.
   StatusOr<std::unique_ptr<DbTransaction>> Begin();
 
-  /// Checkpoint: write a snapshot, truncate the WAL (durable mode only).
+  /// Checkpoint: write a snapshot, truncate the WAL (durable mode
+  /// only). Crash-atomic — see TransactionManager::Checkpoint. Note
+  /// the whole store serializes inside one exclusive window: readers
+  /// and writers stall for the full pxq_checkpoint_ns duration.
   Status Checkpoint();
 
   storage::PagedStore& store() { return txns_->base(); }
   txn::TransactionManager& txn_manager() { return *txns_; }
+
+  /// Durability status (the `xq stats` durability line).
+  bool durable() const { return txns_->durable(); }
+  /// Commits replayed from the WAL by the last Open() (0 for a fresh
+  /// CreateFromXml database).
+  int64_t recovered_commits() const {
+    return recovery_replayed_commits_.Value();
+  }
 
   /// Secondary-index observability (zeroed stats when disabled) —
   /// includes shard/snapshot publication counters, planner hit counters
@@ -174,6 +185,11 @@ class Database {
   /// Declared FIRST so it is destroyed LAST: the registry holds raw
   /// pointers to counters owned by the components below.
   obs::MetricsRegistry metrics_;
+  /// Recovery observability, owned here because recovery runs before
+  /// the TransactionManager exists: wall time of the Open() replay
+  /// (snapshot load + WAL redo) and how many commits it replayed.
+  obs::Histogram recovery_replay_ns_;
+  obs::Counter recovery_replayed_commits_;
   Options options_;
   std::shared_ptr<storage::PagedStore> store_;
   std::unique_ptr<index::IndexManager> index_;

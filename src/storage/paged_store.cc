@@ -54,6 +54,25 @@ void NodeIdAllocator::Seed(NodeId next, std::vector<NodeId> free) {
   free_ = std::move(free);
 }
 
+void NodeIdAllocator::MarkUsed(const std::vector<NodeId>& ids) {
+  if (ids.empty()) return;
+  MutexLock lock(&mu_);
+  NodeId max_id = -1;
+  for (NodeId id : ids) max_id = std::max(max_id, id);
+  if (max_id >= next_) next_ = max_id + 1;
+  if (!free_.empty()) {
+    std::vector<NodeId> sorted(ids);
+    std::sort(sorted.begin(), sorted.end());
+    free_.erase(
+        std::remove_if(free_.begin(), free_.end(),
+                       [&](NodeId id) {
+                         return std::binary_search(sorted.begin(),
+                                                   sorted.end(), id);
+                       }),
+        free_.end());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Construction / Build
 // ---------------------------------------------------------------------------
@@ -1064,6 +1083,16 @@ Status PagedStore::ReplayOpLog(const OpLog& log,
       }
     }
   }
+  // Ids this log installs must be unmintable afterwards. A live commit
+  // allocated them from the shared allocator (no-op); recovery replay
+  // did not, and without this the first post-recovery transaction
+  // would allocate a node id an earlier WAL record already placed.
+  std::vector<NodeId> installed_nodes;
+  installed_nodes.reserve(log.node_pos_sets.size());
+  for (const auto& nps : log.node_pos_sets) {
+    if (nps.clone_phys >= 0) installed_nodes.push_back(nps.node);
+  }
+  node_alloc_->MarkUsed(installed_nodes);
   node_alloc_->Release(log.freed_nodes);
   used_count_ += log.used_delta;
   // Size claims are resolved by the caller via ResolveSizes().

@@ -41,6 +41,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/mutex.h"
@@ -81,6 +82,12 @@ class NodeIdAllocator {
   void Release(const std::vector<NodeId>& ids);
   NodeId limit() const;  // ids handed out so far live in [0, limit)
   void Seed(NodeId next, std::vector<NodeId> free);
+  /// Guarantee `ids` can never be handed out again: raises the high
+  /// water mark past them and drops them from the free list. Live
+  /// commits already Allocate()d their ids from this shared allocator
+  /// (no-op); WAL replay installs ids nobody here allocated, and
+  /// without this a post-recovery commit would mint a duplicate.
+  void MarkUsed(const std::vector<NodeId>& ids);
 
  private:
   mutable Mutex mu_;
@@ -318,11 +325,23 @@ class PagedStore {
 
   // --- durability (checkpoint snapshots; implemented in txn/snapshot.cc)
   /// Write the full store (pages, page tables, node/pos, pools, attrs,
-  /// allocator state) to a file. Call under the global write lock.
-  Status SaveSnapshot(const std::string& path) const;
-  /// Load a snapshot written by SaveSnapshot.
+  /// allocator state) to a file, atomically: the bytes land in
+  /// `<path>.tmp` (every write checked, whole-file checksum appended)
+  /// and replace `path` only via fsync + rename + directory fsync — on
+  /// any failure the previous snapshot is untouched. Call under the
+  /// global write lock. `last_lsn` is the highest commit LSN folded
+  /// into this image (recovery skips WAL records at or below it) and
+  /// `committed_claims` the outstanding (lsn, node) size-claims the
+  /// cross-checkpoint fixup needs (see txn_manager).
+  Status SaveSnapshot(const std::string& path, uint64_t last_lsn = 0,
+                      const std::vector<std::pair<uint64_t, NodeId>>&
+                          committed_claims = {}) const;
+  /// Load a snapshot written by SaveSnapshot. Verifies the trailing
+  /// checksum and bounds-checks every on-disk count, returning
+  /// Status::Corruption (never throwing / over-allocating) on damage.
   static StatusOr<std::unique_ptr<PagedStore>> LoadSnapshot(
-      const std::string& path);
+      const std::string& path, uint64_t* last_lsn = nullptr,
+      std::vector<std::pair<uint64_t, NodeId>>* committed_claims = nullptr);
 
   /// Deep structural invariant check (tests): size/lrd semantics, hole
   /// runs, node/pos bijection, page-table inverses, used counts.

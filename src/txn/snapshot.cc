@@ -5,37 +5,97 @@
 // Implemented here (not in storage/) because the format shares framing
 // conventions with the WAL; declared as PagedStore members so it can
 // reach the store internals without widening the public surface.
+//
+// Format v2 and the crash protocol (DESIGN.md §8):
+//
+//   [magic u32][version=2 u32][payload][FNV-64 of everything before]
+//
+// The payload carries, besides the full store image, the checkpoint's
+// position in the commit-LSN space: `last_lsn` (the highest commit LSN
+// folded into the image) lets recovery skip WAL records the snapshot
+// already contains — replaying them twice would duplicate page appends
+// — and the outstanding committed size-claims let records whose
+// snapshot predates the checkpoint run the same size fixup the live
+// commit performed.
+//
+// SaveSnapshot never touches the previous snapshot: it writes
+// `<path>.tmp` with every write checked, fsyncs it, renames it over
+// `path`, and fsyncs the parent directory. A crash (or injected fault)
+// at any step leaves either the old snapshot or the new one, never a
+// torn file; LoadSnapshot verifies the trailing checksum and
+// bounds-checks every count against the remaining file bytes, so even
+// a hand-corrupted snapshot yields Status::Corruption, not bad_alloc.
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <utility>
+#include <vector>
 
+#include "common/fault_injection.h"
+#include "common/io_file.h"
 #include "storage/paged_store.h"
 
 namespace pxq::storage {
 namespace {
 
 constexpr uint32_t kSnapshotMagic = 0x50585153;  // "PXQS"
-constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint32_t kSnapshotVersion = 2;
 
-void PutU32(FILE* f, uint32_t v) { std::fwrite(&v, 4, 1, f); }
-void PutI32(FILE* f, int32_t v) { std::fwrite(&v, 4, 1, f); }
-void PutU64(FILE* f, uint64_t v) { std::fwrite(&v, 8, 1, f); }
-void PutI64(FILE* f, int64_t v) { std::fwrite(&v, 8, 1, f); }
-void PutF64(FILE* f, double v) { std::fwrite(&v, 8, 1, f); }
-void PutStr(FILE* f, const std::string& s) {
-  PutU64(f, s.size());
-  std::fwrite(s.data(), 1, s.size(), f);
+// Scalars and arrays are raw native-endian bytes (snapshots are
+// machine-local checkpoint state, not an interchange format).
+template <typename T>
+void Put(std::string* b, T v) {
+  b->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+void PutBytes(std::string* b, const void* p, size_t n) {
+  b->append(static_cast<const char*>(p), n);
+}
+void PutStr(std::string* b, const std::string& s) {
+  Put<uint64_t>(b, s.size());
+  b->append(s);
 }
 
-bool GetU32(FILE* f, uint32_t* v) { return std::fread(v, 4, 1, f) == 1; }
-bool GetI32(FILE* f, int32_t* v) { return std::fread(v, 4, 1, f) == 1; }
-bool GetU64(FILE* f, uint64_t* v) { return std::fread(v, 8, 1, f) == 1; }
-bool GetI64(FILE* f, int64_t* v) { return std::fread(v, 8, 1, f) == 1; }
-bool GetF64(FILE* f, double* v) { return std::fread(v, 8, 1, f) == 1; }
-bool GetStr(FILE* f, std::string* s) {
-  uint64_t n;
-  if (!GetU64(f, &n)) return false;
-  s->resize(n);
-  return n == 0 || std::fread(s->data(), 1, n, f) == n;
+/// Bounds-checked cursor over the snapshot bytes: every Get fails
+/// cleanly at EOF instead of trusting an on-disk count.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Get(T* v) {
+    if (sizeof(T) > remaining()) return false;
+    std::memcpy(v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+  bool GetBytes(void* p, size_t n) {
+    if (n > remaining()) return false;
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool GetStr(std::string* s) {
+    uint64_t n;
+    if (!Get(&n) || n > remaining()) return false;
+    s->assign(data_ + pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return true;
+  }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+uint64_t Fnv(const char* data, size_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
 }
 
 using PoolKind = ContentPools::PoolKind;
@@ -45,138 +105,218 @@ constexpr PoolKind kAllPools[] = {PoolKind::kQname, PoolKind::kText,
 
 }  // namespace
 
-Status PagedStore::SaveSnapshot(const std::string& path) const {
-  FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot write snapshot " + path);
-  PutU32(f, kSnapshotMagic);
-  PutU32(f, kSnapshotVersion);
-  PutI32(f, config_.page_tuples);
-  PutF64(f, config_.shred_fill);
+Status PagedStore::SaveSnapshot(
+    const std::string& path, uint64_t last_lsn,
+    const std::vector<std::pair<uint64_t, NodeId>>& committed_claims) const {
+  std::string b;
+  Put<uint32_t>(&b, kSnapshotMagic);
+  Put<uint32_t>(&b, kSnapshotVersion);
+  Put<int32_t>(&b, config_.page_tuples);
+  Put<double>(&b, config_.shred_fill);
+
+  // Checkpoint LSN state (see the header comment: the double-replay
+  // guard and the cross-checkpoint size-claim fixup).
+  Put<uint64_t>(&b, last_lsn);
+  Put<uint64_t>(&b, committed_claims.size());
+  for (const auto& [lsn, node] : committed_claims) {
+    Put<uint64_t>(&b, lsn);
+    Put<int64_t>(&b, node);
+  }
 
   // Pools.
   ContentPools::PoolSizes sizes = pools_->Sizes();
   for (int k = 0; k < 5; ++k) {
-    PutI64(f, sizes.sizes[k]);
+    Put<int64_t>(&b, sizes.sizes[k]);
     for (int64_t i = 0; i < sizes.sizes[k]; ++i) {
-      PutStr(f, pools_->Entry(kAllPools[k], static_cast<int32_t>(i)));
+      PutStr(&b, pools_->Entry(kAllPools[k], static_cast<int32_t>(i)));
     }
   }
 
   // Pages (physical order) + page tables.
-  PutU64(f, pages_.size());
+  Put<uint64_t>(&b, pages_.size());
   for (const auto& pg : pages_) {
-    PutI32(f, pg->used);
-    std::fwrite(pg->size.data(), sizeof(int64_t), pg->size.size(), f);
-    std::fwrite(pg->level.data(), sizeof(int32_t), pg->level.size(), f);
-    std::fwrite(pg->kind.data(), sizeof(uint8_t), pg->kind.size(), f);
-    std::fwrite(pg->ref.data(), sizeof(int32_t), pg->ref.size(), f);
-    std::fwrite(pg->node.data(), sizeof(int64_t), pg->node.size(), f);
+    Put<int32_t>(&b, pg->used);
+    PutBytes(&b, pg->size.data(), pg->size.size() * sizeof(int64_t));
+    PutBytes(&b, pg->level.data(), pg->level.size() * sizeof(int32_t));
+    PutBytes(&b, pg->kind.data(), pg->kind.size() * sizeof(uint8_t));
+    PutBytes(&b, pg->ref.data(), pg->ref.size() * sizeof(int32_t));
+    PutBytes(&b, pg->node.data(), pg->node.size() * sizeof(int64_t));
   }
-  PutU64(f, logical_pages_.size());
-  for (PageId p : logical_pages_) PutI64(f, p);
+  Put<uint64_t>(&b, logical_pages_.size());
+  for (PageId p : logical_pages_) Put<int64_t>(&b, p);
 
   // node/pos.
-  PutU64(f, node_pos_pages_.size());
+  Put<uint64_t>(&b, node_pos_pages_.size());
   for (const auto& np : node_pos_pages_) {
-    std::fwrite(np->data(), sizeof(PosId), np->size(), f);
+    PutBytes(&b, np->data(), np->size() * sizeof(PosId));
   }
 
   // Allocator.
   {
-    PutI64(f, node_alloc_->limit());
+    Put<int64_t>(&b, node_alloc_->limit());
     // Reconstruct the free list as "allocatable" = ids not mapped.
     // (Cheaper than exposing allocator internals; ids of holes.)
     std::vector<NodeId> free_ids;
     for (NodeId id = 0; id < node_alloc_->limit(); ++id) {
       if (PosOfNode(id) == kNullPos) free_ids.push_back(id);
     }
-    PutU64(f, free_ids.size());
-    for (NodeId id : free_ids) PutI64(f, id);
+    Put<uint64_t>(&b, free_ids.size());
+    for (NodeId id : free_ids) Put<int64_t>(&b, id);
   }
 
-  PutI64(f, used_count_);
+  Put<int64_t>(&b, used_count_);
 
   // Attributes (live rows only).
-  PutU64(f, static_cast<uint64_t>(attrs_.live_count()));
+  Put<uint64_t>(&b, static_cast<uint64_t>(attrs_.live_count()));
   for (int32_t r = 0; r < attrs_.size(); ++r) {
     const AttrRow& row = attrs_.row(r);
     if (row.owner < 0) continue;
-    PutI64(f, row.owner);
-    PutI32(f, row.qname);
-    PutI32(f, row.prop);
+    Put<int64_t>(&b, row.owner);
+    Put<int32_t>(&b, row.qname);
+    Put<int32_t>(&b, row.prop);
   }
 
-  if (std::fflush(f) != 0) {
-    std::fclose(f);
-    return Status::IOError("snapshot flush failed");
+  // Whole-file checksum: a torn or bit-flipped snapshot can never load.
+  Put<uint64_t>(&b, Fnv(b.data(), b.size()));
+
+  // Atomic install: tmp -> checked writes -> fsync -> rename -> parent
+  // fsync. The previous snapshot stays untouched until the rename, so
+  // any failure (ENOSPC, injected crash) leaves it fully readable.
+  const std::string tmp = path + ".tmp";
+  WritableFile f;
+  Status s = f.Open(tmp, /*truncate=*/true);
+  if (s.ok()) s = f.Append(b);
+  if (s.ok()) s = f.SyncData();
+  if (s.ok()) s = f.Close();
+  if (s.ok()) s = AtomicRename(tmp, path);
+  if (s.ok()) s = SyncParentDir(path);
+  if (!s.ok()) {
+    // Best-effort cleanup of the tmp file; deliberately NOT routed
+    // through the fault injector (the injected crash already happened —
+    // this models the next process start tidying up).
+    std::remove(tmp.c_str());
+    return Status::IOError("snapshot " + path + ": " + s.message());
   }
-  std::fclose(f);
   return Status::OK();
 }
 
 StatusOr<std::unique_ptr<PagedStore>> PagedStore::LoadSnapshot(
-    const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot read snapshot " + path);
-  auto fail = [&](const char* what) -> Status {
-    std::fclose(f);
+    const std::string& path, uint64_t* last_lsn,
+    std::vector<std::pair<uint64_t, NodeId>>* committed_claims) {
+  StatusOr<std::string> content_or = ReadFileToString(path);
+  if (!content_or.ok()) {
+    return Status::IOError("cannot read snapshot " + path);
+  }
+  const std::string& content = content_or.value();
+  auto fail = [&](const char* what) {
     return Status::Corruption(std::string("snapshot: ") + what);
   };
 
+  // Checksum first: the trailing FNV covers everything before it, so a
+  // torn/flipped file is rejected before any count is trusted.
+  if (content.size() < 4 + 4 + 8) return fail("truncated");
+  uint64_t want_crc;
+  std::memcpy(&want_crc, content.data() + content.size() - 8, 8);
+  if (Fnv(content.data(), content.size() - 8) != want_crc) {
+    return fail("checksum mismatch");
+  }
+  Cursor c(content.data(), content.size() - 8);
+
   uint32_t magic, version;
   Config cfg;
-  if (!GetU32(f, &magic) || magic != kSnapshotMagic) return fail("magic");
-  if (!GetU32(f, &version) || version != kSnapshotVersion) {
+  if (!c.Get(&magic) || magic != kSnapshotMagic) return fail("magic");
+  if (!c.Get(&version) || version != kSnapshotVersion) {
     return fail("version");
   }
-  if (!GetI32(f, &cfg.page_tuples) || !GetF64(f, &cfg.shred_fill)) {
+  if (!c.Get(&cfg.page_tuples) || !c.Get(&cfg.shred_fill)) {
     return fail("config");
   }
+  // page_tuples drives every allocation size below; a corrupt value
+  // must not survive even with a valid checksum (table tests patch
+  // counts and re-checksum).
+  if (cfg.page_tuples <= 0 || cfg.page_tuples > (1 << 20) ||
+      (cfg.page_tuples & (cfg.page_tuples - 1)) != 0) {
+    return fail("page_tuples");
+  }
+
+  uint64_t snap_lsn = 0;
+  if (!c.Get(&snap_lsn)) return fail("last_lsn");
+  uint64_t nclaims;
+  if (!c.Get(&nclaims) || nclaims > c.remaining() / 16) {
+    return fail("claim count");
+  }
+  if (committed_claims != nullptr) committed_claims->clear();
+  for (uint64_t i = 0; i < nclaims; ++i) {
+    uint64_t lsn;
+    int64_t node;
+    if (!c.Get(&lsn) || !c.Get(&node)) return fail("claim entry");
+    if (committed_claims != nullptr) {
+      committed_claims->emplace_back(lsn, node);
+    }
+  }
+  if (last_lsn != nullptr) *last_lsn = snap_lsn;
 
   auto store = std::unique_ptr<PagedStore>(new PagedStore(cfg));
   store->pools_ = std::make_shared<ContentPools>();
   for (int k = 0; k < 5; ++k) {
     int64_t n;
-    if (!GetI64(f, &n)) return fail("pool size");
+    // Each entry costs at least its 8-byte length prefix.
+    if (!c.Get(&n) || n < 0 || static_cast<uint64_t>(n) > c.remaining() / 8) {
+      return fail("pool size");
+    }
     for (int64_t i = 0; i < n; ++i) {
       std::string s;
-      if (!GetStr(f, &s)) return fail("pool entry");
+      if (!c.GetStr(&s)) return fail("pool entry");
       store->pools_->SetEntry(kAllPools[k], static_cast<int32_t>(i), s);
     }
   }
 
+  const auto cap = static_cast<size_t>(cfg.page_tuples);
+  const uint64_t page_bytes =
+      4 + static_cast<uint64_t>(cap) * (8 + 4 + 1 + 4 + 8);
   uint64_t npages;
-  if (!GetU64(f, &npages)) return fail("page count");
+  if (!c.Get(&npages) || npages > c.remaining() / page_bytes) {
+    return fail("page count");
+  }
   for (uint64_t p = 0; p < npages; ++p) {
     auto pg = std::make_shared<Page>(cfg.page_tuples);
-    auto cap = static_cast<size_t>(cfg.page_tuples);
-    if (!GetI32(f, &pg->used) ||
-        std::fread(pg->size.data(), sizeof(int64_t), cap, f) != cap ||
-        std::fread(pg->level.data(), sizeof(int32_t), cap, f) != cap ||
-        std::fread(pg->kind.data(), sizeof(uint8_t), cap, f) != cap ||
-        std::fread(pg->ref.data(), sizeof(int32_t), cap, f) != cap ||
-        std::fread(pg->node.data(), sizeof(int64_t), cap, f) != cap) {
+    if (!c.Get(&pg->used) ||
+        !c.GetBytes(pg->size.data(), cap * sizeof(int64_t)) ||
+        !c.GetBytes(pg->level.data(), cap * sizeof(int32_t)) ||
+        !c.GetBytes(pg->kind.data(), cap * sizeof(uint8_t)) ||
+        !c.GetBytes(pg->ref.data(), cap * sizeof(int32_t)) ||
+        !c.GetBytes(pg->node.data(), cap * sizeof(int64_t))) {
       return fail("page payload");
+    }
+    if (pg->used < 0 || pg->used > cfg.page_tuples) {
+      return fail("page used count");
     }
     store->pages_.push_back(std::move(pg));
   }
   uint64_t nlogical;
-  if (!GetU64(f, &nlogical) || nlogical != npages) return fail("page table");
+  if (!c.Get(&nlogical) || nlogical != npages) return fail("page table");
   store->logical_pages_.resize(nlogical);
   store->page_logical_.assign(npages, -1);
   for (uint64_t l = 0; l < nlogical; ++l) {
-    if (!GetI64(f, &store->logical_pages_[l])) return fail("page table");
-    store->page_logical_[static_cast<size_t>(store->logical_pages_[l])] =
+    if (!c.Get(&store->logical_pages_[l])) return fail("page table");
+    const int64_t phys = store->logical_pages_[l];
+    // A physical id out of range would index page_logical_ (and later
+    // the view) out of bounds.
+    if (phys < 0 || static_cast<uint64_t>(phys) >= npages) {
+      return fail("page table entry");
+    }
+    store->page_logical_[static_cast<size_t>(phys)] =
         static_cast<int64_t>(l);
   }
   store->RefreshView();
 
   uint64_t nnp;
-  if (!GetU64(f, &nnp)) return fail("node/pos count");
+  if (!c.Get(&nnp) || nnp > c.remaining() / (cap * sizeof(PosId))) {
+    return fail("node/pos count");
+  }
   for (uint64_t p = 0; p < nnp; ++p) {
-    auto np = std::make_shared<std::vector<PosId>>(
-        static_cast<size_t>(cfg.page_tuples), kNullPos);
-    if (std::fread(np->data(), sizeof(PosId), np->size(), f) != np->size()) {
+    auto np = std::make_shared<std::vector<PosId>>(cap, kNullPos);
+    if (!c.GetBytes(np->data(), cap * sizeof(PosId))) {
       return fail("node/pos payload");
     }
     store->node_pos_pages_.push_back(std::move(np));
@@ -184,26 +324,35 @@ StatusOr<std::unique_ptr<PagedStore>> PagedStore::LoadSnapshot(
 
   int64_t limit;
   uint64_t nfree;
-  if (!GetI64(f, &limit) || !GetU64(f, &nfree)) return fail("allocator");
+  if (!c.Get(&limit) || limit < 0 || !c.Get(&nfree) ||
+      nfree > c.remaining() / 8) {
+    return fail("allocator");
+  }
   std::vector<NodeId> free_ids(nfree);
   for (auto& id : free_ids) {
-    if (!GetI64(f, &id)) return fail("free list");
+    if (!c.Get(&id) || id < 0 || id >= limit) return fail("free list");
   }
   store->node_alloc_->Seed(limit, std::move(free_ids));
 
-  if (!GetI64(f, &store->used_count_)) return fail("used count");
+  if (!c.Get(&store->used_count_) || store->used_count_ < 0 ||
+      static_cast<uint64_t>(store->used_count_) >
+          npages * static_cast<uint64_t>(cfg.page_tuples)) {
+    return fail("used count");
+  }
 
   uint64_t nattrs;
-  if (!GetU64(f, &nattrs)) return fail("attr count");
+  if (!c.Get(&nattrs) || nattrs > c.remaining() / 16) {
+    return fail("attr count");
+  }
   for (uint64_t i = 0; i < nattrs; ++i) {
     int64_t owner;
     int32_t qn, prop;
-    if (!GetI64(f, &owner) || !GetI32(f, &qn) || !GetI32(f, &prop)) {
+    if (!c.Get(&owner) || !c.Get(&qn) || !c.Get(&prop) || owner < 0) {
       return fail("attr row");
     }
     store->attrs_.Add(owner, qn, prop);
   }
-  std::fclose(f);
+  if (c.remaining() != 0) return fail("trailing bytes");
   return store;
 }
 

@@ -20,7 +20,8 @@ TransactionManager::TransactionManager(std::shared_ptr<PagedStore> base,
     : base_(std::move(base)),
       options_(std::move(options)),
       global_(options_.reader_slots),
-      page_locks_(options_.lock_timeout) {}
+      page_locks_(options_.lock_timeout),
+      commit_lsn_(options_.start_lsn) {}
 
 StatusOr<std::unique_ptr<TransactionManager>> TransactionManager::Create(
     std::shared_ptr<PagedStore> base, TxnOptions options) {
@@ -302,6 +303,7 @@ void TransactionManager::EndTransaction(Transaction* txn) {
 
 void TransactionManager::RegisterMetrics(obs::MetricsRegistry* reg) const {
   reg->RegisterHistogram("pxq_commit_window_ns", &commit_window_ns_);
+  reg->RegisterHistogram("pxq_checkpoint_ns", &checkpoint_ns_);
   reg->RegisterHistogram("pxq_lock_reader_wait_ns",
                          &global_.reader_wait_hist());
   reg->RegisterHistogram("pxq_lock_writer_wait_ns",
@@ -330,24 +332,66 @@ void TransactionManager::RegisterMetrics(obs::MetricsRegistry* reg) const {
 
 Status TransactionManager::Checkpoint(const std::string& snapshot_path) {
   global_.LockExclusive();
-  Status s = base_->SaveSnapshot(snapshot_path);
-  if (s.ok() && wal_ != nullptr) s = wal_->Reset();
+  const auto t0 = std::chrono::steady_clock::now();
+  Status s = CheckpointLocked(snapshot_path);
+  checkpoint_ns_.Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
   global_.UnlockExclusive();
   return s;
 }
 
-StatusOr<std::shared_ptr<storage::PagedStore>> TransactionManager::Recover(
+Status TransactionManager::CheckpointLocked(
+    const std::string& snapshot_path) {
+  // The snapshot records where in the LSN space it sits (recovery
+  // skips WAL records it already contains — the crash-between-rename-
+  // and-reset double-replay guard) and the outstanding committed
+  // size-claims: a transaction that began before this checkpoint and
+  // commits after it writes a record with snapshot_lsn < last_lsn into
+  // the fresh WAL, and its recovery-side fixup needs exactly the
+  // claims the live commit saw in committed_claims_.
+  std::vector<std::pair<uint64_t, NodeId>> claims;
+  {
+    MutexLock lock(&meta_mu_);
+    claims.reserve(committed_claims_.size());
+    for (const CommittedClaim& cc : committed_claims_) {
+      claims.emplace_back(cc.lsn, cc.node);
+    }
+  }
+  // Ordering is the crash protocol: the WAL truncates only after
+  // SaveSnapshot's rename is durable. Failing between the two leaves
+  // snapshot(last_lsn) + the old WAL — recovery skips the absorbed
+  // records by LSN.
+  PXQ_RETURN_IF_ERROR(
+      base_->SaveSnapshot(snapshot_path, commit_lsn_.load(), claims));
+  if (wal_ != nullptr) PXQ_RETURN_IF_ERROR(wal_->Reset());
+  return Status::OK();
+}
+
+StatusOr<TransactionManager::RecoveryResult> TransactionManager::Recover(
     const std::string& snapshot_path, const std::string& wal_path) {
-  PXQ_ASSIGN_OR_RETURN(std::unique_ptr<PagedStore> loaded,
-                       PagedStore::LoadSnapshot(snapshot_path));
+  RecoveryResult result;
+  std::vector<std::pair<uint64_t, NodeId>> claims_seen;
+  PXQ_ASSIGN_OR_RETURN(
+      std::unique_ptr<PagedStore> loaded,
+      PagedStore::LoadSnapshot(snapshot_path, &result.last_lsn,
+                               &claims_seen));
   std::shared_ptr<PagedStore> store = std::move(loaded);
+  const uint64_t snapshot_last_lsn = result.last_lsn;
   PXQ_ASSIGN_OR_RETURN(
       std::vector<Wal::Recovered> records,
       Wal::ReadAll(wal_path, store->page_tuples()));
   // Redo committed transactions in commit order, replicating the live
-  // commit's size-claim resolution using the recorded LSNs.
-  std::vector<std::pair<uint64_t, NodeId>> claims_seen;
+  // commit's size-claim resolution using the recorded LSNs. claims_seen
+  // starts from the snapshot's persisted claim list so records whose
+  // snapshot predates the checkpoint fix up pre-checkpoint commits too.
   for (const Wal::Recovered& rec : records) {
+    if (rec.commit_lsn <= snapshot_last_lsn) {
+      // Already folded into the snapshot (the checkpoint crashed after
+      // the rename but before the WAL reset). Replaying would duplicate
+      // the record's page appends.
+      continue;
+    }
     for (const PoolDelta& d : rec.pool_delta) {
       store->pools().SetEntry(d.kind, d.id, d.value);
     }
@@ -360,8 +404,11 @@ StatusOr<std::shared_ptr<storage::PagedStore>> TransactionManager::Recover(
     for (NodeId n : rec.log.size_claims) {
       claims_seen.emplace_back(rec.commit_lsn, n);
     }
+    result.last_lsn = std::max(result.last_lsn, rec.commit_lsn);
+    ++result.replayed_commits;
   }
-  return store;
+  result.store = std::move(store);
+  return result;
 }
 
 // ---------------------------------------------------------------------------

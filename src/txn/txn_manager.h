@@ -67,6 +67,12 @@ struct TxnOptions {
   /// wait — batches still form naturally from commits that arrive while
   /// a leader is mid-window.
   int64_t group_commit_window_us = 0;
+  /// First commit LSN minus one: a manager built over a recovered store
+  /// continues the LSN space where the snapshot + WAL left off
+  /// (RecoveryResult::last_lsn). Restarting at 0 would mint LSNs at or
+  /// below the snapshot's recorded last_lsn, and recovery would then
+  /// skip those commits as "already in the snapshot".
+  uint64_t start_lsn = 0;
 };
 
 class Transaction;
@@ -89,16 +95,46 @@ class TransactionManager {
   }
 
   /// Write a checkpoint snapshot and truncate the WAL (quiesces writers
-  /// via the global exclusive lock).
+  /// via the global exclusive lock — the whole store serializes inside
+  /// one exclusive window, so checkpoint duration is a full write AND
+  /// read stall; pxq_checkpoint_ns measures it). Crash-atomic: the
+  /// snapshot replaces the previous one only via tmp + fsync + rename,
+  /// and the WAL truncates only after the rename is durable — a crash
+  /// at any step recovers either the old checkpoint + full WAL or the
+  /// new checkpoint (whose recorded last_lsn makes the not-yet-reset
+  /// WAL records no-ops).
   Status Checkpoint(const std::string& snapshot_path);
 
-  /// Rebuild a store from a snapshot + WAL (crash recovery). Returns the
-  /// recovered store; construct a new manager over it to resume.
-  static StatusOr<std::shared_ptr<storage::PagedStore>> Recover(
-      const std::string& snapshot_path, const std::string& wal_path);
+  /// What Recover rebuilt: the store, the highest commit LSN folded
+  /// into it (the new manager's TxnOptions::start_lsn), and how many
+  /// WAL records were replayed on top of the snapshot.
+  struct RecoveryResult {
+    std::shared_ptr<storage::PagedStore> store;
+    uint64_t last_lsn = 0;
+    int64_t replayed_commits = 0;
+  };
+
+  /// Rebuild a store from a snapshot + WAL (crash recovery). WAL
+  /// records at or below the snapshot's recorded last_lsn are skipped
+  /// (the snapshot already contains them — a crash between the
+  /// checkpoint rename and the WAL reset leaves such records behind).
+  /// Construct a new manager over the result, with
+  /// options.start_lsn = last_lsn, to resume.
+  static StatusOr<RecoveryResult> Recover(const std::string& snapshot_path,
+                                          const std::string& wal_path);
 
   storage::PagedStore& base() { return *base_; }
   uint64_t commit_lsn() const { return commit_lsn_.load(); }
+
+  /// Durability status (for the `xq stats` durability line).
+  bool durable() const { return wal_ != nullptr; }
+  /// Commits currently sitting in the WAL (0 when not durable).
+  int64_t wal_commits() const {
+    return wal_ != nullptr ? wal_->commit_count() : 0;
+  }
+  /// Checkpoint latency/count: one Record per Checkpoint() call, i.e.
+  /// one full-exclusive-window stall each.
+  const obs::Histogram& checkpoint_hist() const { return checkpoint_ns_; }
 
   /// Global-lock acquire/contention counters (reader vs writer waits,
   /// slot collisions, drain wakeups).
@@ -150,6 +186,14 @@ class TransactionManager {
   /// page versions, index merge, commit_lsn). Exclusive window only.
   Status ApplyCommitLocked(Transaction* txn, uint64_t lsn)
       PXQ_REQUIRES(global_);
+  /// The checkpoint protocol body (snapshot with LSN state, then WAL
+  /// reset). The annotation is the satellite contract: SaveSnapshot
+  /// reads the whole base and Wal::Reset rewrites commit_count_, both
+  /// legal only while the exclusive window shuts out every reader,
+  /// writer, and Begin() — the analysis rejects any caller that has
+  /// not taken global_ exclusively.
+  Status CheckpointLocked(const std::string& snapshot_path)
+      PXQ_REQUIRES(global_);
   void EndTransaction(Transaction* txn);
 
   std::shared_ptr<storage::PagedStore> base_;
@@ -161,6 +205,7 @@ class TransactionManager {
   std::atomic<TxnId> next_txn_id_{1};
   std::atomic<uint64_t> commit_lsn_{0};
   obs::Histogram commit_window_ns_;
+  obs::Histogram checkpoint_ns_;
 
   // Group commit: committers enqueue their PendingCommit; the first one
   // to find no leader becomes the leader and drains the queue in

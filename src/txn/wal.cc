@@ -1,10 +1,9 @@
 #include "txn/wal.h"
 
-#include <unistd.h>
-
 #include <chrono>
 #include <cstring>
 
+#include "common/io_file.h"
 #include "common/strings.h"
 
 namespace pxq::txn {
@@ -245,22 +244,19 @@ bool DeserializePayload(const std::string& payload, int32_t page_tuples,
 
 }  // namespace
 
-Wal::~Wal() {
-  if (file_ != nullptr) std::fclose(file_);
-}
-
 StatusOr<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
   auto wal = std::unique_ptr<Wal>(new Wal());
   wal->path_ = path;
-  wal->file_ = std::fopen(path.c_str(), "ab");
-  if (wal->file_ == nullptr) {
-    return Status::IOError("cannot open WAL at " + path);
-  }
+  PXQ_RETURN_IF_ERROR(wal->file_.Open(path, /*truncate=*/false));
   return wal;
 }
 
 Status Wal::AppendBatch(const std::vector<BatchEntry>& entries) {
   if (entries.empty()) return Status::OK();
+  if (broken_) {
+    return Status::IOError("WAL poisoned by an unrollable failed append");
+  }
+  if (!file_.is_open()) return Status::IOError("WAL not open: " + path_);
   const auto t0 = std::chrono::steady_clock::now();
   std::string buf;
   for (const BatchEntry& e : entries) {
@@ -273,13 +269,20 @@ Status Wal::AppendBatch(const std::vector<BatchEntry>& entries) {
     buf += payload;
     PutU64(&buf, Fnv(payload));
   }
-  if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size()) {
-    return Status::IOError("WAL write failed");
-  }
+  StatusOr<int64_t> start = file_.Offset();
+  if (!start.ok()) return start.status();
+  Status s = file_.Append(buf);
   // The paper's single-I/O commit point — one fsync for the whole
   // batch.
-  if (std::fflush(file_) != 0 || fsync(fileno(file_)) != 0) {
-    return Status::IOError("WAL fsync failed");
+  if (s.ok()) s = file_.SyncData();
+  if (!s.ok()) {
+    // The file may hold a torn prefix of the batch. Recovery would stop
+    // at it — but a LATER successful append behind that garbage would
+    // be unreachable forever. Truncate the log back to the pre-append
+    // offset so the failure costs only this batch.
+    Status rollback = file_.TruncateTo(start.value());
+    if (!rollback.ok()) broken_ = true;
+    return Status::IOError("WAL append failed: " + s.message());
   }
   // relaxed: stat counter; the commit window serializes writers.
   commit_count_.fetch_add(static_cast<int64_t>(entries.size()),
@@ -298,9 +301,15 @@ Status Wal::AppendCommit(TxnId txn_id, uint64_t snapshot_lsn,
 }
 
 Status Wal::Reset() {
-  std::fclose(file_);
-  file_ = std::fopen(path_.c_str(), "wb");
-  if (file_ == nullptr) return Status::IOError("cannot truncate WAL");
+  // Checked truncation: close the old handle (surfacing buffered-write
+  // errors), reopen truncating, and fsync the zero length — a reset
+  // that is not durable is a failed checkpoint, not an OK. On failure
+  // the WAL may be left closed; AppendBatch then reports IOError
+  // rather than silently logging nowhere.
+  PXQ_RETURN_IF_ERROR(file_.Close());
+  PXQ_RETURN_IF_ERROR(file_.Open(path_, /*truncate=*/true));
+  PXQ_RETURN_IF_ERROR(file_.SyncData());
+  broken_ = false;
   // relaxed: stat counter reset inside the exclusive window.
   commit_count_.store(0, std::memory_order_relaxed);
   return Status::OK();
@@ -309,17 +318,14 @@ Status Wal::Reset() {
 StatusOr<std::vector<Wal::Recovered>> Wal::ReadAll(const std::string& path,
                                                    int32_t page_tuples) {
   std::vector<Recovered> out;
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return out;  // no WAL yet: nothing to recover
-  std::string content;
-  {
-    char buf[1 << 16];
-    size_t n;
-    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
-      content.append(buf, n);
+  StatusOr<std::string> content_or = ReadFileToString(path);
+  if (!content_or.ok()) {
+    if (content_or.status().IsNotFound()) {
+      return out;  // no WAL yet: nothing to recover
     }
-    std::fclose(f);
+    return content_or.status();
   }
+  const std::string& content = content_or.value();
   Reader r(content.data(), content.size());
   for (;;) {
     uint32_t magic;
@@ -330,6 +336,9 @@ StatusOr<std::vector<Wal::Recovered>> Wal::ReadAll(const std::string& path,
         !r.U64(&len)) {
       break;
     }
+    // A torn length header could claim terabytes; the payload cannot
+    // exceed what is actually in the file.
+    if (len > content.size()) break;
     std::string payload;
     payload.resize(len);
     {

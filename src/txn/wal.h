@@ -12,11 +12,11 @@
 #define PXQ_TXN_WAL_H_
 
 #include <atomic>
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/io_file.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "storage/paged_store.h"
@@ -37,12 +37,19 @@ struct PoolDelta {
 /// only inside the exclusive commit window (GlobalLock held exclusively
 /// by TransactionManager), which both serializes appends and orders
 /// them against readers — adding a mutex here would annotate a
-/// capability nothing else can contend on. The accessors expose a plain
-/// counter written only in that window plus lock-free histogram/counter
-/// atomics, all safe to sample concurrently.
+/// capability nothing else can contend on. The Wal cannot name that
+/// capability itself, so the contract is machine-checked at the call
+/// sites instead: TransactionManager::ApplyCommitLocked and
+/// ::CheckpointLocked are PXQ_REQUIRES(global_)-annotated, and
+/// CommitBatch appends only between its inline LockExclusive /
+/// UnlockExclusive pair — the thread-safety analysis rejects any new
+/// caller that reaches AppendBatch/Reset without the exclusive lock
+/// through those paths. The accessors expose a plain counter written
+/// only in that window plus lock-free histogram/counter atomics, all
+/// safe to sample concurrently.
 class Wal {
  public:
-  ~Wal();
+  ~Wal() = default;
 
   /// Open (creating if absent) a WAL file for appending.
   static StatusOr<std::unique_ptr<Wal>> Open(const std::string& path);
@@ -64,6 +71,11 @@ class Wal {
   /// the exact single-commit wire format, so ReadAll recovers a batched
   /// log identically to a sequential one — in entry order, and a torn
   /// tail drops a suffix of the batch, never reorders it.
+  ///
+  /// On a write/fsync failure the batch is rolled back off the file
+  /// (truncate to the pre-append offset) so a garbage tail can never
+  /// shadow later successful commits; if even the rollback fails the
+  /// log is poisoned and every further append reports IOError.
   Status AppendBatch(const std::vector<BatchEntry>& entries);
 
   /// Append one commit record and fsync it (a batch of one).
@@ -71,7 +83,12 @@ class Wal {
                       uint64_t commit_lsn, const storage::OpLog& log,
                       const std::vector<PoolDelta>& pool_delta);
 
-  /// Truncate the log (after a checkpoint snapshot was written).
+  /// Truncate the log (after a checkpoint snapshot was written) and
+  /// fsync the truncation. Reports the failure (instead of OK on a
+  /// dirty truncate) — the checkpoint protocol treats a non-durable
+  /// reset as a failed checkpoint. commit_count_ is reset only on
+  /// success; exclusive-window-only, enforced at the call site
+  /// (TransactionManager::CheckpointLocked, PXQ_REQUIRES(global_)).
   Status Reset();
 
   int64_t commit_count() const {
@@ -105,7 +122,10 @@ class Wal {
   Wal() = default;
 
   std::string path_;
-  FILE* file_ = nullptr;
+  WritableFile file_;
+  // Set when a failed append could not be rolled back off the file:
+  // the on-disk tail is garbage, so further appends must not succeed.
+  bool broken_ = false;
   // Written only inside the exclusive commit window; atomic because
   // metrics scrapes read it from outside that window.
   std::atomic<int64_t> commit_count_{0};

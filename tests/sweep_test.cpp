@@ -211,10 +211,11 @@ TEST_P(DurabilitySweep, RecoverAcrossPageSizes) {
   }
   auto rec = txn::TransactionManager::Recover(snap, wal);
   ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  const auto& recovered = rec.value().store;
   EXPECT_EQ(
-      storage::SerializeSubtree(*rec.value(), rec.value()->Root()).value(),
+      storage::SerializeSubtree(*recovered, recovered->Root()).value(),
       storage::SerializeSubtree(*base, base->Root()).value());
-  ASSERT_TRUE(rec.value()->CheckInvariants().ok());
+  ASSERT_TRUE(recovered->CheckInvariants().ok());
   std::remove(snap.c_str());
   std::remove(wal.c_str());
 }

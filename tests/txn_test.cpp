@@ -309,7 +309,8 @@ TEST(TxnDurabilityTest, WalRecoveryAfterCrash) {
 
   auto recovered = txn::TransactionManager::Recover(snap, wal);
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
-  auto& store = *recovered.value();
+  auto& store = *recovered.value().store;
+  EXPECT_EQ(recovered.value().replayed_commits, 3);
   Status inv = store.CheckInvariants();
   ASSERT_TRUE(inv.ok()) << inv.ToString();
   EXPECT_EQ(Serialized(store), committed_xml);
@@ -353,7 +354,8 @@ TEST(TxnDurabilityTest, TornWalTailIsIgnored) {
   }
   auto recovered = txn::TransactionManager::Recover(snap, wal);
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
-  auto ok_nodes = xpath::EvaluatePath(*recovered.value(), "/db/sec2/ok");
+  auto ok_nodes =
+      xpath::EvaluatePath(*recovered.value().store, "/db/sec2/ok");
   ASSERT_TRUE(ok_nodes.ok());
   EXPECT_EQ(ok_nodes.value().size(), 1u);
 
@@ -382,10 +384,13 @@ TEST(TxnDurabilityTest, CheckpointTruncatesWal) {
     </xupdate:modifications>)").ok());
   ASSERT_TRUE(t.value()->Commit().ok());
   ASSERT_TRUE(mgr.Checkpoint(snap).ok());
-  // WAL now empty; snapshot alone must reproduce the store.
+  // WAL now empty; snapshot alone must reproduce the store (and the
+  // snapshot's recorded last_lsn must match the manager's LSN).
   auto recovered = txn::TransactionManager::Recover(snap, wal);
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
-  EXPECT_EQ(Serialized(*recovered.value()), Serialized(*base));
+  EXPECT_EQ(Serialized(*recovered.value().store), Serialized(*base));
+  EXPECT_EQ(recovered.value().last_lsn, mgr.commit_lsn());
+  EXPECT_EQ(recovered.value().replayed_commits, 0);
 
   std::remove(snap.c_str());
   std::remove(wal.c_str());
@@ -489,89 +494,8 @@ TEST(LockScalingTest, WriterMakesProgressUnderReaderStorm) {
   EXPECT_EQ(n.value().size(), static_cast<size_t>(kCommits));
 }
 
-TEST(GroupCommitTest, WriteBurstBatchesCommitsAndRecovers) {
-  // A burst of committers must fold into shared exclusive windows
-  // (commits_per_group p50 >= 2, fewer WAL fsyncs than commits), and a
-  // crash-recovery replay of the batched log must lose and reorder
-  // nothing.
-  std::string snap = TempPath("pxq_test_snap_gc.bin");
-  std::string wal = TempPath("pxq_test_wal_gc.bin");
-  std::remove(snap.c_str());
-  std::remove(wal.c_str());
-
-  constexpr int kThreads = 8;
-  constexpr int kCommitsPerThread = 3;
-  std::string doc = "<db>";
-  for (int i = 0; i < kThreads; ++i) {
-    doc += "<sec" + std::to_string(i) + "><seed/></sec" + std::to_string(i) +
-           ">";
-  }
-  doc += "</db>";
-  std::string committed_xml;
-  int64_t groups = 0;
-  double p50 = 0;
-  {
-    auto base = BuildStore(doc.c_str(), /*page_tuples=*/16, /*fill=*/0.6);
-    ASSERT_TRUE(base->SaveSnapshot(snap).ok());
-    txn::TxnOptions opts;
-    opts.wal_path = wal;
-    // A wide window so the whole burst piles into the leader's batch
-    // even on a single-core runner.
-    opts.group_commit_window_us = 20000;
-    auto mgr_or = txn::TransactionManager::Create(base, opts);
-    ASSERT_TRUE(mgr_or.ok());
-    auto& mgr = *mgr_or.value();
-
-    std::vector<std::thread> threads;
-    std::atomic<int> committed{0};
-    for (int i = 0; i < kThreads; ++i) {
-      threads.emplace_back([&, i] {
-        for (int k = 0; k < kCommitsPerThread; ++k) {
-          std::string up =
-              "<xupdate:modifications version=\"1.0\" "
-              "xmlns:xupdate=\"http://www.xmldb.org/xupdate\">"
-              "<xupdate:append select=\"/db/sec" +
-              std::to_string(i) + "\"><item k=\"" + std::to_string(k) +
-              "\"/></xupdate:append></xupdate:modifications>";
-          for (int attempt = 0; attempt < 50; ++attempt) {
-            auto t = mgr.Begin();
-            if (!t.ok()) continue;
-            if (!xupdate::ApplyXUpdate(t.value()->store(), up).ok()) {
-              t.value()->Abort().ok();
-              continue;
-            }
-            if (t.value()->Commit().ok()) {
-              committed.fetch_add(1);
-              break;
-            }
-          }
-        }
-      });
-    }
-    for (auto& th : threads) th.join();
-    ASSERT_EQ(committed.load(), kThreads * kCommitsPerThread);
-
-    groups = mgr.group_commits();
-    p50 = mgr.commits_per_group_hist().Snap().p50();
-    committed_xml = Serialized(*base);
-    ASSERT_TRUE(base->CheckInvariants().ok());
-  }
-
-  // Batching happened: strictly fewer fsyncs (= batches) than commits,
-  // and the typical batch carried at least two of them.
-  EXPECT_GT(groups, 0);
-  EXPECT_LT(groups, int64_t{kThreads} * kCommitsPerThread);
-  EXPECT_GE(p50, 2.0) << "group commit never batched";
-
-  // Crash recovery over the batched log: every record, original order.
-  auto recovered = txn::TransactionManager::Recover(snap, wal);
-  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
-  ASSERT_TRUE(recovered.value()->CheckInvariants().ok());
-  EXPECT_EQ(Serialized(*recovered.value()), committed_xml);
-
-  std::remove(snap.c_str());
-  std::remove(wal.c_str());
-}
+// GroupCommitTest.WriteBurstBatchesCommitsAndRecovers lives in
+// tests/recovery_test.cpp with the rest of the crash-recovery matrix.
 
 }  // namespace
 }  // namespace pxq
