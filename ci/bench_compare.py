@@ -47,7 +47,7 @@ def main(argv=None):
     ap.add_argument("current")
     ap.add_argument(
         "--filter",
-        default=r"BM_(PlanCache|DeepPath|Concurrent)",
+        default=r"BM_(PlanCache|DeepPath|Concurrent|PredicateReorder|CascadeOrder)",
         help="only compare benchmarks whose name matches this regex",
     )
     ap.add_argument(

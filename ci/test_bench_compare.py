@@ -228,5 +228,46 @@ class ConcurrencyBenchWatchList(unittest.TestCase):
         self.assertIn("no regressions", out)
 
 
+class SelectivityBenchWatchList(unittest.TestCase):
+    """BM_PredicateReorder* / BM_CascadeOrder* (bench_micro's
+    selectivity-planning legs) are on the default --fail watch list: a
+    planner change that degrades the cost-based legs toward the
+    syntactic ones is a regression, not noise."""
+
+    def test_predicate_reorder_regression_fails(self):
+        base = bench_json([("BM_PredicateReorderCostBased", 3.0, "us")])
+        cur = bench_json([("BM_PredicateReorderCostBased", 9.0, "us")])
+        with TempJson(base, cur) as (b, c):
+            rc, out = run_main([b, c, "--fail"])  # default filter
+        self.assertEqual(rc, 1)
+        self.assertIn("REGRESSED", out)
+
+    def test_cascade_order_regression_fails(self):
+        base = bench_json([("BM_CascadeOrderCostBased", 15.0, "us")])
+        cur = bench_json([("BM_CascadeOrderCostBased", 40.0, "us")])
+        with TempJson(base, cur) as (b, c):
+            rc, out = run_main([b, c, "--fail"])
+        self.assertEqual(rc, 1)
+        self.assertIn("REGRESSED", out)
+
+    def test_selectivity_legs_within_threshold_pass(self):
+        base = bench_json(
+            [
+                ("BM_PredicateReorderSyntactic", 90.0, "us"),
+                ("BM_CascadeOrderSyntactic", 17.0, "us"),
+            ]
+        )
+        cur = bench_json(
+            [
+                ("BM_PredicateReorderSyntactic", 95.0, "us"),
+                ("BM_CascadeOrderSyntactic", 18.0, "us"),
+            ]
+        )
+        with TempJson(base, cur) as (b, c):
+            rc, out = run_main([b, c, "--fail"])
+        self.assertEqual(rc, 0)
+        self.assertIn("no regressions", out)
+
+
 if __name__ == "__main__":
     unittest.main()

@@ -32,6 +32,14 @@ void ApplyIndexEnvOverrides(index::IndexConfig* cfg) {
       e != nullptr && e[0] != '\0') {
     cfg->path_chain_depth = std::atoi(e);
   }
+  // PXQ_SELECTIVITY_PLANNING=0 disables estimate-driven plan
+  // reshaping (predicate reorder, cascade cost order, probe fusion)
+  // so the fuzz/bench legs can A-B syntactic vs cost-based plans.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read before threads start
+  if (const char* e = std::getenv("PXQ_SELECTIVITY_PLANNING");
+      e != nullptr && e[0] != '\0') {
+    cfg->selectivity_planning = e[0] != '0';
+  }
 }
 
 /// PXQ_PROFILE=<n> turns on 1-in-n query profiling (1 = every query)

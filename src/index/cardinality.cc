@@ -1,0 +1,74 @@
+#include "index/cardinality.h"
+
+#include <algorithm>
+
+namespace pxq::index {
+
+CardEstimate CardinalityEstimator::FromKeyStats(
+    const IndexManager::KeyStats& ks) {
+  CardEstimate e;
+  if (!ks.known) return e;
+  e.known = true;
+  e.point = static_cast<double>(ks.count);
+  e.upper = ks.count;
+  return e;
+}
+
+CardEstimate CardinalityEstimator::Tag(QnameId qn) const {
+  if (!active()) return {};
+  return FromKeyStats(index_->ChainStats({qn}));
+}
+
+CardEstimate CardinalityEstimator::Chain(
+    const std::vector<QnameId>& chain) const {
+  if (!active()) return {};
+  return FromKeyStats(index_->ChainStats(chain));
+}
+
+CardEstimate CardinalityEstimator::Cascade(
+    const std::vector<std::vector<QnameId>>& chains) const {
+  CardEstimate e;
+  if (!active() || chains.empty()) return e;
+  CardEstimate lead = Chain(chains.front());
+  if (!lead.known) return e;
+  // Degree-constraint product: each continuation contributes its
+  // "matches per overlap element" degree — chain count over the
+  // overlap tag's posting count. A missing overlap posting (count 0)
+  // forces the whole product to 0: no overlap elements exist, so no
+  // join output can either.
+  double point = lead.point;
+  for (size_t i = 1; i < chains.size(); ++i) {
+    CardEstimate cont = Chain(chains[i]);
+    CardEstimate overlap = Tag(chains[i].front());
+    if (!cont.known || !overlap.known) return e;
+    point *= overlap.point > 0 ? cont.point / overlap.point : 0.0;
+  }
+  CardEstimate last = chains.size() > 1 ? Chain(chains.back()) : lead;
+  if (!last.known) return e;
+  e.known = true;
+  // The join output at the final tag is a subset of the final chain's
+  // own bucket — the cheap pessimistic bound.
+  e.upper = last.upper;
+  e.point = std::min(point, static_cast<double>(e.upper));
+  return e;
+}
+
+CardEstimate CardinalityEstimator::ChildValue(
+    QnameId child_qn, xpath::CmpOp op, const std::string& literal) const {
+  if (!active()) return {};
+  return FromKeyStats(index_->ValueStats(child_qn, op, literal));
+}
+
+CardEstimate CardinalityEstimator::ChildExists(QnameId child_qn) const {
+  if (!active()) return {};
+  return FromKeyStats(index_->ChainStats({child_qn}));
+}
+
+CardEstimate CardinalityEstimator::Attr(QnameId attr_qn, bool any_value,
+                                        xpath::CmpOp op,
+                                        const std::string& literal) const {
+  if (!active()) return {};
+  return FromKeyStats(index_->AttrStats(attr_qn, any_value, op, literal));
+}
+
+}  // namespace pxq::index

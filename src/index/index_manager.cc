@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 
 #include "xpath/value_compare.h"
@@ -220,6 +221,7 @@ void IndexManager::AddValueEntry(ValueBucket* vb,
     if (st->numeric) {
       vb->by_number.emplace(st->num, node);
       vb->num_gen = g;
+      HistInsert(&vb->hist, st->num, vb->by_number);
     }
   } else {
     st->simple = false;
@@ -248,6 +250,7 @@ void IndexManager::RemoveValueEntry(ValueBucket* vb, NodeId node,
       SidecarErase(&vb->by_number, st.num, node);
       vb->num_gen = g;
       vb->range_gen = g;
+      HistRemove(&vb->hist, st.num);
     }
   } else {
     SortedErase(&vb->complex_elems, node);
@@ -278,6 +281,7 @@ void IndexManager::AddAttrEntries(std::vector<ShardBuilder>& bs,
     if (as.numeric) {
       ab->by_number.emplace(as.num, node);
       ab->num_gen = g;
+      HistInsert(&ab->hist, as.num, ab->by_number);
     }
     st->attrs.push_back(std::move(as));
   }
@@ -304,8 +308,46 @@ void IndexManager::RemoveAttrEntries(std::vector<ShardBuilder>& bs,
       SidecarErase(&ab->by_number, as.num, node);
       ab->num_gen = g;
       ab->range_gen = g;
+      HistRemove(&ab->hist, as.num);
     }
   }
+}
+
+void IndexManager::HistInsert(NumericHistogram* h, double v,
+                              const std::multimap<double, NodeId>& sidecar) {
+  if (!std::isfinite(v)) return;  // estimate-only: skip unbucketables
+  if (h->total == 0) {
+    *h = NumericHistogram();
+    h->lo = h->hi = v;
+    h->counts[0] = 1;
+    h->total = 1;
+    return;
+  }
+  if (v < h->lo || v > h->hi) {
+    // Out of bounds: widen (bounds only ever grow) and recount from the
+    // sidecar, which already contains v — rare after warmup, and the
+    // writer holds the sidecar in hand anyway.
+    NumericHistogram next;
+    next.lo = std::min(h->lo, v);
+    next.hi = std::max(h->hi, v);
+    for (const auto& [x, n] : sidecar) {
+      if (!std::isfinite(x)) continue;
+      next.counts[static_cast<size_t>(next.BucketOf(x))] += 1;
+      next.total += 1;
+    }
+    *h = next;
+    return;
+  }
+  h->counts[static_cast<size_t>(h->BucketOf(v))] += 1;
+  h->total += 1;
+}
+
+void IndexManager::HistRemove(NumericHistogram* h, double v) {
+  if (!std::isfinite(v) || h->total == 0) return;
+  int64_t& c = h->counts[static_cast<size_t>(h->BucketOf(v))];
+  if (c > 0) c -= 1;
+  h->total -= 1;
+  if (h->total == 0) *h = NumericHistogram();  // re-seed bounds next insert
 }
 
 void IndexManager::AddNode(std::vector<ShardBuilder>& bs,
@@ -1048,6 +1090,176 @@ void IndexManager::NoteCrossCheckMismatch() const {
   cross_check_mismatches_.Inc();
 }
 
+// ---------------------------------------------------------------------------
+// Cardinality statistics: lock-free stat reads off published snapshots
+// ---------------------------------------------------------------------------
+
+int64_t IndexManager::HistEstimate(const NumericHistogram& h, xpath::CmpOp op,
+                                   double x) {
+  using xpath::CmpOp;
+  if (h.total == 0) return 0;
+  if (op == CmpOp::kEq) {
+    if (x < h.lo || x > h.hi) return 0;
+    return h.counts[static_cast<size_t>(h.BucketOf(x))];
+  }
+  if (!(h.hi > h.lo)) {
+    // Degenerate single-point histogram: all or nothing.
+    const bool match = (op == CmpOp::kLt && h.lo < x) ||
+                       (op == CmpOp::kLe && h.lo <= x) ||
+                       (op == CmpOp::kGt && h.lo > x) ||
+                       (op == CmpOp::kGe && h.lo >= x);
+    return match ? h.total : 0;
+  }
+  const bool below_op = op == CmpOp::kLt || op == CmpOp::kLe;
+  if (x <= h.lo) return below_op ? 0 : h.total;
+  if (x >= h.hi) return below_op ? h.total : 0;
+  // Whole buckets below x plus a uniform share of the boundary bucket.
+  const int b = h.BucketOf(x);
+  const double width = (h.hi - h.lo) / NumericHistogram::kBuckets;
+  const double frac = width > 0 ? (x - (h.lo + b * width)) / width : 0.0;
+  double below = 0;
+  for (int i = 0; i < b; ++i) {
+    below += static_cast<double>(h.counts[static_cast<size_t>(i)]);
+  }
+  below += static_cast<double>(h.counts[static_cast<size_t>(b)]) * frac;
+  const double est =
+      below_op ? below : static_cast<double>(h.total) - below;
+  return static_cast<int64_t>(est + 0.5);
+}
+
+IndexManager::KeyStats IndexManager::DictStats(
+    const std::map<std::string, ValueEntry>& dict,
+    const std::multimap<double, NodeId>& sidecar, const NumericHistogram& hist,
+    xpath::CmpOp op, const std::string& literal) {
+  using xpath::CmpOp;
+  KeyStats ks;
+  if (op == CmpOp::kNe) return ks;  // anti-join: probes decline it too
+  double x = 0;
+  const bool lit_num = xpath::detail::ParseNumber(literal, &x);
+  if (op == CmpOp::kEq) {
+    ks.known = true;
+    if (lit_num) {
+      // Canonicalize exactly like ValueMemoKey: the parsed double IS
+      // the operand ("17" == "17.0"), -0 normalizes to +0 — so every
+      // spelling of one number lands in the same histogram bucket
+      // instead of splitting the estimate across spellings.
+      if (x == 0) x = 0;
+      ks.count = HistEstimate(hist, CmpOp::kEq, x);
+      // A bucket count is an upper bound, not a key read — except the
+      // no-numerics case, where zero is exact (a numeric literal can
+      // never byte-equal a non-numeric value).
+      ks.exact = hist.total == 0;
+      (void)sidecar;
+      return ks;
+    }
+    auto it = dict.find(literal);
+    ks.count =
+        it == dict.end() ? 0 : static_cast<int64_t>(it->second.nodes.size());
+    ks.exact = true;
+    return ks;
+  }
+  // Ordered operator: the numeric side comes off the histogram; a
+  // non-numeric literal compares lexicographically against the whole
+  // dictionary, which has no order statistics — unknown, the caller
+  // keeps syntactic order.
+  if (!lit_num) return ks;
+  ks.known = true;
+  ks.exact = false;
+  ks.count = HistEstimate(hist, op, x);
+  return ks;
+}
+
+IndexManager::KeyStats IndexManager::ChainStats(
+    const std::vector<QnameId>& chain) const {
+  KeyStats ks;
+  const size_t len = chain.size();
+  if (!config_.enabled || len < 1 ||
+      len > static_cast<size_t>(config_.path_chain_depth)) {
+    return ks;
+  }
+  if (chain.back() < 0) return ks;  // self must be a real tag
+  estimator_probes_.Inc();
+  if (len == 1) {
+    // Single tag: the qname posting length (degree-constraint input).
+    const QnameId qn = chain[0];
+    const ShardSnapshot* snap = Snap(ShardOf(qn));
+    auto it = snap->postings.find(qn);
+    ks.count = it == snap->postings.end()
+                   ? 0
+                   : static_cast<int64_t>(it->second->nodes.size());
+    ks.exact = true;
+    ks.known = true;
+    return ks;
+  }
+  // Same key construction as PathChainProbe: chain is in PATH order
+  // (farthest ancestor first), the key stores self first.
+  ChainKey key;
+  key.len = static_cast<uint8_t>(len);
+  for (size_t i = 0; i < len; ++i) key.qn[i] = chain[len - 1 - i];
+  const ShardSnapshot* snap = Snap(ShardOf(key.qn[0]));
+  auto it = snap->paths.find(key);
+  ks.count = it == snap->paths.end()
+                 ? 0
+                 : static_cast<int64_t>(it->second->nodes.size());
+  ks.exact = true;
+  ks.known = true;
+  return ks;
+}
+
+IndexManager::KeyStats IndexManager::ValueStats(
+    QnameId qn, xpath::CmpOp op, const std::string& literal) const {
+  KeyStats ks;
+  if (!config_.enabled || qn < 0) return ks;
+  estimator_probes_.Inc();
+  const ShardSnapshot* snap = Snap(ShardOf(qn));
+  auto it = snap->values.find(qn);
+  if (it == snap->values.end()) {
+    // No element carries this tag: zero, exactly.
+    ks.known = true;
+    ks.exact = true;
+    return ks;
+  }
+  const ValueBucket& vb = *it->second;
+  ks = DictStats(vb.by_string, vb.by_number, vb.hist, op, literal);
+  if (ks.known && !vb.complex_elems.empty()) {
+    // Complex elements ride every candidate set (evaluated per node
+    // regardless of the operand), so they bound the estimate upward.
+    ks.count += static_cast<int64_t>(vb.complex_elems.size());
+    ks.exact = false;
+  }
+  return ks;
+}
+
+IndexManager::KeyStats IndexManager::AttrStats(
+    QnameId qn, bool any_value, xpath::CmpOp op,
+    const std::string& literal) const {
+  KeyStats ks;
+  if (!config_.enabled || qn < 0) return ks;
+  estimator_probes_.Inc();
+  const ShardSnapshot* snap = Snap(ShardOf(qn));
+  auto it = snap->attrs.find(qn);
+  if (it == snap->attrs.end()) {
+    ks.known = true;
+    ks.exact = true;
+    return ks;
+  }
+  const AttrBucket& ab = *it->second;
+  if (any_value) {
+    ks.count = static_cast<int64_t>(ab.owners.size());
+    ks.exact = true;
+    ks.known = true;
+    return ks;
+  }
+  return DictStats(ab.by_string, ab.by_number, ab.hist, op, literal);
+}
+
+void IndexManager::RecordEstimateError(int64_t est, int64_t act) const {
+  // +1 on both sides guards log2(0); scaled so 100 == off by 2x.
+  const double ratio = std::log2((static_cast<double>(act) + 1.0) /
+                                 (static_cast<double>(est) + 1.0));
+  est_error_.Record(static_cast<int64_t>(std::abs(ratio) * 100.0 + 0.5));
+}
+
 IndexStats IndexManager::Stats() const {
   IndexStats s;
   // Hits are derived as probes - declines from two independent relaxed
@@ -1073,6 +1285,8 @@ IndexStats IndexManager::Stats() const {
   s.memo_value_hits = memo_value_hits_.Value();
   s.memo_value_misses = memo_value_misses_.Value();
   s.cross_check_mismatches = cross_check_mismatches_.Value();
+  s.estimator_probes = estimator_probes_.Value();
+  s.plan_reorders = plan_reorders_.Value();
   s.shards = nshards_;
   s.publish_epoch =
       static_cast<int64_t>(publish_epoch_.load(std::memory_order_acquire));
@@ -1109,10 +1323,18 @@ IndexStats IndexManager::Stats() const {
       bytes += static_cast<int64_t>(p->nodes.size()) * 8 +
                static_cast<int64_t>(sizeof(ChainKey));
     }
+    // Every posting/path bucket is a stat key (its length IS its
+    // cardinality stat); dictionary keys and owner lists join below.
+    s.stat_keys += static_cast<int64_t>(snap.postings.size()) +
+                   static_cast<int64_t>(snap.paths.size());
     for (const auto& [qn, vbp] : snap.values) {
       const ValueBucket& vb = *vbp;
       s.value_keys += static_cast<int64_t>(vb.by_string.size());
       s.complex_entries += static_cast<int64_t>(vb.complex_elems.size());
+      s.stat_keys += static_cast<int64_t>(vb.by_string.size());
+      for (const int64_t c : vb.hist.counts) {
+        if (c > 0) s.histogram_buckets += 1;
+      }
       for (const auto& [v, e] : vb.by_string) {
         bytes += static_cast<int64_t>(v.size()) + 48 +
                  static_cast<int64_t>(e.nodes.size()) * 8;
@@ -1123,6 +1345,10 @@ IndexStats IndexManager::Stats() const {
     for (const auto& [qn, abp] : snap.attrs) {
       const AttrBucket& ab = *abp;
       s.attr_value_keys += static_cast<int64_t>(ab.by_string.size());
+      s.stat_keys += static_cast<int64_t>(ab.by_string.size()) + 1;
+      for (const int64_t c : ab.hist.counts) {
+        if (c > 0) s.histogram_buckets += 1;
+      }
       for (const auto& [v, e] : ab.by_string) {
         bytes += static_cast<int64_t>(v.size()) + 48 +
                  static_cast<int64_t>(e.nodes.size()) * 8;
@@ -1153,7 +1379,10 @@ void IndexManager::RegisterMetrics(obs::MetricsRegistry* reg) const {
   reg->RegisterCounter("pxq_index_value_neg_hits_total", &value_neg_hits_);
   reg->RegisterCounter("pxq_index_cross_check_mismatches_total",
                        &cross_check_mismatches_);
+  reg->RegisterCounter("pxq_estimator_probes_total", &estimator_probes_);
+  reg->RegisterCounter("pxq_plan_reorders_total", &plan_reorders_);
   reg->RegisterHistogram("pxq_index_apply_dirty_ns", &apply_dirty_ns_);
+  reg->RegisterHistogram("pxq_est_error", &est_error_);
   // Everything Stats() derives (structure sizes, epochs, maintenance
   // totals) comes out of ONE Stats() walk per snapshot — one writer_mu_
   // acquisition, mutually consistent values within the group.
@@ -1175,6 +1404,8 @@ void IndexManager::RegisterMetrics(obs::MetricsRegistry* reg) const {
     o->emplace_back("pxq_index_shards", s.shards);
     o->emplace_back("pxq_index_publish_epoch", s.publish_epoch);
     o->emplace_back("pxq_index_structure_epoch", s.structure_epoch);
+    o->emplace_back("pxq_index_stat_keys", s.stat_keys);
+    o->emplace_back("pxq_index_histogram_buckets", s.histogram_buckets);
   });
 }
 

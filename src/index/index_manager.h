@@ -151,6 +151,15 @@ struct IndexConfig {
   /// element and a k-1-level descendant re-key fan-out on renames. 2
   /// reproduces the pairwise (parent, self) index exactly.
   int path_chain_depth = 3;
+  /// Cost-based planning: the compiler consults the CardinalityEstimator
+  /// (cardinality.h) to reorder conjunctive predicates by estimated
+  /// selectivity, pick the cascade probe order by estimated intermediate
+  /// cardinality, and fuse ChainProbe -> ValueProbeGate so the rarer
+  /// side drives the probe. Off = syntactic source order everywhere
+  /// (the A/B knob for BM_PredicateReorder / BM_CascadeOrder). Folded
+  /// into the plan-environment fingerprint, so flipping it mid-flight
+  /// recompiles rather than mixing plan shapes.
+  bool selectivity_planning = true;
 };
 
 struct IndexStats {
@@ -181,6 +190,14 @@ struct IndexStats {
   int64_t value_neg_hits = 0;    // warm declines served by the negative
                                  // cache (no CollectMatches re-run)
   int64_t cross_check_mismatches = 0;
+  // --- selectivity statistics (cardinality.h) -------------------------
+  int64_t stat_keys = 0;         // distinct keys with cardinality stats
+                                 // (postings + chains + value/attr dict
+                                 // keys + attr owner lists)
+  int64_t histogram_buckets = 0; // non-empty numeric-histogram buckets
+  int64_t estimator_probes = 0;  // cardinality-stat consultations
+  int64_t plan_reorders = 0;     // plans whose op/predicate order the
+                                 // estimator changed vs syntactic
   // --- plan-cache counters (filled by the Database layer, which owns
   // the process-wide compiled-plan cache; zero when queried straight
   // off an IndexManager) ----------------------------------------------
@@ -281,6 +298,48 @@ class IndexManager {
       const storage::PagedStore& store, QnameId qn, xpath::CmpOp op,
       const std::string& literal, int64_t scan_cost) const;
 
+  // --- cardinality statistics (consulted by CardinalityEstimator) -----
+  // Stat reads follow the probe pattern — acquire one shard snapshot,
+  // read immutable state, no lock — but never gate, never materialize,
+  // and never touch the memo: they are O(1)-ish bookkeeping lookups the
+  // compiler can afford on every compile. Each call bumps
+  // `estimator_probes`.
+
+  /// Lightweight cardinality answer. `count` is the point estimate;
+  /// `exact` means it was read straight off a posting/dictionary key
+  /// (equality on an indexed key) rather than a histogram bucket.
+  struct KeyStats {
+    int64_t count = 0;
+    bool exact = false;
+    bool known = false;  // false: index disabled / no stats for the key
+  };
+  /// Elements whose tag + nearest-ancestor tags match `chain` (same key
+  /// space as PathChainProbe; lengths [2, path_chain_depth]).
+  KeyStats ChainStats(const std::vector<QnameId>& chain) const;
+  /// Elements tagged `qn` whose string value satisfies (op, literal).
+  /// Numeric operands are canonicalized exactly like the value memo
+  /// ("17" == "17.0", -0 == +0) before the histogram/sidecar lookup.
+  /// Counts include the bucket's complex remainder (those elements must
+  /// be evaluated per node, so they bound the candidate set).
+  KeyStats ValueStats(QnameId qn, xpath::CmpOp op,
+                      const std::string& literal) const;
+  /// Owners of attribute `qn` (op == kEq with empty literal => any
+  /// value), or owners whose attribute value satisfies (op, literal).
+  KeyStats AttrStats(QnameId qn, bool any_value, xpath::CmpOp op,
+                     const std::string& literal) const;
+  /// Snapshot-publication epoch: plans whose shape depended on stats
+  /// stamp this and recompile when it moves (see xpath::PlanCache).
+  uint64_t stats_epoch() const {
+    return publish_epoch_.load(std::memory_order_acquire);
+  }
+  /// Compiler bookkeeping: a plan's op/predicate order was changed by
+  /// the estimator (differs from syntactic source order).
+  void NotePlanReorder() const { plan_reorders_.Inc(); }
+  /// Executor bookkeeping (traced runs): actual vs estimated operator
+  /// output cardinality, recorded as |log2(act/est)| scaled by 100 into
+  /// the pxq_est_error histogram.
+  void RecordEstimateError(int64_t est, int64_t act) const;
+
   void NoteCrossCheckMismatch() const;
   /// Planner bookkeeping: a child-axis name step answered from postings.
   void NoteChildStepHit() const { child_step_hits_.Inc(); }
@@ -369,10 +428,31 @@ class IndexManager {
     bool numeric = false;       // key parses under the strict grammar
     uint64_t gen = 0;
   };
+  /// Equi-width histogram over a bucket's numeric sidecar, maintained
+  /// incrementally by the writer alongside the sidecar itself (fixed
+  /// size, so copy-on-write shares it by value). Bounds only widen:
+  /// an insert outside [lo, hi] re-derives bounds and counts from the
+  /// sidecar (rare — the sidecar is right there in the writer's hands),
+  /// a remove just decrements. Estimate-only: bucket counts are upper
+  /// bounds for equality, partial-bucket sums for ranges.
+  struct NumericHistogram {
+    static constexpr int kBuckets = 16;
+    double lo = 0;
+    double hi = 0;
+    std::array<int64_t, kBuckets> counts{};
+    int64_t total = 0;
+    int BucketOf(double v) const {
+      if (!(hi > lo)) return 0;
+      const double t = (v - lo) / (hi - lo) * kBuckets;
+      const int b = static_cast<int>(t);
+      return b < 0 ? 0 : (b >= kBuckets ? kBuckets - 1 : b);
+    }
+  };
   struct ValueBucket {
     std::map<std::string, ValueEntry> by_string;      // sorted dictionary
     std::multimap<double, NodeId> by_number;          // numeric sidecar
     std::vector<NodeId> complex_elems;                // sorted
+    NumericHistogram hist;                            // over by_number
     // Aggregate generations for probes that read more than one key:
     // numeric-equality probes validate num_gen (sidecar content),
     // ordered probes validate range_gen (any dictionary or sidecar
@@ -388,6 +468,7 @@ class IndexManager {
     std::vector<NodeId> owners;                       // sorted
     std::map<std::string, ValueEntry> by_string;
     std::multimap<double, NodeId> by_number;
+    NumericHistogram hist;                            // over by_number
     uint64_t owners_gen = 0;  // owner-list content (AttrOwners probes)
     uint64_t num_gen = 0;
     uint64_t range_gen = 0;
@@ -625,6 +706,23 @@ class IndexManager {
                              const std::multimap<double, NodeId>& sidecar,
                              xpath::CmpOp op, const std::string& literal,
                              std::vector<NodeId>* out);
+  // Numeric-histogram maintenance (writer side; the bucket is already
+  // copy-on-write). Insert AFTER the sidecar insert — out-of-bounds
+  // values widen the bounds and rebuild counts from the sidecar.
+  static void HistInsert(NumericHistogram* h, double v,
+                         const std::multimap<double, NodeId>& sidecar);
+  static void HistRemove(NumericHistogram* h, double v);
+  /// Estimated matches of (op, x) against a histogram: the covering
+  /// bucket count for equality, whole buckets + a uniform fraction of
+  /// the boundary bucket for ordered operators.
+  static int64_t HistEstimate(const NumericHistogram& h, xpath::CmpOp op,
+                              double x);
+  /// Shared body of ValueStats/AttrStats over one dictionary + sidecar
+  /// + histogram triple.
+  static KeyStats DictStats(const std::map<std::string, ValueEntry>& dict,
+                            const std::multimap<double, NodeId>& sidecar,
+                            const NumericHistogram& hist, xpath::CmpOp op,
+                            const std::string& literal);
 
   IndexConfig config_;
   int nshards_;
@@ -667,9 +765,14 @@ class IndexManager {
   PaddedCounter memo_value_hits_;
   PaddedCounter memo_value_misses_;
   PaddedCounter cross_check_mismatches_;
+  PaddedCounter estimator_probes_;
+  PaddedCounter plan_reorders_;
   /// Commit-side maintenance latency (ns per ApplyDirty call). Recorded
   /// inside the exclusive window, so a relaxed histogram is plenty.
   obs::Histogram apply_dirty_ns_;
+  /// Estimator misestimate magnitude: |log2(act/est)| * 100 per traced
+  /// operator (0 = perfect, 100 = off by 2x, 300 = off by 8x).
+  obs::Histogram est_error_;
 };
 
 }  // namespace pxq::index

@@ -1,7 +1,10 @@
 #include "xpath/compiler.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
+#include "index/cardinality.h"
 #include "index/index_manager.h"
 #include "xpath/parser.h"
 
@@ -58,6 +61,7 @@ class Compiler {
     for (size_t i = first; i < steps.size(); ++i) {
       CompileStep(&plan, i);
     }
+    ApplySelectivity(&plan);
     return plan;
   }
 
@@ -251,6 +255,193 @@ class Compiler {
     }
   }
 
+  /// Estimated candidate count of one index-shaped predicate op.
+  index::CardEstimate EstimateGate(const Plan& plan, const PlanOp& op,
+                                   const index::CardinalityEstimator& est) {
+    const Predicate& p = plan.path.steps[static_cast<size_t>(op.step)]
+                             .predicates[static_cast<size_t>(op.pred)];
+    const bool exists = p.kind == Predicate::Kind::kExists;
+    switch (op.shape) {
+      case PredShape::kAttr:
+        return est.Attr(op.attr_qn, /*any_value=*/exists, p.op, p.value);
+      case PredShape::kChildValue:
+        return exists ? est.ChildExists(op.child_qn)
+                      : est.ChildValue(op.child_qn, p.op, p.value);
+      case PredShape::kChildAttr: {
+        // Candidates own a child_qn child bearing the attribute, so
+        // both counts bound the set; keep the smaller known one.
+        index::CardEstimate a =
+            est.Attr(op.attr_qn, /*any_value=*/exists, p.op, p.value);
+        index::CardEstimate c = est.ChildExists(op.child_qn);
+        if (!a.known) return c;
+        if (!c.known) return a;
+        return a.upper <= c.upper ? a : c;
+      }
+      case PredShape::kNone:
+        break;
+    }
+    return {};
+  }
+
+  /// The cost-based pass (DESIGN.md §9): stamp estimates into the plan,
+  /// reorder conjunctive predicates rarest-first, pick the cascade
+  /// probe order by estimated bucket size, and fuse a from_root prefix
+  /// with a highly selective value predicate so the value side drives
+  /// the probe. Reordering is correctness-neutral (non-positional
+  /// predicates are commutative per-node filters; a fixed-level
+  /// ancestor is unique, so cascade joins compose in any order) and
+  /// every shape keeps its scan fallback. A plan whose shape the
+  /// estimates actually changed is stamped with the stats epoch so the
+  /// PlanCache recompiles it when the stats move.
+  void ApplySelectivity(Plan* plan) {
+    index::CardinalityEstimator est(index_);
+    if (!est.active() || !plan->invalid_reason.empty()) return;
+    bool reshaped = false;
+
+    // Predicate runs: maximal contiguous stretches of non-positional
+    // predicate ops for one step. Stamp each gate's estimate, then
+    // stable-sort the run rarest-known first (unknown estimates keep
+    // syntactic order at the back — never guess). Positional filters
+    // are barriers: list-position semantics depend on the nodes that
+    // reached them, so nothing may cross one.
+    auto is_pred = [](const PlanOp& o) {
+      return o.kind == OpKind::kValueProbeGate ||
+             o.kind == OpKind::kExistsFilter;
+    };
+    for (size_t b = 0; b < plan->ops.size();) {
+      if (!is_pred(plan->ops[b])) {
+        ++b;
+        continue;
+      }
+      size_t e = b;
+      while (e < plan->ops.size() && is_pred(plan->ops[e]) &&
+             plan->ops[e].step == plan->ops[b].step) {
+        ++e;
+      }
+      for (size_t i = b; i < e; ++i) {
+        PlanOp& op = plan->ops[i];
+        if (op.kind != OpKind::kValueProbeGate) continue;
+        index::CardEstimate ce = EstimateGate(*plan, op, est);
+        if (ce.known) op.est = ce.upper;
+      }
+      if (e - b >= 2) {
+        auto key = [](const PlanOp& o) {
+          return o.kind == OpKind::kValueProbeGate && o.est >= 0
+                     ? o.est
+                     : std::numeric_limits<int64_t>::max();
+        };
+        std::vector<PlanOp> run(plan->ops.begin() + static_cast<long>(b),
+                                plan->ops.begin() + static_cast<long>(e));
+        std::stable_sort(run.begin(), run.end(),
+                         [&](const PlanOp& x, const PlanOp& y) {
+                           return key(x) < key(y);
+                         });
+        for (size_t i = b; i < e; ++i) {
+          if (plan->ops[i].pred != run[i - b].pred) reshaped = true;
+        }
+        if (reshaped) {
+          std::move(run.begin(), run.end(),
+                    plan->ops.begin() + static_cast<long>(b));
+        }
+      }
+      b = e;
+    }
+
+    // Probe-order fusion: [ChainProbe from_root][ChildStep m][gate] —
+    // when the gate's posting is clearly rarer than the structural
+    // candidate set, probe the value side FIRST and verify structure by
+    // walking each match's ancestor tags. The margin (4x, and a floor
+    // on the structural side) keeps tiny documents on the plain
+    // cascade, where fusion cannot pay for its verification walks.
+    for (size_t i = 0; i + 2 < plan->ops.size(); ++i) {
+      PlanOp& chain = plan->ops[i];
+      PlanOp& child = plan->ops[i + 1];
+      PlanOp& gate = plan->ops[i + 2];
+      if (chain.kind != OpKind::kChainProbe || !chain.from_root ||
+          chain.missing_name || child.kind != OpKind::kChildStep ||
+          child.qn < 0 ||
+          child.step != static_cast<int32_t>(chain.consumed) ||
+          gate.kind != OpKind::kValueProbeGate ||
+          gate.step != child.step ||
+          (gate.shape != PredShape::kAttr &&
+           gate.shape != PredShape::kChildValue) ||
+          gate.est < 0) {
+        continue;
+      }
+      const QnameId parent_qn = chain.probes.back().chain.back();
+      index::CardEstimate structural = est.Chain({parent_qn, child.qn});
+      if (!structural.known || structural.upper < 16 ||
+          gate.est * 4 > structural.upper) {
+        continue;
+      }
+      PlanOp fop;
+      fop.kind = OpKind::kFusedProbe;
+      fop.step = child.step;
+      fop.pred = gate.pred;
+      fop.qn = child.qn;
+      fop.from_root = true;
+      fop.consumed = chain.consumed + 1;
+      fop.shape = gate.shape;
+      fop.child_qn = gate.child_qn;
+      fop.attr_qn = gate.attr_qn;
+      fop.est = gate.est;
+      fop.fused_value_first = true;
+      fop.fused_level = static_cast<int32_t>(chain.consumed);
+      // Nearest ancestor first (step m-1 down to step 0); the level
+      // filter pins the walk to the document root.
+      for (size_t s = chain.consumed; s-- > 0;) {
+        fop.fused_anc.push_back(
+            pools_.FindQname(plan->path.steps[s].test.name));
+      }
+      plan->ops[i] = std::move(fop);
+      plan->ops.erase(plan->ops.begin() + static_cast<long>(i) + 1,
+                      plan->ops.begin() + static_cast<long>(i) + 3);
+      reshaped = true;
+      break;  // at most one from_root prefix per plan
+    }
+
+    // Cascade order: absolute levels + per-spec estimates; seed from
+    // the rarest bucket and join outward when that differs from
+    // syntactic left-to-right.
+    for (PlanOp& op : plan->ops) {
+      if (op.kind != OpKind::kChainProbe || op.missing_name) continue;
+      int32_t level = -1;
+      bool all_known = true;
+      for (ChainProbeSpec& sp : op.probes) {
+        level =
+            sp.anchor_level >= 0 ? sp.anchor_level : level + sp.rel_depth;
+        sp.abs_level = level;
+        index::CardEstimate ce = est.Chain(sp.chain);
+        sp.est = ce.known ? ce.upper : -1;
+        if (!ce.known) all_known = false;
+      }
+      std::vector<std::vector<QnameId>> chains;
+      chains.reserve(op.probes.size());
+      for (const ChainProbeSpec& sp : op.probes) chains.push_back(sp.chain);
+      index::CardEstimate casc = est.Cascade(chains);
+      if (casc.known) op.est = static_cast<int64_t>(casc.point + 0.5);
+      if (op.probes.size() < 2 || !all_known || !op.from_root) continue;
+      std::vector<size_t> order(op.probes.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return op.probes[a].est < op.probes[b].est;
+      });
+      bool identity = true;
+      for (size_t i = 0; i < order.size(); ++i) {
+        if (order[i] != i) identity = false;
+      }
+      if (!identity) {
+        op.exec_order = std::move(order);
+        reshaped = true;
+      }
+    }
+
+    if (reshaped) {
+      plan->stats_epoch = est.stats_epoch();
+      index_->NotePlanReorder();
+    }
+  }
+
   const storage::ContentPools& pools_;
   const index::IndexManager* index_;
 };
@@ -278,6 +469,11 @@ uint64_t PlanEnvFingerprint(const index::IndexManager* index) {
   // cross-check) is a run-time decision and shares plans.
   uint64_t fp = 0x100;
   if (index->config().enabled) fp |= 0x200;
+  // Selectivity planning reshapes plans (reorder/fusion), so plans are
+  // not shareable across the A/B knob.
+  if (index->config().enabled && index->config().selectivity_planning) {
+    fp |= 0x400;
+  }
   fp |= static_cast<uint64_t>(static_cast<uint32_t>(index->chain_depth()));
   return fp;
 }

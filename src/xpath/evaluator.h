@@ -145,7 +145,14 @@ class Evaluator {
     for (const OpTrace& t : trace) {
       out += "  " + std::to_string(t.op + 1) + ". " +
              plan->DescribeOp(t.op) + " -> " + t.strategy + ", " +
-             std::to_string(t.out) + " nodes\n";
+             std::to_string(t.out) + " nodes";
+      // Estimate column: compile-time cardinality estimate vs what the
+      // operator actually produced (only operators the estimator saw).
+      if (t.est >= 0) {
+        out += " [est=" + std::to_string(t.est) +
+               " act=" + std::to_string(t.out) + "]";
+      }
+      out += "\n";
     }
     if (trace.size() < plan->ops.size()) {
       out += "  (" + std::to_string(plan->ops.size() - trace.size()) +
@@ -203,8 +210,11 @@ class Evaluator {
     const auto pool_gen =
         static_cast<uint64_t>(store().pools().qname_count());
     const uint64_t env_fp = PlanEnvFingerprint(env_);
+    // Estimate-steered plans are epoch-stamped; pass the index's
+    // current publish epoch so the cache can invalidate exactly those.
+    const uint64_t stats_epoch = env_ != nullptr ? env_->stats_epoch() : 0;
     if (cache_ != nullptr) {
-      if (auto plan = cache_->Lookup(text, pool_gen, env_fp)) {
+      if (auto plan = cache_->Lookup(text, pool_gen, env_fp, stats_epoch)) {
         if (cache_hit != nullptr) *cache_hit = true;
         return plan;
       }

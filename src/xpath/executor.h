@@ -85,11 +85,13 @@ class Executor {
       if (trace == nullptr) {
         // Hot path: no timing, no strategy strings, no probe reads.
         PXQ_ASSIGN_OR_RETURN(ctx, RunOp(plan, op, std::move(ctx), nullptr));
+        RecordEstError(op.est, static_cast<int64_t>(ctx.size()));
         continue;
       }
       OpTrace t;
       t.op = oi;
       t.in = static_cast<int64_t>(ctx.size());
+      t.est = op.est;
       const int64_t probes_before = ProbesIssued();
       const auto t0 = std::chrono::steady_clock::now();
       PXQ_ASSIGN_OR_RETURN(ctx, RunOp(plan, op, std::move(ctx),
@@ -99,6 +101,7 @@ class Executor {
                       .count();
       t.index_probes = ProbesIssued() - probes_before;
       t.out = static_cast<int64_t>(ctx.size());
+      RecordEstError(op.est, t.out);
       trace->push_back(std::move(t));
     }
     return ctx;
@@ -203,6 +206,35 @@ class Executor {
     if (s != nullptr) *s = std::move(v);
   }
 
+  /// Why the cost gate was not even consulted / declined the probe, for
+  /// explain's per-op gate-decision column. Only called when the index
+  /// path returned unanswered.
+  std::string GateDeclineWhy(int64_t scan_cost) const {
+    if constexpr (kIndexable) {
+      if (index_ == nullptr) return "gate: no index attached";
+      if (!index_->config().enabled) return "gate: index disabled";
+      return "gate declined: candidates > " +
+             std::to_string(index_->config().gate_ratio) + " * scan=" +
+             std::to_string(scan_cost);
+    } else {
+      (void)scan_cost;
+      return "gate: store not indexable";
+    }
+  }
+
+  /// Feed the pxq_est_error histogram (|log2(act/est)|) when the
+  /// compiler stamped an estimate on this operator.
+  void RecordEstError(int64_t est, int64_t act) const {
+    if constexpr (kIndexable) {
+      if (est >= 0 && index_ != nullptr) {
+        index_->RecordEstimateError(est, act);
+      }
+    } else {
+      (void)est;
+      (void)act;
+    }
+  }
+
 
   StatusOr<std::vector<PreId>> RunOp(const Plan& plan, const PlanOp& op,
                                      std::vector<PreId> ctx,
@@ -262,17 +294,21 @@ class Executor {
       case OpKind::kValueProbeGate: {
         const Step& s = steps[static_cast<size_t>(op.step)];
         const Predicate& pred = s.predicates[static_cast<size_t>(op.pred)];
+        const int64_t scan_cost = static_cast<int64_t>(ctx.size());
         PXQ_ASSIGN_OR_RETURN(
             bool answered,
             ApplyIndexPredicate(op.shape, op.child_qn, op.attr_qn, pred,
                                 &ctx));
         if (answered) {
-          Note(strategy, "index value probe");
+          Note(strategy, "index value probe [gate accepted vs scan=" +
+                             std::to_string(scan_cost) + "]");
           return ctx;
         }
-        Note(strategy, "predicate scan");
+        Note(strategy, "predicate scan [" + GateDeclineWhy(scan_cost) + "]");
         return ScanFilterOne(pred, ctx);
       }
+      case OpKind::kFusedProbe:
+        return RunFusedProbe(plan, op, strategy);
       case OpKind::kPositionFilter: {
         const Step& s = steps[static_cast<size_t>(op.step)];
         if (op.per_origin) {
@@ -359,7 +395,59 @@ class Executor {
       if (index_ != nullptr) {
         bool answered = true;
         std::vector<PreId> res;
-        if (!op.missing_name) {
+        if (!op.missing_name && !op.exec_order.empty()) {
+          // Cost-ordered cascade: seed from the estimated-rarest spec
+          // (exec_order[0]; a level filter pins its candidates to
+          // their absolute level). Specs ABOVE the seed then verify by
+          // containment merge: probe their (larger) buckets with an
+          // unbounded budget — the merge is one linear pass over
+          // bucket + survivors, always cheaper than the O(doc) scan
+          // fallback, so no gate applies — and keep survivors with a
+          // bucket member as their fixed-depth ancestor. The chains
+          // tile every level above the seed, so the merges verify the
+          // whole prefix. Specs DEEPER than the seed join downward in
+          // level order, exactly the incremental cascade restarted
+          // from the seed's level.
+          const ChainProbeSpec& s0 = op.probes[op.exec_order[0]];
+          auto c0 = index_->PathChainProbe(
+              store_, s0.chain, store_.SizeAt(store_.Root()) + 1);
+          if (c0 == nullptr) {
+            answered = false;
+          } else {
+            res.reserve(c0->size());
+            for (PreId p : *c0) {
+              if (store_.LevelAt(p) == s0.abs_level) res.push_back(p);
+            }
+            for (const ChainProbeSpec& sp : op.probes) {
+              if (sp.abs_level >= s0.abs_level) continue;
+              if (res.empty()) break;  // empty result is exact
+              auto ui = index_->PathChainProbe(
+                  store_, sp.chain, store_.SizeAt(store_.Root()) + 1);
+              if (ui == nullptr) {
+                answered = false;
+                break;
+              }
+              res = KeepDescendantsAtDepth(res, *ui,
+                                           s0.abs_level - sp.abs_level);
+            }
+            int32_t cur_level = s0.abs_level;
+            for (const ChainProbeSpec& sp : op.probes) {
+              if (!answered) break;
+              if (sp.abs_level <= s0.abs_level) continue;
+              if (res.empty()) break;  // empty result is exact
+              int64_t span = 0;
+              for (PreId c : res) span += store_.SizeAt(c) + 1;
+              auto li = index_->PathChainProbe(store_, sp.chain, span);
+              if (li == nullptr) {
+                answered = false;
+                break;
+              }
+              res = KeepDescendantsAtDepth(*li, res,
+                                           sp.abs_level - cur_level);
+              cur_level = sp.abs_level;
+            }
+          }
+        } else if (!op.missing_name) {
           for (size_t pi = 0; pi < op.probes.size(); ++pi) {
             const ChainProbeSpec& sp = op.probes[pi];
             if (pi == 0) {
@@ -417,7 +505,8 @@ class Executor {
                  op.missing_name
                      ? std::string("empty (name never interned)")
                      : "index cascade (" +
-                           std::to_string(op.probes.size()) + " probes)");
+                           std::to_string(op.probes.size()) + " probes)" +
+                           (op.exec_order.empty() ? "" : " [cost order]"));
           }
           return res;
         }
@@ -425,7 +514,9 @@ class Executor {
     }
     // Fallback: the leading child-name step seeds from the root, the
     // rest evaluates step-by-step (per-step index plans still apply).
-    Note(strategy, "stepwise fallback");
+    Note(strategy,
+         "stepwise fallback [" +
+             GateDeclineWhy(store_.SizeAt(store_.Root()) + 1) + "]");
     std::vector<PreId> ctx;
     QnameId q0 = store_.pools().FindQname(steps[0].test.name);
     if (MatchTest(steps[0].test, store_.Root(), q0)) {
@@ -435,6 +526,139 @@ class Executor {
       PXQ_ASSIGN_OR_RETURN(ctx, EvalStep(steps[i], ctx));
     }
     return ctx;
+  }
+
+  /// Probe-order fusion (value-first): the compiler judged the fused
+  /// value/attr posting far rarer than the structural candidate set, so
+  /// probe the VALUE side over the whole document first, then verify
+  /// each match structurally — element tag, absolute level, and the
+  /// root-anchored ancestor tag chain. Falls back to the stepwise
+  /// prefix + predicate scan (exactly the unfused operator trio) when
+  /// no index is attached or a gate declines.
+  StatusOr<std::vector<PreId>> RunFusedProbe(const Plan& plan,
+                                             const PlanOp& op,
+                                             std::string* strategy) const {
+    const auto& steps = plan.path.steps;
+    const Predicate& pred = steps[static_cast<size_t>(op.step)]
+                                .predicates[static_cast<size_t>(op.pred)];
+    if constexpr (kIndexable) {
+      if (index_ != nullptr) {
+        const int64_t doc_span = store_.SizeAt(store_.Root()) + 1;
+        bool answered = true;
+        std::vector<PreId> owners;
+        if (op.shape == PredShape::kAttr) {
+          // A never-interned attr name matches nothing: empty, exact.
+          if (op.attr_qn >= 0) {
+            auto cand =
+                pred.kind == Predicate::Kind::kExists
+                    ? index_->AttrOwners(store_, op.attr_qn, doc_span)
+                    : index_->AttrValueProbe(store_, op.attr_qn, pred.op,
+                                             pred.value, doc_span);
+            if (!cand) {
+              answered = false;
+            } else {
+              owners = std::move(*cand);
+            }
+          }
+        } else {  // PredShape::kChildValue
+          if (op.child_qn >= 0) {
+            std::vector<PreId> kids, complex_rest;
+            if (pred.kind == Predicate::Kind::kExists) {
+              auto cand =
+                  index_->ElementsByQname(store_, op.child_qn, doc_span);
+              if (!cand) {
+                answered = false;
+              } else {
+                kids = *cand;
+              }
+            } else if (!index_->ChildValueProbe(store_, op.child_qn,
+                                                pred.op, pred.value,
+                                                doc_span, &kids,
+                                                &complex_rest)) {
+              answered = false;
+            }
+            if (answered) {
+              for (PreId c : kids) {
+                auto anc = DescendToAncestors(store_, c);
+                if (!anc.empty()) owners.push_back(anc.back());
+              }
+              // Children whose value the index does not cover (element
+              // content): evaluate those owners exactly.
+              for (PreId c : complex_rest) {
+                auto anc = DescendToAncestors(store_, c);
+                if (anc.empty()) continue;
+                PXQ_ASSIGN_OR_RETURN(bool ok,
+                                     EvalValuePredicate(pred, anc.back()));
+                if (ok) owners.push_back(anc.back());
+              }
+              Normalize(&owners);
+            }
+          }
+        }
+        if (answered) {
+          std::vector<PreId> res;
+          for (PreId p : owners) {
+            if (store_.KindAt(p) != NodeKind::kElement ||
+                store_.RefAt(p) != op.qn ||
+                store_.LevelAt(p) != op.fused_level) {
+              continue;
+            }
+            auto anc = DescendToAncestors(store_, p);  // root..parent
+            if (anc.size() != op.fused_anc.size()) continue;
+            bool ok = true;
+            for (size_t i = 0; i < op.fused_anc.size(); ++i) {
+              // fused_anc is nearest-first; the walk is root-first.
+              PreId a = anc[anc.size() - 1 - i];
+              if (op.fused_anc[i] < 0 ||
+                  store_.KindAt(a) != NodeKind::kElement ||
+                  store_.RefAt(a) != op.fused_anc[i]) {
+                ok = false;
+                break;
+              }
+            }
+            if (ok) res.push_back(p);
+          }
+          if (CrossChecking()) {
+            std::vector<PreId> scan;
+            QnameId q0 = store_.pools().FindQname(steps[0].test.name);
+            if (MatchTest(steps[0].test, store_.Root(), q0)) {
+              scan.push_back(store_.Root());
+            }
+            for (size_t i = 1; i < op.consumed; ++i) {
+              QnameId qi = store_.pools().FindQname(steps[i].test.name);
+              scan = ScanChildren(steps[i].test, qi, scan);
+            }
+            PXQ_ASSIGN_OR_RETURN(scan, ScanFilterOne(pred, scan));
+            PXQ_RETURN_IF_ERROR(VerifyCrossCheck(
+                scan, res,
+                "fused value-first probe (step " +
+                    std::to_string(op.step) + ")"));
+          }
+          Note(strategy, "fused value probe (value-first) [gate accepted "
+                         "vs scan=" + std::to_string(doc_span) + "]");
+          return res;
+        }
+      }
+    }
+    // Fallback: stepwise prefix, plain child step, predicate scan —
+    // the unfused operator trio. The step's OTHER predicates are
+    // separate ops and must not be applied here.
+    Note(strategy,
+         "stepwise fallback [" +
+             GateDeclineWhy(store_.SizeAt(store_.Root()) + 1) + "]");
+    std::vector<PreId> ctx;
+    QnameId q0 = store_.pools().FindQname(steps[0].test.name);
+    if (MatchTest(steps[0].test, store_.Root(), q0)) {
+      ctx.push_back(store_.Root());
+    }
+    for (size_t i = 1; i + 1 < op.consumed && !ctx.empty(); ++i) {
+      PXQ_ASSIGN_OR_RETURN(ctx, EvalStep(steps[i], ctx));
+    }
+    const Step& last = steps[static_cast<size_t>(op.step)];
+    std::vector<PreId> out;
+    PXQ_ASSIGN_OR_RETURN(bool ans, IndexChildStep(last, ctx, op.qn, &out));
+    if (!ans) out = ScanChildren(last.test, op.qn, ctx);
+    return ScanFilterOne(pred, out);
   }
 
   // --- shared machinery (scan paths, oracles, index probes) -----------

@@ -15,6 +15,7 @@ const char* OpKindName(OpKind k) {
     case OpKind::kValueProbeGate: return "ValueProbeGate";
     case OpKind::kPositionFilter: return "PositionFilter";
     case OpKind::kExistsFilter: return "ExistsFilter";
+    case OpKind::kFusedProbe: return "FusedProbe";
   }
   return "?";
 }
@@ -56,7 +57,23 @@ std::string Plan::DescribeOp(size_t i) const {
       }
       out += StrFormat(" (%zu steps, %zu probes)", op.consumed,
                        op.probes.size());
+      if (!op.exec_order.empty()) {
+        out += " [cost order:";
+        for (size_t p : op.exec_order) out += StrFormat(" %zu", p);
+        out += "]";
+      }
       if (op.missing_name) out += " [name never interned]";
+      break;
+    }
+    case OpKind::kFusedProbe: {
+      out += " /";
+      for (size_t s = 0; s < op.consumed; ++s) {
+        if (s > 0) out += "/";
+        out += path.steps[s].test.name;
+      }
+      out += PredText(path.steps[static_cast<size_t>(op.step)]
+                          .predicates[static_cast<size_t>(op.pred)]);
+      out += " (value-first)";
       break;
     }
     case OpKind::kRootSeed:

@@ -43,6 +43,8 @@ enum class OpKind : uint8_t {
   kValueProbeGate,      // index-shaped predicate behind the cost gate
   kPositionFilter,      // positional predicate ([3] / [last()])
   kExistsFilter,        // exists/compare predicate on the scan path
+  kFusedProbe,          // value-first fusion of a from_root prefix + one
+                        // index-shaped predicate (probe the rarer side)
 };
 
 const char* OpKindName(OpKind k);
@@ -58,6 +60,15 @@ struct ChainProbeSpec {
   size_t n_steps = 0;        // steps this probe consumes
   int32_t anchor_level = -1; // leading probe: required absolute level
   int32_t rel_depth = 0;     // continuation: distance below survivors
+  /// Absolute level of the spec's final-tag elements (always known for
+  /// a from_root cascade) — lets a cost-ordered cascade seed from ANY
+  /// spec (level filter) and join the rest bidirectionally, since a
+  /// fixed-level ancestor is unique.
+  int32_t abs_level = -1;
+  /// Estimated chain-bucket size stamped by the compiler (-1: no
+  /// estimate). Advisory: the executor re-gates every probe at run
+  /// time against live counts.
+  int64_t est = -1;
 };
 
 /// Index-supported predicate shapes (see IndexManager's value/attr
@@ -89,10 +100,29 @@ struct PlanOp {
   std::vector<ChainProbeSpec> probes;
   size_t consumed = 0;       // leading steps the cascade consumes
   bool missing_name = false; // a chain tag was never interned: empty, exact
+  /// Cost-based cascade order (indexes into `probes`, rarest first).
+  /// Empty = syntactic left-to-right execution (the PR 4 incremental
+  /// cascade). Non-empty = the executor seeds from exec_order[0] and
+  /// joins the remaining specs bidirectionally by absolute level.
+  std::vector<size_t> exec_order;
   // --- kValueProbeGate ------------------------------------------------
   PredShape shape = PredShape::kNone;
   QnameId child_qn = -1;
   QnameId attr_qn = -1;
+  /// Estimated candidate count for this op's index probe (-1: none).
+  /// Stamped at compile for explain's est= column and the predicate
+  /// reorder decision; the run-time cost gate still rules.
+  int64_t est = -1;
+  /// kValueProbeGate fused into a from_root cascade (probe-order
+  /// fusion): the estimator judged the value/attr posting rarer than
+  /// the structural candidate set, so the executor probes the VALUE
+  /// side first and verifies structure by walking each match's
+  /// ancestor tags against `fused_anc` (nearest ancestor first, -1 =
+  /// above the document root) at `fused_level`. Scan fallback and
+  /// cross-check behave exactly like the unfused pair.
+  bool fused_value_first = false;
+  int32_t fused_level = -1;
+  std::vector<QnameId> fused_anc;
 };
 
 /// Per-operator execution record: what the executor actually did (index
@@ -110,6 +140,8 @@ struct OpTrace {
   int64_t out = 0;           // output cardinality
   int64_t wall_ns = 0;       // measured operator wall-time
   int64_t index_probes = 0;  // index probes issued by this operator
+  int64_t est = -1;          // compile-time output estimate (-1: none);
+                             // explain renders est=/act= from est/out
 };
 
 struct Plan {
@@ -127,6 +159,14 @@ struct Plan {
   bool fully_resolved = true;
   uint64_t pool_gen = 0; // qname-pool size at compile time
   uint64_t env_fp = 0;   // compile-environment fingerprint (index shape)
+  /// Non-zero when cardinality estimates steered this plan's SHAPE
+  /// (predicate reorder, cascade exec order, or probe fusion): the
+  /// index publish epoch the estimates were read at. The PlanCache
+  /// recompiles such plans when the epoch moves — stale estimates can
+  /// only cost speed, never correctness, but recompiling keeps the
+  /// ordering honest. Plans whose shape is estimate-free stay 0 and
+  /// never invalidate on stats movement.
+  uint64_t stats_epoch = 0;
   std::string text;      // source text when compiled from text
 
   /// Operator list without execution (static shape).

@@ -4,7 +4,8 @@ namespace pxq::xpath {
 
 std::shared_ptr<const Plan> PlanCache::Lookup(std::string_view text,
                                               uint64_t pool_gen,
-                                              uint64_t env_fp) {
+                                              uint64_t env_fp,
+                                              uint64_t stats_epoch) {
   MutexLock lock(&mu_);
   auto it = map_.find(text);
   if (it == map_.end()) {
@@ -13,7 +14,9 @@ std::shared_ptr<const Plan> PlanCache::Lookup(std::string_view text,
   }
   const Plan& plan = *it->second.plan;
   const bool valid = plan.env_fp == env_fp &&
-                     (plan.fully_resolved || plan.pool_gen == pool_gen);
+                     (plan.fully_resolved || plan.pool_gen == pool_gen) &&
+                     (plan.stats_epoch == 0 ||
+                      plan.stats_epoch == stats_epoch);
   if (!valid) {
     // Epoch-invalidated: the caller recompiles and re-inserts.
     lru_.erase(it->second.lru_it);

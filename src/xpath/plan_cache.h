@@ -42,8 +42,14 @@ class PlanCache {
 
   /// Returns the cached plan iff it is valid under the caller's current
   /// pool generation + environment fingerprint; drops stale entries.
+  /// `stats_epoch` is the index's current publish epoch: a plan whose
+  /// SHAPE was steered by cardinality estimates (plan->stats_epoch != 0)
+  /// additionally requires its stamped epoch to match, so stats
+  /// movement recompiles exactly the plans whose ordering decisions it
+  /// could change — estimate-free plans never invalidate on commits.
   std::shared_ptr<const Plan> Lookup(std::string_view text,
-                                     uint64_t pool_gen, uint64_t env_fp);
+                                     uint64_t pool_gen, uint64_t env_fp,
+                                     uint64_t stats_epoch = 0);
 
   void Insert(std::string_view text, std::shared_ptr<const Plan> plan);
 

@@ -127,6 +127,13 @@ const char* const kQueries[] = {
     "//area[item]",
     "//item[2]",
     "//person[last()]",
+    // Conjunctive predicate runs: the selectivity planner reorders
+    // these (rare attr-eq ahead of broad exists) and may fuse the
+    // rare probe into the chain prefix — divergence from the
+    // reference evaluator here means reordering changed semantics.
+    "//person[name][@id='p3']",
+    "/site/people/person[age][@id='p2']/name",
+    "//item[@k][price]",
 };
 
 class Fuzzer {
@@ -172,6 +179,12 @@ class Fuzzer {
     }
     EXPECT_GT(stats.probes, 0);
     EXPECT_GT(stats.applied_commits, 0);
+    // Selectivity planning was live: at least one plan in the pool was
+    // reshaped by estimates (and still never diverged from reference).
+    if (EnvInt("PXQ_SELECTIVITY_PLANNING", 1) != 0) {
+      EXPECT_GT(stats.plan_reorders, 0);
+      EXPECT_GT(stats.estimator_probes, 0);
+    }
     EXPECT_GT(commits, 0);
     EXPECT_GT(aborts, 0);
     EXPECT_GT(queries, 0);

@@ -20,6 +20,7 @@
 
 #include "common/random.h"
 #include "database.h"
+#include "index/cardinality.h"
 #include "index/index_manager.h"
 #include "storage/paged_store.h"
 #include "storage/shredder.h"
@@ -896,6 +897,159 @@ TEST(IndexManagerTest, StatsReportStructure) {
   EXPECT_GE(s.build_micros, 0);
   EXPECT_EQ(s.shards, 16);            // default config, power of two
   EXPECT_EQ(s.publish_epoch, 1);      // the Rebuild publication
+}
+
+// ---------------------------------------------------------------------------
+// Cardinality statistics (selectivity-driven planning)
+// ---------------------------------------------------------------------------
+
+TEST(IndexManagerTest, CardinalityStatsExactOnBuild) {
+  auto store = BuildStore(kDoc);
+  index::IndexManager idx(index::IndexConfig{});
+  idx.Rebuild(*store);
+  QnameId r = store->pools().FindQname("r");
+  QnameId a = store->pools().FindQname("a");
+  QnameId n = store->pools().FindQname("n");
+  QnameId b = store->pools().FindQname("b");
+  QnameId c = store->pools().FindQname("c");
+  QnameId id = store->pools().FindQname("id");
+  QnameId p = store->pools().FindQname("p");
+
+  // Chain stats are EXACT bucket sizes, keyed like PathChainProbe.
+  auto cs = idx.ChainStats({n});
+  EXPECT_TRUE(cs.known);
+  EXPECT_TRUE(cs.exact);
+  EXPECT_EQ(cs.count, 3);
+  EXPECT_EQ(idx.ChainStats({a, n}).count, 3);
+  EXPECT_EQ(idx.ChainStats({r, a}).count, 2);
+  EXPECT_EQ(idx.ChainStats({b, c}).count, 3);
+  EXPECT_EQ(idx.ChainStats({r, a, n}).count, 3);
+  EXPECT_EQ(idx.ChainStats({a, c}).count, 0);  // no such pair, exactly
+  EXPECT_FALSE(idx.ChainStats({a, -1}).known);  // unresolved self tag
+
+  // String equality reads the dictionary posting length: exact.
+  auto vs = idx.ValueStats(n, CmpOp::kEq, "abc");
+  EXPECT_TRUE(vs.known);
+  EXPECT_TRUE(vs.exact);
+  EXPECT_EQ(vs.count, 1);
+  // Numeric equality goes through the equi-width histogram, with the
+  // operand canonicalized like the value memo: "17" and "17.0" are the
+  // same bucket lookup (the PR 3 rule), yielding the same estimate.
+  auto v17 = idx.ValueStats(n, CmpOp::kEq, "17");
+  auto v170 = idx.ValueStats(n, CmpOp::kEq, "17.0");
+  EXPECT_TRUE(v17.known);
+  EXPECT_EQ(v17.count, v170.count);
+  EXPECT_GE(v17.count, 1);   // the bucket holds at least the match
+  EXPECT_FALSE(v17.exact);   // bucket count is an upper bound
+  // A tag nothing carries: zero, exactly.
+  auto vz = idx.ValueStats(store->pools().FindQname("id"), CmpOp::kEq, "q");
+  EXPECT_TRUE(vz.known);
+  EXPECT_TRUE(vz.exact);
+  EXPECT_EQ(vz.count, 0);
+
+  // Attribute stats: existence is the exact owner count; value lookups
+  // share the dictionary/histogram logic.
+  auto as = idx.AttrStats(id, /*any_value=*/true, CmpOp::kEq, "");
+  EXPECT_TRUE(as.exact);
+  EXPECT_EQ(as.count, 2);
+  auto ap = idx.AttrStats(p, /*any_value=*/false, CmpOp::kEq, "1");
+  EXPECT_TRUE(ap.known);
+  EXPECT_GE(ap.count, 1);
+
+  auto s = idx.Stats();
+  // stat_keys: 5 qname postings + 10 path/chain keys (5 pairs + 5
+  // len-3 chains) + value dicts (n: 3, c: 3) + attr dicts with their
+  // owner sets (id: 2+1, p: 3+1).
+  EXPECT_EQ(s.stat_keys, 28);
+  // Non-empty equi-width buckets: n {5,17} -> 2, c {"17"} -> 1,
+  // p {1,2,10} -> 3 (id values are non-numeric: no histogram).
+  EXPECT_EQ(s.histogram_buckets, 6);
+  EXPECT_GT(s.estimator_probes, 0);  // the ChainStats/... calls above
+}
+
+TEST(IndexManagerTest, CardinalityStatsFollowRenameFanOut) {
+  auto store = BuildStore("<r><e><c>1</c><c>2</c></e></r>");
+  index::IndexManager idx(index::IndexConfig{});
+  idx.Rebuild(*store);
+  QnameId r = store->pools().FindQname("r");
+  QnameId e = store->pools().FindQname("e");
+  QnameId c = store->pools().FindQname("c");
+  ASSERT_EQ(idx.ChainStats({e, c}).count, 2);
+  ASSERT_EQ(idx.ChainStats({r, e}).count, 1);
+
+  // Rename <e> -> <f> on the base with a one-node dirty set; the
+  // children's chain keys must fan out to the new tag and the stats
+  // must follow exactly.
+  auto e_pre = xpath::EvaluatePath(*store, "//e");
+  ASSERT_TRUE(e_pre.ok());
+  QnameId f = store->pools().InternQname("f");
+  NodeId e_node = store->NodeAt(e_pre.value()[0]);
+  ASSERT_TRUE(store->SetRef(e_pre.value()[0], f).ok());
+  index::DeltaIndex delta;
+  delta.MarkDirty(e_node);
+  idx.ApplyDirty(*store, delta);
+
+  EXPECT_EQ(idx.ChainStats({e, c}).count, 0);
+  EXPECT_EQ(idx.ChainStats({f, c}).count, 2);
+  EXPECT_EQ(idx.ChainStats({r, f}).count, 1);
+  EXPECT_EQ(idx.ChainStats({e}).count, 0);
+  EXPECT_EQ(idx.ChainStats({f}).count, 1);
+  // The children's values are untouched by the rename.
+  EXPECT_GE(idx.ValueStats(c, CmpOp::kEq, "1").count, 1);
+  // Stats moved with the publication: estimate-stamped plans see a new
+  // epoch and recompile.
+  EXPECT_EQ(idx.stats_epoch(), 2u);
+}
+
+TEST(IndexedQueryTest, CardinalityStatsStayExactThroughCommitAbort) {
+  auto db_or = Database::CreateFromXml(kDoc);
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(db_or).value();
+  index::IndexManager* idx = db->index_manager();
+  ASSERT_NE(idx, nullptr);
+  QnameId n = db->txn_manager().Read(
+      [](const storage::PagedStore& s) { return s.pools().FindQname("n"); });
+  ASSERT_EQ(idx->ChainStats({n}).count, 3);
+  const uint64_t epoch0 = idx->stats_epoch();
+
+  // An ABORTED transaction must not move the stats (or the epoch).
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(
+        txn.value()
+            ->Update("<xupdate:modifications version=\"1.0\" "
+                     "xmlns:xupdate=\"http://www.xmldb.org/xupdate\">"
+                     "<xupdate:append select=\"//a\"><n>23</n>"
+                     "</xupdate:append></xupdate:modifications>")
+            .ok());
+    ASSERT_TRUE(txn.value()->Abort().ok());
+  }
+  EXPECT_EQ(idx->ChainStats({n}).count, 3);
+  EXPECT_EQ(idx->stats_epoch(), epoch0);
+
+  // A COMMITTED append is reflected exactly: one more <n> posting, one
+  // more numeric histogram entry.
+  const auto before = db->IndexStats();
+  ASSERT_TRUE(
+      db->Update("<xupdate:modifications version=\"1.0\" "
+                 "xmlns:xupdate=\"http://www.xmldb.org/xupdate\">"
+                 "<xupdate:append select=\"//a\"><n>23</n>"
+                 "</xupdate:append></xupdate:modifications>")
+          .ok());
+  EXPECT_EQ(idx->ChainStats({n}).count, 5);  // //a matches both <a> owners
+  EXPECT_GT(idx->stats_epoch(), epoch0);
+  const auto after = db->IndexStats();
+  EXPECT_GT(after.histogram_buckets, 0);
+  EXPECT_GE(after.stat_keys, before.stat_keys);
+  // Estimate via the public estimator facade too: point <= upper, and
+  // the pessimistic upper bound equals the final chain's bucket size.
+  index::CardinalityEstimator est(idx);
+  ASSERT_TRUE(est.active());
+  auto ce = est.Chain({n});
+  EXPECT_TRUE(ce.known);
+  EXPECT_EQ(ce.upper, 5);
+  EXPECT_LE(ce.point, static_cast<double>(ce.upper));
 }
 
 // ---------------------------------------------------------------------------

@@ -568,8 +568,24 @@ TEST(DatabaseObsTest, IndexStatsCoherentUnderReaderStorm) {
   // Sample stats mid-storm: every snapshot must be internally sane
   // even while counters advance underneath it.
   int64_t last_plan_lookups = 0;
+  int64_t last_estimator_probes = 0;
+  int64_t first_stat_keys = -1;
+  int64_t first_hist_buckets = -1;
   for (int round = 0; round < 200; ++round) {
     const index::IndexStats s = db->IndexStats();
+    // Cardinality-stat surfaces: the structural counts are derived
+    // from the published snapshot, so with no writer in the storm
+    // they are frozen — every sample must agree with the first.
+    EXPECT_GT(s.stat_keys, 0);
+    if (first_stat_keys < 0) {
+      first_stat_keys = s.stat_keys;
+      first_hist_buckets = s.histogram_buckets;
+    }
+    EXPECT_EQ(s.stat_keys, first_stat_keys);
+    EXPECT_EQ(s.histogram_buckets, first_hist_buckets);
+    // Estimator probes are a monotone counter (compile-time lookups).
+    EXPECT_GE(s.estimator_probes, last_estimator_probes);
+    last_estimator_probes = s.estimator_probes;
     // Derived hit counts stay within [0, probes] — the decline-before-
     // probe read order guarantee.
     EXPECT_GE(s.probe_hits, 0);

@@ -359,6 +359,188 @@ TEST(ExplainTest, ReportsExecutedStrategiesAndCacheState) {
 }
 
 // ---------------------------------------------------------------------------
+// Selectivity-driven planning (cardinality estimates on the plan IR)
+// ---------------------------------------------------------------------------
+
+std::string SitePersons(int n) {
+  std::string xml = "<site><people>";
+  for (int i = 0; i < n; ++i) {
+    xml += "<person id='p" + std::to_string(i) +
+           "'><profile>x</profile></person>";
+  }
+  xml += "</people></site>";
+  return xml;
+}
+
+TEST(SelectivityTest, ReordersConjunctivePredicatesRarestFirst) {
+  auto store = BuildStore(SitePersons(8));
+  index::IndexManager idx(index::IndexConfig{});
+  idx.Rebuild(*store);
+  const char* q = "/site/people/person[profile][@id='p5']";
+  auto plan = xpath::CompileText(q, store->pools(), &idx);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Source order: [profile] (8 candidates) before [@id='p5'] (1); cost
+  // order flips them. Below the fusion floor (8 structural candidates
+  // < 16) the chain prefix itself is untouched.
+  ASSERT_EQ(Kinds(plan.value()),
+            (std::vector<OpKind>{OpKind::kChainProbe, OpKind::kChildStep,
+                                 OpKind::kValueProbeGate,
+                                 OpKind::kValueProbeGate}));
+  EXPECT_EQ(plan->ops[2].shape, xpath::PredShape::kAttr);
+  EXPECT_EQ(plan->ops[2].est, 1);
+  EXPECT_EQ(plan->ops[3].shape, xpath::PredShape::kChildValue);
+  EXPECT_EQ(plan->ops[3].est, 8);
+  EXPECT_NE(plan->stats_epoch, 0u);  // estimates steered the shape
+
+  // Reordering never changes results, and explain renders the
+  // reordered operator list with est=/act= columns.
+  xpath::Evaluator<storage::PagedStore> ev(*store, &idx);
+  auto res = ev.Eval(q);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->size(), 1u);
+  auto explain = ev.Explain(q);
+  ASSERT_TRUE(explain.ok());
+  const size_t attr_pos = explain->find("ValueProbeGate [attribute::id");
+  const size_t child_pos = explain->find("ValueProbeGate [child::profile]");
+  ASSERT_NE(attr_pos, std::string::npos) << *explain;
+  ASSERT_NE(child_pos, std::string::npos) << *explain;
+  EXPECT_LT(attr_pos, child_pos) << *explain;
+  EXPECT_NE(explain->find("[est=1 act=1]"), std::string::npos) << *explain;
+  // Per-op gate decisions are spelled out: the rare attr probe is
+  // accepted against the structural candidate count, the broad exists
+  // check (now running over 1 survivor) declines its probe and says
+  // why.
+  EXPECT_NE(explain->find("[gate accepted vs scan="), std::string::npos)
+      << *explain;
+  EXPECT_NE(explain->find("gate declined: candidates"), std::string::npos)
+      << *explain;
+  EXPECT_GT(idx.Stats().plan_reorders, 0);
+}
+
+TEST(SelectivityTest, FusesRareValueProbeIntoChainPrefix) {
+  auto store = BuildStore(SitePersons(32));
+  index::IndexManager idx(index::IndexConfig{});
+  idx.Rebuild(*store);
+  const char* q = "/site/people/person[@id='p7']";
+  auto plan = xpath::CompileText(q, store->pools(), &idx);
+  ASSERT_TRUE(plan.ok());
+  // 32 structural candidates vs 1 attribute match: the value side
+  // drives, the whole [ChainProbe, ChildStep, ValueProbeGate] trio
+  // fuses into one value-first operator.
+  ASSERT_EQ(Kinds(plan.value()), (std::vector<OpKind>{OpKind::kFusedProbe}));
+  EXPECT_TRUE(plan->ops[0].fused_value_first);
+  EXPECT_EQ(plan->ops[0].fused_level, 2);
+  EXPECT_EQ(plan->ops[0].fused_anc.size(), 2u);  // people, site
+  EXPECT_EQ(plan->ops[0].est, 1);
+  EXPECT_NE(plan->stats_epoch, 0u);
+
+  // Fused execution agrees with the reference evaluator; the fallback
+  // (no index attached) agrees too.
+  xpath::Evaluator<storage::PagedStore> ev(*store, &idx);
+  auto res = ev.Eval(q);
+  ASSERT_TRUE(res.ok());
+  xpath::ReferenceEvaluator<storage::PagedStore> rev(*store);
+  auto ref = rev.Eval(xpath::ParsePath(q).value());
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(res.value(), ref.value());
+  ASSERT_EQ(res->size(), 1u);
+  // The fused op's scan fallback agrees too: execute the SAME fused
+  // plan on an executor with no index attached (the transaction-clone
+  // situation — cached plan, index describes a different store).
+  xpath::Executor<storage::PagedStore> noidx(*store, nullptr);
+  auto fb = noidx.RunOps(plan.value(), {});
+  ASSERT_TRUE(fb.ok());
+  EXPECT_EQ(fb.value(), ref.value());
+  auto explain = ev.Explain(q);
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("FusedProbe"), std::string::npos) << *explain;
+  EXPECT_NE(explain->find("(value-first)"), std::string::npos) << *explain;
+
+  // The A/B knob: selectivity_planning off keeps the syntactic shape
+  // (and a distinct plan-env fingerprint, so caches never mix them).
+  index::IndexConfig off;
+  off.selectivity_planning = false;
+  index::IndexManager idx_off(off);
+  idx_off.Rebuild(*store);
+  auto syn = xpath::CompileText(q, store->pools(), &idx_off);
+  ASSERT_TRUE(syn.ok());
+  EXPECT_EQ(syn->ops[0].kind, OpKind::kChainProbe);
+  EXPECT_EQ(syn->stats_epoch, 0u);
+  EXPECT_NE(syn->env_fp, plan->env_fp);
+}
+
+TEST(SelectivityTest, CascadeSeedsFromRarestChain) {
+  // 21 zones match the lead chain (site,regions,zone); only one has
+  // the (zone,area,item) continuation. Cost order seeds from the
+  // rare continuation and verifies the two survivors' ancestors with
+  // a walk instead of probing the fat lead bucket.
+  std::string xml = "<site><regions>";
+  for (int i = 0; i < 20; ++i) xml += "<zone><filler>x</filler></zone>";
+  xml += "<zone><area><item k='1'>v</item><item k='2'>v</item></area>"
+         "</zone></regions></site>";
+  auto store = BuildStore(xml);
+  index::IndexManager idx(index::IndexConfig{});
+  idx.Rebuild(*store);
+  const char* q = "/site/regions/zone/area/item";
+  auto plan = xpath::CompileText(q, store->pools(), &idx);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->ops.size(), 1u);
+  ASSERT_EQ(plan->ops[0].kind, OpKind::kChainProbe);
+  ASSERT_EQ(plan->ops[0].probes.size(), 2u);
+  EXPECT_EQ(plan->ops[0].probes[0].est, 21);
+  EXPECT_EQ(plan->ops[0].probes[1].est, 2);
+  ASSERT_EQ(plan->ops[0].exec_order,
+            (std::vector<size_t>{1, 0}));  // continuation seeds
+  EXPECT_EQ(plan->ops[0].probes[0].abs_level, 2);
+  EXPECT_EQ(plan->ops[0].probes[1].abs_level, 4);
+  EXPECT_NE(plan->stats_epoch, 0u);
+
+  xpath::Evaluator<storage::PagedStore> ev(*store, &idx);
+  auto res = ev.Eval(q);
+  ASSERT_TRUE(res.ok());
+  xpath::ReferenceEvaluator<storage::PagedStore> rev(*store);
+  auto ref = rev.Eval(xpath::ParsePath(q).value());
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(res.value(), ref.value());
+  ASSERT_EQ(res->size(), 2u);
+  auto explain = ev.Explain(q);
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("[cost order: 1 0]"), std::string::npos)
+      << *explain;
+  EXPECT_NE(explain->find("[cost order]"), std::string::npos) << *explain;
+}
+
+TEST(SelectivityTest, StatsEpochMovementRecompilesSteeredPlansOnly) {
+  auto db_or = Database::CreateFromXml(SitePersons(8));
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(db_or).value();
+  const char* steered = "/site/people/person[profile][@id='p5']";
+  const char* plain = "/site/people/person";
+  ASSERT_TRUE(db->Query(steered).ok());
+  ASSERT_TRUE(db->Query(plain).ok());
+  auto s0 = db->IndexStats();
+  EXPECT_EQ(s0.plan_misses, 2);
+
+  // A committed update moves the stats epoch: the estimate-steered
+  // plan recompiles, the estimate-free plan stays cached.
+  ASSERT_TRUE(
+      db->Update("<xupdate:modifications version=\"1.0\" "
+                 "xmlns:xupdate=\"http://www.xmldb.org/xupdate\">"
+                 "<xupdate:append select=\"/site/people\">"
+                 "<person id='px'><profile>x</profile></person>"
+                 "</xupdate:append></xupdate:modifications>")
+          .ok());
+  ASSERT_TRUE(db->Query(plain).ok());
+  auto s1 = db->IndexStats();
+  EXPECT_EQ(s1.plan_misses, 2);  // estimate-free: cache hit
+  ASSERT_TRUE(db->Query(steered).ok());
+  auto s2 = db->IndexStats();
+  EXPECT_EQ(s2.plan_misses, 3);  // steered: epoch-invalidated, recompiled
+  ASSERT_TRUE(db->Query(steered).ok());
+  EXPECT_EQ(db->IndexStats().plan_misses, 3);  // stable until stats move
+}
+
+// ---------------------------------------------------------------------------
 // Global-lock contention counters
 // ---------------------------------------------------------------------------
 
